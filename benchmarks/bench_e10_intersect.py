@@ -1,0 +1,51 @@
+"""E10 — Lemma 3.2: all k_s intersections by middle-diagonal split."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.bench.harness import run_experiment
+from repro.envelope.chain import Envelope, Piece
+from repro.geometry.segments import ImageSegment
+from repro.hsr.cg import ProfileIndex
+from repro.hsr.intersect import all_intersections_lemma32
+
+
+@pytest.fixture(scope="module")
+def sawtooth_index():
+    pieces = []
+    for i in range(256):
+        y = float(2 * i)
+        pieces.append(Piece(y, 0.0, y + 1, 2.0, i))
+        pieces.append(Piece(y + 1, 2.0, y + 2, 0.0, i))
+    env = Envelope(pieces)
+    return env, ProfileIndex(env)
+
+
+def test_e10_many_crossings(benchmark, sawtooth_index):
+    env, index = sawtooth_index
+    seg = ImageSegment(0.0, 1.0, 512.0, 1.0, 999)
+
+    def run():
+        hits, probes = all_intersections_lemma32(index, seg)
+        return len(hits), probes
+
+    ks, probes = benchmark(run)
+    assert ks == 512
+    benchmark.extra_info["k_s"] = ks
+    benchmark.extra_info["probes"] = probes
+    table = run_experiment("E10", quick=True)
+    attach_table(benchmark, table)
+    assert max(table.column("probes/bound")) <= 4.0
+
+
+def test_e10_few_crossings(benchmark, sawtooth_index):
+    env, index = sawtooth_index
+    seg = ImageSegment(0.0, 1.9, 512.0, 1.95, 999)  # grazes few teeth
+
+    def run():
+        hits, probes = all_intersections_lemma32(index, seg)
+        return probes
+
+    benchmark(run)

@@ -1,0 +1,24 @@
+"""E11 — ablation: direct vs persistent vs ACG Phase-2 engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.bench.harness import run_experiment
+from repro.hsr.parallel import ParallelHSR
+
+
+@pytest.mark.parametrize("mode", ["direct", "persistent", "acg"])
+def test_e11_mode(benchmark, fractal_small, mode):
+    res = benchmark(lambda: ParallelHSR(mode=mode).run(fractal_small))
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["k"] = res.k
+    benchmark.extra_info["phase2_ops"] = res.stats.extra["phase2_ops"]
+
+
+def test_e11_table(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_experiment("E11", quick=True), rounds=1, iterations=1
+    )
+    attach_table(benchmark, table)

@@ -1,0 +1,33 @@
+"""E12 — object-space vs image-space z-buffer baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.bench.harness import run_experiment
+from repro.hsr.sequential import SequentialHSR
+from repro.hsr.zbuffer import ZBufferHSR
+
+
+def test_e12_object_space(benchmark, fractal_small):
+    res = benchmark(lambda: SequentialHSR().run(fractal_small))
+    benchmark.extra_info["k"] = res.k
+
+
+@pytest.mark.parametrize("resolution", [64, 256])
+def test_e12_zbuffer(benchmark, fractal_small, resolution):
+    zb = ZBufferHSR(width=resolution, height=resolution)
+    benchmark(lambda: zb.run(fractal_small))
+    benchmark.extra_info["pixels"] = resolution * resolution
+
+
+def test_e12_table(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_experiment("E12", quick=True), rounds=1, iterations=1
+    )
+    attach_table(benchmark, table)
+    ratios = [
+        row["len_ratio"] for row in table.rows if row["method"] == "z-buffer"
+    ]
+    assert abs(ratios[-1] - 1.0) < 0.25

@@ -1,0 +1,28 @@
+"""E13 — perspective projection (paper §2)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_table
+from repro.bench.harness import run_experiment
+from repro.hsr.parallel import ParallelHSR
+from repro.terrain.perspective import Viewpoint, perspective_transform
+
+
+def test_e13_perspective_pipeline(benchmark, fractal_small):
+    xmax = max(v.x for v in fractal_small.vertices)
+    z_hi = fractal_small.height_range()[1]
+    view = Viewpoint(xmax * 1.2 + 1.0, 0.0, z_hi * 1.5)
+
+    def run():
+        scene = perspective_transform(fractal_small, view)
+        return ParallelHSR().run(scene)
+
+    res = benchmark(run)
+    benchmark.extra_info["k"] = res.k
+    table = run_experiment("E13", quick=True)
+    attach_table(benchmark, table)
+    assert all(table.column("engines_agree"))
+    persp_ks = [
+        row["k"] for row in table.rows if row["view"] == "perspective"
+    ]
+    assert persp_ks == sorted(persp_ks)  # k grows with viewpoint height

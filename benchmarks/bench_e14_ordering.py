@@ -1,0 +1,15 @@
+"""E14 — front-to-back ordering substrate (Fact 1's role)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_table
+from repro.bench.harness import run_experiment
+from repro.ordering.sweep import front_to_back_order
+
+
+def test_e14_ordering_sweep(benchmark, fractal_medium):
+    order = benchmark(lambda: front_to_back_order(fractal_medium))
+    assert len(order) == fractal_medium.n_edges
+    table = run_experiment("E14", quick=True)
+    attach_table(benchmark, table)
+    assert max(table.column("constraints/n")) <= 3.5

@@ -1,0 +1,27 @@
+"""E1 — Theorem 3.1 depth bound: O(log^4 n).
+
+Times a full ParallelHSR run on the mid-size scaling workload and
+regenerates the E1 table (depth / log^4 n flat in n).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_table
+from repro.bench.harness import run_experiment
+from repro.hsr.parallel import ParallelHSR
+from repro.pram.tracker import PramTracker
+
+
+def test_e1_parallel_hsr_depth(benchmark, fractal_medium):
+    def run():
+        tracker = PramTracker()
+        ParallelHSR(mode="persistent").run(fractal_medium, tracker=tracker)
+        return tracker
+
+    tracker = benchmark(run)
+    table = run_experiment("E1", quick=True)
+    attach_table(benchmark, table)
+    ratios = table.column("depth/log4n")
+    assert ratios[-1] <= max(ratios[0], 1.0) * 1.5
+    benchmark.extra_info["depth"] = tracker.depth
+    benchmark.extra_info["work"] = tracker.work

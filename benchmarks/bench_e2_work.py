@@ -1,0 +1,21 @@
+"""E2 — Theorem 3.1 work bound: O((n + k) log^3 n)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_table
+from repro.bench.harness import run_experiment
+from repro.hsr.parallel import ParallelHSR
+from repro.pram.tracker import PramTracker
+
+
+def test_e2_parallel_hsr_work(benchmark, valley_medium):
+    def run():
+        tracker = PramTracker()
+        ParallelHSR(mode="persistent").run(valley_medium, tracker=tracker)
+        return tracker.work
+
+    work = benchmark(run)
+    table = run_experiment("E2", quick=True)
+    attach_table(benchmark, table)
+    assert max(table.column("work/bound")) <= 3.0
+    benchmark.extra_info["work"] = work

@@ -1,0 +1,46 @@
+"""E3 — output sensitivity: cost tracks k at fixed n; the crossover
+against the Θ(n²) baseline.
+
+Benchmarks the parallel algorithm on the most- and least-occluded
+shielded-basin instances (same n, very different k) so the timer
+itself exhibits the sensitivity, and regenerates the E3 table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.bench.harness import run_experiment
+from repro.hsr.parallel import ParallelHSR
+from repro.terrain.generators import shielded_basin_terrain
+
+
+@pytest.fixture(scope="module")
+def basins():
+    open_b = shielded_basin_terrain(rows=20, cols=20, occlusion=0.0, seed=23)
+    shut_b = shielded_basin_terrain(rows=20, cols=20, occlusion=1.6, seed=23)
+    return open_b, shut_b
+
+
+def test_e3_open_basin_large_k(benchmark, basins):
+    open_b, _ = basins
+    res = benchmark(lambda: ParallelHSR(mode="acg").run(open_b))
+    benchmark.extra_info["k"] = res.k
+
+
+def test_e3_shut_basin_small_k(benchmark, basins):
+    _, shut_b = basins
+    res = benchmark(lambda: ParallelHSR(mode="acg").run(shut_b))
+    benchmark.extra_info["k"] = res.k
+
+
+def test_e3_table(benchmark, basins):
+    table = benchmark.pedantic(
+        lambda: run_experiment("E3", quick=True), rounds=1, iterations=1
+    )
+    attach_table(benchmark, table)
+    ks = table.column("k")
+    naive = table.column("naive_ops")
+    assert ks[-1] < ks[0] / 2
+    assert abs(naive[-1] - naive[0]) <= 0.2 * naive[0]

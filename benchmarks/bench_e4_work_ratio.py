@@ -1,0 +1,16 @@
+"""E4 — Remark after Theorem 3.1: parallel work within O(log n) of the
+sequential output-sensitive algorithm."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_table
+from repro.bench.harness import run_experiment
+from repro.hsr.sequential import SequentialHSR
+
+
+def test_e4_sequential_baseline(benchmark, fractal_medium):
+    res = benchmark(lambda: SequentialHSR().run(fractal_medium))
+    benchmark.extra_info["seq_ops"] = res.stats.ops
+    table = run_experiment("E4", quick=True)
+    attach_table(benchmark, table)
+    assert max(table.column("ratio/log_n")) <= 3.0

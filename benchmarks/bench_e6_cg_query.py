@@ -1,0 +1,53 @@
+"""E6 — Fig. 2 + Lemma 3.6: CG first-intersection queries in
+O(log^2 m)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.bench.harness import run_experiment
+from repro.geometry.segments import ImageSegment
+from repro.hsr.cg import ProfileIndex
+from repro.hsr.sequential import SequentialHSR
+
+
+@pytest.fixture(scope="module")
+def profile_index(valley_medium):
+    env = SequentialHSR().final_profile(valley_medium)
+    return env, ProfileIndex(env)
+
+
+def test_e6_first_intersection(benchmark, profile_index):
+    env, index = profile_index
+    rng = random.Random(7)
+    lo, hi = env.y_span()
+    zs = [v.y for v in env.vertices()]
+    z0, z1 = min(zs), max(zs)
+    queries = []
+    for _ in range(256):
+        y1 = rng.uniform(lo, hi)
+        y2 = rng.uniform(lo, hi)
+        if abs(y1 - y2) < 1e-6:
+            y2 = y1 + 1.0
+        queries.append(
+            ImageSegment.make(
+                (min(y1, y2), rng.uniform(z0, z1)),
+                (max(y1, y2), rng.uniform(z0, z1)),
+            )
+        )
+
+    def run():
+        total = 0
+        for q in queries:
+            _, probes = index.first_intersection(q)
+            total += probes
+        return total
+
+    total_probes = benchmark(run)
+    benchmark.extra_info["mean_probes"] = total_probes / len(queries)
+    table = run_experiment("E6", quick=True)
+    attach_table(benchmark, table)
+    assert max(table.column("probes/log2")) <= 3.0

@@ -1,0 +1,24 @@
+"""E7 — Lemmas 3.3-3.5: ACG construction in O(m log^2 m)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.bench.harness import run_experiment
+from repro.hsr.cg import ProfileIndex
+from repro.hsr.sequential import SequentialHSR
+
+
+@pytest.fixture(scope="module")
+def horizon(valley_medium):
+    return SequentialHSR().final_profile(valley_medium)
+
+
+def test_e7_build_profile_index(benchmark, horizon):
+    index = benchmark(lambda: ProfileIndex(horizon))
+    benchmark.extra_info["m"] = horizon.size
+    benchmark.extra_info["build_ops"] = index.build_ops
+    table = run_experiment("E7", quick=True)
+    attach_table(benchmark, table)
+    assert max(table.column("ops/bound")) <= 2.0

@@ -1,0 +1,39 @@
+"""E9 — Lemma 3.1: upper-envelope construction, O(log^2 m) depth."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.bench.harness import run_experiment
+from repro.envelope.build import build_envelope
+from repro.geometry.segments import ImageSegment
+
+
+@pytest.fixture(scope="module")
+def segments():
+    rng = random.Random(17)
+    out = []
+    for i in range(2048):
+        y1 = rng.uniform(0, 1000)
+        out.append(
+            ImageSegment(
+                y1,
+                rng.uniform(0, 100),
+                y1 + rng.uniform(1, 60),
+                rng.uniform(0, 100),
+                i,
+            )
+        )
+    return out
+
+
+def test_e9_build_envelope(benchmark, segments):
+    res = benchmark(lambda: build_envelope(segments))
+    benchmark.extra_info["m"] = len(segments)
+    benchmark.extra_info["envelope_size"] = res.envelope.size
+    table = run_experiment("E9", quick=True)
+    attach_table(benchmark, table)
+    assert max(table.column("depth/log2")) <= 2.0

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_e*.py`` regenerates one DESIGN.md §5 experiment: it times
+the operation under study with pytest-benchmark and attaches the
+experiment's reproduction table to ``benchmark.extra_info`` so a
+captured run carries the full evidence.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.terrain.generators import fractal_terrain, valley_terrain
+
+
+@pytest.fixture(scope="session")
+def fractal_small():
+    return fractal_terrain(size=17, seed=11)
+
+
+@pytest.fixture(scope="session")
+def fractal_medium():
+    return fractal_terrain(size=33, seed=11)
+
+
+@pytest.fixture(scope="session")
+def valley_medium():
+    return valley_terrain(rows=33, cols=33, seed=11)
+
+
+def attach_table(benchmark, table) -> None:
+    """Store an experiment table in the benchmark record."""
+    benchmark.extra_info["experiment"] = table.name
+    benchmark.extra_info["table"] = table.format()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Scaling study: the paper's bounds measured on your machine.
+
+Sweeps input size and occlusion, printing the quantities Theorem 3.1
+bounds (work, depth), the sequential comparison (the paper's Remark),
+and the Brent speedup prediction — a condensed, self-contained version
+of experiments E1-E4/E8.
+
+    python examples/scaling_study.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+from repro.bench.workloads import occlusion_suite, scaling_suite
+from repro.hsr import NaiveHSR, ParallelHSR, SequentialHSR
+from repro.pram import PramTracker, brent_time
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true")
+    args = parser.parse_args()
+
+    sizes = (9, 17, 33, 65) if args.full else (9, 17, 33)
+
+    print("-- input-size scaling (fractal terrain) --")
+    print(
+        f"{'n':>6} {'k':>6} {'work':>10} {'depth':>8}"
+        f" {'work/(n+k)log3':>15} {'depth/log4':>11} {'par/seq':>8}"
+    )
+    for _label, terrain in scaling_suite(sizes):
+        tracker = PramTracker()
+        res = ParallelHSR().run(terrain, tracker=tracker)
+        seq = SequentialHSR().run(terrain)
+        n, k = terrain.n_edges, res.k
+        l = math.log2(n)
+        print(
+            f"{n:>6} {k:>6} {tracker.work:>10.0f} {tracker.depth:>8.0f}"
+            f" {tracker.work / ((n + k) * l**3):>15.3f}"
+            f" {tracker.depth / l**4:>11.3f}"
+            f" {tracker.work / seq.stats.ops:>8.1f}"
+        )
+
+    print("\n-- output-size sensitivity (fixed n, swept occlusion) --")
+    print(f"{'occlusion':>9} {'k':>6} {'par work':>10} {'naive ops':>10}")
+    for q, terrain in occlusion_suite(rows=14, cols=14):
+        tracker = PramTracker()
+        res = ParallelHSR(mode="acg").run(terrain, tracker=tracker)
+        naive = NaiveHSR().run(terrain)
+        print(
+            f"{q:>9.1f} {res.k:>6} {tracker.work:>10.0f}"
+            f" {naive.stats.ops:>10}"
+        )
+
+    print("\n-- Brent speedup prediction for the largest run --")
+    t1 = brent_time(tracker.work, tracker.depth, 1)
+    for p in (1, 2, 4, 8, 16, 32):
+        tp = brent_time(tracker.work, tracker.depth, p)
+        print(f"  p={p:>2}: speedup {t1 / tp:6.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — output-size sensitive parallel hidden-surface removal for terrains.
+
+A production-quality reproduction of:
+
+    Neelima Gupta and Sandeep Sen,
+    "An Improved Output-size Sensitive Parallel Algorithm for
+    Hidden-Surface Removal for Terrains", IPPS 1998.
+
+Top-level convenience API (full API in the subpackages)::
+
+    from repro import generate_terrain, ParallelHSR, SequentialHSR
+
+    terrain = generate_terrain("fractal", n_points=500, seed=7)
+    result = ParallelHSR().run(terrain)
+    print(result.visibility_map.summary())
+
+Subpackages
+-----------
+``repro.geometry``     geometry kernel (points, segments, hulls, predicates)
+``repro.envelope``     upper-profile algebra
+``repro.persistence``  persistent treap & envelope store
+``repro.pram``         simulated CREW PRAM (work/depth, scheduling, pools)
+``repro.terrain``      TIN model, generators, triangulation, DEM, I/O
+``repro.ordering``     front-to-back ordering & separator tree
+``repro.hsr``          the paper's algorithm + baselines
+``repro.render``       SVG / ASCII rendering of visibility maps
+``repro.bench``        experiment harness reproducing every paper claim
+"""
+
+from repro._version import __version__
+
+__all__ = [
+    "__version__",
+    "Terrain",
+    "generate_terrain",
+    "ParallelHSR",
+    "SequentialHSR",
+    "NaiveHSR",
+    "VisibilityMap",
+    "PramTracker",
+    "Envelope",
+]
+
+# Re-exports resolved lazily to keep `import repro` cheap; the heavy
+# modules (terrain generators, hsr pipeline) load on first access.
+_LAZY = {
+    "Terrain": ("repro.terrain", "Terrain"),
+    "generate_terrain": ("repro.terrain", "generate_terrain"),
+    "ParallelHSR": ("repro.hsr", "ParallelHSR"),
+    "SequentialHSR": ("repro.hsr", "SequentialHSR"),
+    "NaiveHSR": ("repro.hsr", "NaiveHSR"),
+    "VisibilityMap": ("repro.hsr", "VisibilityMap"),
+    "PramTracker": ("repro.pram", "PramTracker"),
+    "Envelope": ("repro.envelope", "Envelope"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

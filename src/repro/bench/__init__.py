@@ -1,0 +1,21 @@
+"""Benchmark harness: experiment registry, tables, workload suites.
+
+Run everything with ``python -m repro.bench`` (see ``__main__``).
+"""
+
+from repro.bench.harness import (
+    EXPERIMENT_REGISTRY,
+    Table,
+    experiment,
+    run_experiment,
+)
+from repro.bench.workloads import occlusion_suite, scaling_suite
+
+__all__ = [
+    "EXPERIMENT_REGISTRY",
+    "Table",
+    "experiment",
+    "occlusion_suite",
+    "run_experiment",
+    "scaling_suite",
+]

@@ -1,0 +1,49 @@
+"""CLI: regenerate every experiment table.
+
+Usage::
+
+    python -m repro.bench            # quick sweeps, all experiments
+    python -m repro.bench --full     # full sweeps
+    python -m repro.bench E3 E5      # selected experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's claims as measured tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help="experiment ids (default: all of %s)" % (ALL_EXPERIMENTS,),
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full-size sweeps (several minutes) instead of quick ones",
+    )
+    args = parser.parse_args(argv)
+    names = args.experiments or list(ALL_EXPERIMENTS)
+    for name in names:
+        t0 = time.perf_counter()
+        table = run_experiment(name, quick=not args.full)
+        dt = time.perf_counter() - t0
+        print(table.format())
+        print(f"[{name} completed in {dt:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

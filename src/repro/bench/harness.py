@@ -1,0 +1,92 @@
+"""Experiment table infrastructure.
+
+Every experiment in DESIGN.md §5 produces a :class:`Table` — the rows
+the paper *would* have printed had it carried an evaluation section.
+``python -m repro.bench`` regenerates all of them (EXPERIMENTS.md
+records a captured run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import BenchmarkError
+
+__all__ = ["Table", "EXPERIMENT_REGISTRY", "experiment", "run_experiment"]
+
+
+@dataclass
+class Table:
+    """A titled table of result rows."""
+
+    name: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def column(self, key: str) -> list[Any]:
+        return [row.get(key) for row in self.rows]
+
+    def format(self) -> str:
+        def fmt(v: Any) -> str:
+            if isinstance(v, float):
+                if v == 0:
+                    return "0"
+                if abs(v) >= 1000 or abs(v) < 0.01:
+                    return f"{v:.3g}"
+                return f"{v:.3f}"
+            return str(v)
+
+        widths = {
+            c: max(len(c), *(len(fmt(r.get(c, ""))) for r in self.rows))
+            if self.rows
+            else len(c)
+            for c in self.columns
+        }
+        header = "  ".join(c.rjust(widths[c]) for c in self.columns)
+        sep = "-" * len(header)
+        lines = [f"== {self.name}: {self.title} ==", header, sep]
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    fmt(row.get(c, "")).rjust(widths[c])
+                    for c in self.columns
+                )
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+#: name -> callable() -> Table
+EXPERIMENT_REGISTRY: dict[str, Callable[..., Table]] = {}
+
+
+def experiment(name: str) -> Callable[[Callable[..., Table]], Callable[..., Table]]:
+    """Register an experiment function under ``name`` (e.g. ``"E1"``)."""
+
+    def deco(fn: Callable[..., Table]) -> Callable[..., Table]:
+        EXPERIMENT_REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def run_experiment(name: str, **kwargs: Any) -> Table:
+    """Run a registered experiment by name."""
+    # Importing the experiments module populates the registry.
+    import repro.bench.experiments  # noqa: F401
+
+    try:
+        fn = EXPERIMENT_REGISTRY[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown experiment {name!r};"
+            f" known: {sorted(EXPERIMENT_REGISTRY)}"
+        ) from None
+    return fn(**kwargs)

@@ -1,0 +1,74 @@
+"""Workload suites for the experiments (DESIGN.md §5).
+
+Centralised so the pytest-benchmark targets, the example scripts and
+EXPERIMENTS.md all measure exactly the same inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.terrain.generators import (
+    fractal_terrain,
+    shielded_basin_terrain,
+    valley_terrain,
+)
+from repro.terrain.model import Terrain
+
+__all__ = [
+    "scaling_suite",
+    "occlusion_suite",
+    "DEFAULT_SCALING_SIZES",
+    "DEFAULT_OCCLUSIONS",
+]
+
+#: Diamond–square grid sizes for n-scaling sweeps (sizes are 2**k+1;
+#: edge counts n ≈ 3·size²).
+DEFAULT_SCALING_SIZES: tuple[int, ...] = (9, 17, 33, 65)
+
+#: Wall-height factors for the E3 output-size sweep.
+DEFAULT_OCCLUSIONS: tuple[float, ...] = (0.0, 0.3, 0.6, 0.9, 1.2, 1.6)
+
+
+def scaling_suite(
+    sizes: Sequence[int] = DEFAULT_SCALING_SIZES,
+    *,
+    kind: str = "fractal",
+    seed: int = 11,
+) -> list[tuple[str, Terrain]]:
+    """``(label, terrain)`` pairs of growing input size.
+
+    ``kind`` is ``fractal`` (mid occlusion) or ``valley`` (high output
+    size) — the two regimes E1/E2 report.
+    """
+    out: list[tuple[str, Terrain]] = []
+    for size in sizes:
+        if kind == "fractal":
+            t = fractal_terrain(size=size, seed=seed)
+        elif kind == "valley":
+            rows = cols = size
+            t = valley_terrain(rows=rows, cols=cols, seed=seed)
+        else:
+            raise ValueError(f"unknown scaling kind {kind!r}")
+        out.append((f"{kind}-{size}", t))
+    return out
+
+
+def occlusion_suite(
+    occlusions: Iterable[float] = DEFAULT_OCCLUSIONS,
+    *,
+    rows: int = 20,
+    cols: int = 20,
+    seed: int = 23,
+) -> list[tuple[float, Terrain]]:
+    """Fixed-n shielded-basin terrains with swept wall height —
+    the E3 output-size knob."""
+    return [
+        (
+            q,
+            shielded_basin_terrain(
+                rows=rows, cols=cols, occlusion=q, seed=seed
+            ),
+        )
+        for q in occlusions
+    ]

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``  synthesize a terrain and save it (JSON/OBJ)
+``run``       hidden-surface removal on a terrain file or generator
+``render``    SVG / ASCII rendering of a scene's visible image
+``bench``     alias for ``python -m repro.bench``
+``info``      library version and experiment inventory
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Output-size sensitive parallel hidden-surface removal for"
+            " terrains (Gupta & Sen, IPPS 1998 reproduction)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a terrain file")
+    gen.add_argument("kind", help="generator family (see repro.terrain)")
+    gen.add_argument("output", type=Path, help=".json or .obj path")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--size", type=int, default=None, help="fractal size")
+    gen.add_argument("--rows", type=int, default=None)
+    gen.add_argument("--cols", type=int, default=None)
+    gen.add_argument("--n-points", type=int, default=None)
+    gen.add_argument("--occlusion", type=float, default=None)
+
+    run = sub.add_parser("run", help="hidden-surface removal")
+    run.add_argument(
+        "terrain", help="terrain file (.json/.obj) or generator kind"
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--algorithm",
+        choices=["parallel", "sequential", "naive", "zbuffer"],
+        default="parallel",
+    )
+    run.add_argument(
+        "--mode",
+        choices=["direct", "persistent", "acg"],
+        default="persistent",
+        help="phase-2 engine (parallel algorithm only)",
+    )
+    run.add_argument("--azimuth", type=float, default=0.0)
+    run.add_argument("--json", action="store_true", help="machine output")
+    run.add_argument("--svg", type=Path, default=None)
+
+    rend = sub.add_parser("render", help="render a terrain's visible image")
+    rend.add_argument("terrain", help="terrain file or generator kind")
+    rend.add_argument("--seed", type=int, default=0)
+    rend.add_argument("--azimuth", type=float, default=0.0)
+    rend.add_argument("--svg", type=Path, default=None)
+    rend.add_argument("--width", type=int, default=78)
+    rend.add_argument("--height", type=int, default=22)
+
+    bench = sub.add_parser("bench", help="run the experiment suite")
+    bench.add_argument("experiments", nargs="*", default=[])
+    bench.add_argument("--full", action="store_true")
+
+    sub.add_parser("info", help="version + experiment inventory")
+    return parser
+
+
+def _load_terrain(spec: str, seed: int):
+    from repro.terrain import (
+        GENERATORS,
+        generate_terrain,
+        load_terrain_json,
+        load_terrain_obj,
+    )
+
+    path = Path(spec)
+    if path.suffix == ".json" and path.exists():
+        return load_terrain_json(path)
+    if path.suffix == ".obj" and path.exists():
+        return load_terrain_obj(path)
+    if spec in GENERATORS:
+        kwargs = {"seed": seed}
+        return generate_terrain(spec, **kwargs)
+    raise SystemExit(
+        f"error: {spec!r} is neither an existing terrain file nor a"
+        f" generator kind (known: {sorted(GENERATORS)})"
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.terrain import (
+        generate_terrain,
+        save_terrain_json,
+        save_terrain_obj,
+    )
+
+    kwargs: dict[str, object] = {"seed": args.seed}
+    for key in ("size", "rows", "cols", "n_points", "occlusion"):
+        value = getattr(args, key)
+        if value is not None:
+            kwargs[key] = value
+    terrain = generate_terrain(args.kind, **kwargs)
+    if args.output.suffix == ".obj":
+        save_terrain_obj(terrain, args.output)
+    else:
+        save_terrain_json(terrain, args.output)
+    print(f"wrote {args.output}: {terrain}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.hsr import NaiveHSR, ParallelHSR, SequentialHSR, ZBufferHSR
+    from repro.pram import PramTracker
+    from repro.render import render_visibility_svg
+
+    terrain = _load_terrain(args.terrain, args.seed)
+    if args.azimuth:
+        terrain = terrain.rotated(args.azimuth)
+
+    tracker: Optional[PramTracker] = None
+    if args.algorithm == "parallel":
+        tracker = PramTracker()
+        result = ParallelHSR(mode=args.mode).run(terrain, tracker=tracker)
+    elif args.algorithm == "sequential":
+        result = SequentialHSR().run(terrain)
+    elif args.algorithm == "naive":
+        result = NaiveHSR().run(terrain)
+    else:
+        result = ZBufferHSR().run(terrain)
+
+    if args.svg is not None:
+        render_visibility_svg(result.visibility_map, args.svg)
+
+    if args.json:
+        payload = {
+            "algorithm": args.algorithm,
+            "n": terrain.n_edges,
+            "k": result.k,
+            "visible_edges": len(result.visibility_map.visible_edges()),
+            "seconds": result.stats.wall_time_s,
+        }
+        if tracker is not None:
+            payload["work"] = tracker.work
+            payload["depth"] = tracker.depth
+        print(json.dumps(payload))
+    else:
+        print(f"terrain: {terrain}")
+        print(result.visibility_map.summary())
+        print(f"wall time: {result.stats.wall_time_s:.3f}s")
+        if tracker is not None:
+            print(
+                f"PRAM cost: work={tracker.work:.0f}"
+                f" depth={tracker.depth:.0f}"
+            )
+        if args.svg is not None:
+            print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.hsr import SequentialHSR
+    from repro.render import ascii_visibility, render_visibility_svg
+
+    terrain = _load_terrain(args.terrain, args.seed)
+    if args.azimuth:
+        terrain = terrain.rotated(args.azimuth)
+    result = SequentialHSR().run(terrain)
+    print(
+        ascii_visibility(
+            result.visibility_map, width=args.width, height=args.height
+        )
+    )
+    if args.svg is not None:
+        render_visibility_svg(result.visibility_map, args.svg)
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    from repro.bench.experiments import ALL_EXPERIMENTS
+    from repro.terrain import GENERATORS
+
+    print(f"repro {__version__}")
+    print(f"terrain generators: {', '.join(sorted(GENERATORS))}")
+    print(f"experiments: {', '.join(ALL_EXPERIMENTS)}")
+    print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "render":
+        return _cmd_render(args)
+    if args.command == "bench":
+        from repro.bench.__main__ import main as bench_main
+
+        return bench_main(
+            list(args.experiments) + (["--full"] if args.full else [])
+        )
+    if args.command == "info":
+        return _cmd_info(args)
+    raise SystemExit(2)  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

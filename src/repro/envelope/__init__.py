@@ -1,0 +1,42 @@
+"""Envelope (upper-profile) algebra.
+
+* :mod:`repro.envelope.chain` — representation (:class:`Envelope`).
+* :mod:`repro.envelope.merge` — point-wise max with crossing detection.
+* :mod:`repro.envelope.build` — divide-and-conquer construction (Lemma 3.1).
+* :mod:`repro.envelope.visibility` — visible parts of a segment.
+* :mod:`repro.envelope.splice` — localised single-segment insertion.
+"""
+
+from repro.envelope.build import build_envelope, build_envelope_sequential
+from repro.envelope.chain import Envelope, EnvelopeBuilder, Piece
+from repro.envelope.merge import (
+    Crossing,
+    MergeResult,
+    envelope_breakpoints,
+    merge_envelopes,
+    merge_many,
+)
+from repro.envelope.splice import InsertResult, insert_segment
+from repro.envelope.visibility import (
+    VisibilityResult,
+    VisiblePart,
+    visible_parts,
+)
+
+__all__ = [
+    "Crossing",
+    "Envelope",
+    "EnvelopeBuilder",
+    "InsertResult",
+    "MergeResult",
+    "Piece",
+    "VisibilityResult",
+    "VisiblePart",
+    "build_envelope",
+    "build_envelope_sequential",
+    "envelope_breakpoints",
+    "insert_segment",
+    "merge_envelopes",
+    "merge_many",
+    "visible_parts",
+]

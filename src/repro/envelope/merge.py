@@ -1,0 +1,168 @@
+"""Pairwise envelope merge (point-wise maximum) with crossing detection.
+
+``merge_envelopes(a, b)`` sweeps the union of breakpoints left to
+right; inside each elementary interval both inputs are linear, so the
+winner either holds throughout or flips once at a computable crossing.
+
+Crossings — points where the two envelopes transversally exchange
+dominance — are the "intersections" the paper's analysis counts: every
+crossing discovered during Phase 1 or Phase 2 is (potentially) a vertex
+of some profile, and the total number discovered relates linearly to
+the output size ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Sequence
+
+from repro.envelope.chain import Envelope, EnvelopeBuilder, Piece
+from repro.geometry.primitives import EPS
+
+__all__ = ["Crossing", "MergeResult", "merge_envelopes", "envelope_breakpoints"]
+
+
+class Crossing(NamedTuple):
+    """A transversal crossing between two envelope pieces.
+
+    ``front`` / ``back`` are the source edge ids of the piece that is
+    above to the *left* of the crossing and to the right respectively
+    — "front"/"back" naming matches the Phase-2 use where ``a`` is the
+    inherited (front) profile.
+    """
+
+    y: float
+    z: float
+    front: int
+    back: int
+
+
+class MergeResult(NamedTuple):
+    """Outcome of an envelope merge.
+
+    Attributes
+    ----------
+    envelope:
+        The point-wise maximum of the inputs.
+    crossings:
+        Transversal crossings discovered, in y-order.
+    ops:
+        Elementary intervals processed — the sequential work of the
+        merge; PRAM trackers charge this as work.
+    """
+
+    envelope: Envelope
+    crossings: list[Crossing]
+    ops: int
+
+
+def envelope_breakpoints(*envs: Envelope) -> list[float]:
+    """Sorted unique piece endpoints of the given envelopes."""
+    ys: set[float] = set()
+    for env in envs:
+        for p in env.pieces:
+            ys.add(p.ya)
+            ys.add(p.yb)
+    return sorted(ys)
+
+
+def _piece_at(env: Envelope, idx: int, u: float, v: float) -> Optional[Piece]:
+    """The piece at index ``idx`` if it covers ``[u, v]``, else ``None``."""
+    if 0 <= idx < len(env.pieces):
+        p = env.pieces[idx]
+        if p.ya <= u and v <= p.yb:
+            return p
+    return None
+
+
+def merge_envelopes(
+    a: Envelope,
+    b: Envelope,
+    *,
+    eps: float = EPS,
+    record_crossings: bool = True,
+) -> MergeResult:
+    """Point-wise maximum of two envelopes.
+
+    Tie-breaking: where the envelopes coincide (within ``eps``) the
+    piece of ``a`` wins.  Phase 2 passes the inherited (front) profile
+    as ``a`` so that coincident geometry is attributed to the nearer
+    edge, matching the "front edge occludes" convention.
+    """
+    if not a.pieces:
+        return MergeResult(Envelope(b.pieces), [], len(b.pieces))
+    if not b.pieces:
+        return MergeResult(Envelope(a.pieces), [], len(a.pieces))
+
+    bounds = envelope_breakpoints(a, b)
+    out = EnvelopeBuilder(eps)
+    crossings: list[Crossing] = []
+    ops = 0
+    ia = ib = 0
+
+    for u, v in zip(bounds, bounds[1:]):
+        if u >= v:
+            continue
+        ops += 1
+        while ia < len(a.pieces) and a.pieces[ia].yb <= u:
+            ia += 1
+        while ib < len(b.pieces) and b.pieces[ib].yb <= u:
+            ib += 1
+        pa = _piece_at(a, ia, u, v)
+        pb = _piece_at(b, ib, u, v)
+        if pa is None and pb is None:
+            continue
+        if pb is None:
+            out.add_clipped(pa, u, v)  # type: ignore[arg-type]
+            continue
+        if pa is None:
+            out.add_clipped(pb, u, v)
+            continue
+
+        du = pa.z_at(u) - pb.z_at(u)
+        dv = pa.z_at(v) - pb.z_at(v)
+        su = 0 if abs(du) <= eps else (1 if du > 0 else -1)
+        sv = 0 if abs(dv) <= eps else (1 if dv > 0 else -1)
+
+        if su >= 0 and sv >= 0:
+            out.add_clipped(pa, u, v)
+        elif su <= 0 and sv <= 0:
+            # Coincident pieces (su == sv == 0) were taken by the
+            # branch above — the front envelope wins ties.
+            out.add_clipped(pb, u, v)
+        else:
+            # True transversal flip inside (u, v).
+            t = du / (du - dv)
+            w = u + t * (v - u)
+            if w <= u or w >= v:  # numeric clamp: treat as one-sided
+                if su > 0 or sv < 0:
+                    out.add_clipped(pa, u, v)
+                else:
+                    out.add_clipped(pb, u, v)
+                continue
+            zw = pa.z_at(w)
+            first, second = (pa, pb) if su > 0 else (pb, pa)
+            out.add_clipped(first, u, w)
+            out.add_clipped(second, w, v)
+            if record_crossings:
+                left_src = pa.source if su > 0 else pb.source
+                right_src = pb.source if su > 0 else pa.source
+                crossings.append(Crossing(w, zw, left_src, right_src))
+
+    return MergeResult(out.build(), crossings, ops)
+
+
+def merge_many(
+    envs: Sequence[Envelope], *, eps: float = EPS
+) -> MergeResult:
+    """Left-fold merge of several envelopes (helper for tests and for
+    the sequential construction baseline; the parallel construction
+    lives in :mod:`repro.envelope.build`)."""
+    acc = Envelope.empty()
+    crossings: list[Crossing] = []
+    ops = 0
+    for env in envs:
+        res = merge_envelopes(acc, env, eps=eps)
+        acc = res.envelope
+        crossings.extend(res.crossings)
+        ops += res.ops
+    return MergeResult(acc, crossings, ops)

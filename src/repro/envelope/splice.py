@@ -1,0 +1,67 @@
+"""Localised envelope update: insert one segment.
+
+The sequential (Reif–Sen-style) algorithm processes edges front to
+back, testing each against the current profile and splicing its
+visible parts in.  A full re-merge would cost Θ(profile size) per
+edge; :func:`insert_segment` touches only the pieces overlapping the
+segment's y-range, so the cost is O(log m) for the locate plus the
+local range size — the pieces it deletes are deleted forever, which is
+what makes the sequential algorithm output-sensitive in aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.envelope.chain import Envelope
+from repro.envelope.merge import merge_envelopes
+from repro.envelope.visibility import VisibilityResult, visible_parts
+from repro.geometry.primitives import EPS
+from repro.geometry.segments import ImageSegment
+
+__all__ = ["InsertResult", "insert_segment"]
+
+
+class InsertResult(NamedTuple):
+    """Outcome of inserting one segment into a profile.
+
+    Attributes
+    ----------
+    envelope:
+        The updated profile ``max(old, segment)``.
+    visibility:
+        Visible parts of the segment against the *old* profile.
+    ops:
+        Elementary intervals examined (scan + local merge).
+    """
+
+    envelope: Envelope
+    visibility: VisibilityResult
+    ops: int
+
+
+def insert_segment(
+    env: Envelope, seg: ImageSegment, *, eps: float = EPS
+) -> InsertResult:
+    """Insert ``seg`` into profile ``env``; see module docstring.
+
+    Vertical projections never alter the profile (measure-zero image)
+    but still get a visibility verdict via point query.
+    """
+    vis = visible_parts(seg, env, eps=eps)
+    if seg.is_vertical:
+        return InsertResult(env, vis, vis.ops)
+    if vis.fully_hidden:
+        return InsertResult(env, vis, vis.ops)
+
+    lo, hi = env.pieces_overlapping(seg.y1, seg.y2)
+    local = Envelope(env.pieces[lo:hi])
+    merged = merge_envelopes(
+        local, Envelope.from_segment(seg), eps=eps, record_crossings=False
+    )
+    new_pieces = (
+        env.pieces[:lo] + merged.envelope.pieces + env.pieces[hi:]
+    )
+    return InsertResult(
+        Envelope(new_pieces), vis, vis.ops + merged.ops
+    )

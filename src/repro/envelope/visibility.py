@@ -1,0 +1,159 @@
+"""Visibility of a segment against an upper profile.
+
+The fundamental step of the hidden-surface algorithm (sequential and
+parallel alike): given the profile ``P`` of everything *in front of*
+edge ``e``, the visible portion of ``e`` is exactly the part of its
+image-plane projection that lies strictly above ``P``.
+
+``visible_parts`` returns the maximal visible sub-intervals and the
+visibility-change points (where the segment crosses the profile);
+those change points are vertices of the final image and are counted
+in the output size ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.envelope.chain import Envelope
+from repro.geometry.primitives import EPS, NEG_INF
+from repro.geometry.segments import ImageSegment
+
+__all__ = ["VisiblePart", "VisibilityResult", "visible_parts"]
+
+
+class VisiblePart(NamedTuple):
+    """One maximal visible sub-interval of a segment's projection."""
+
+    ya: float
+    yb: float
+
+    @property
+    def width(self) -> float:
+        return self.yb - self.ya
+
+
+class VisibilityResult(NamedTuple):
+    """Visible portions of a segment against a profile.
+
+    Attributes
+    ----------
+    parts:
+        Maximal visible sub-intervals, in y-order.  For a vertical
+        projection the single part is degenerate (``ya == yb``).
+    crossings:
+        ``(y, z)`` points where visibility changes because the segment
+        transversally crosses the profile (segment endpoints are not
+        included — they are image vertices a priori).
+    ops:
+        Elementary intervals examined (sequential work of the scan).
+    """
+
+    parts: list[VisiblePart]
+    crossings: list[tuple[float, float]]
+    ops: int
+
+    @property
+    def fully_hidden(self) -> bool:
+        return not self.parts
+
+    @property
+    def fully_visible(self) -> bool:
+        return len(self.parts) == 1 and not self.crossings
+
+    def total_width(self) -> float:
+        return sum(p.width for p in self.parts)
+
+
+class _PartAccumulator:
+    """Merges adjacent visible elementary intervals into maximal parts."""
+
+    __slots__ = ("parts", "eps")
+
+    def __init__(self, eps: float):
+        self.parts: list[VisiblePart] = []
+        self.eps = eps
+
+    def add(self, ya: float, yb: float) -> None:
+        if yb < ya:
+            return
+        if self.parts and ya <= self.parts[-1].yb + self.eps:
+            last = self.parts[-1]
+            if yb > last.yb:
+                self.parts[-1] = VisiblePart(last.ya, yb)
+            return
+        self.parts.append(VisiblePart(ya, yb))
+
+
+def visible_parts(
+    seg: ImageSegment, env: Envelope, *, eps: float = EPS
+) -> VisibilityResult:
+    """Portions of ``seg`` strictly above ``env``.
+
+    Convention: parts where the segment coincides with the profile
+    (within ``eps``) are **hidden** — the profile belongs to nearer
+    edges, and the front edge owns shared geometry.  Intervals are
+    closed; an endpoint that merely touches the profile belongs to the
+    adjacent visible part (so consecutive terrain edges meeting at a
+    shared visible vertex each report a part reaching that vertex).
+    """
+    if seg.is_vertical:
+        return _visible_vertical(seg, env, eps)
+
+    lo, hi = env.pieces_overlapping(seg.y1, seg.y2)
+    acc = _PartAccumulator(eps)
+    crossings: list[tuple[float, float]] = []
+    ops = 0
+
+    cursor = seg.y1
+    for idx in range(lo, hi):
+        piece = env.pieces[idx]
+        # Gap before this piece.
+        gap_end = min(piece.ya, seg.y2)
+        if cursor < gap_end:
+            acc.add(cursor, gap_end)
+            ops += 1
+        u = max(cursor, piece.ya, seg.y1)
+        v = min(piece.yb, seg.y2)
+        if u < v:
+            ops += 1
+            du = seg.z_at(u) - piece.z_at(u)
+            dv = seg.z_at(v) - piece.z_at(v)
+            su = 0 if abs(du) <= eps else (1 if du > 0 else -1)
+            sv = 0 if abs(dv) <= eps else (1 if dv > 0 else -1)
+            if su >= 0 and sv >= 0 and (su > 0 or sv > 0):
+                acc.add(u, v)
+            elif su <= 0 and sv <= 0:
+                pass  # hidden (or coincident) throughout
+            else:
+                t = du / (du - dv)
+                w = u + t * (v - u)
+                w = min(max(w, u), v)
+                if su > 0:
+                    acc.add(u, w)
+                else:
+                    acc.add(w, v)
+                if u < w < v:
+                    crossings.append((w, seg.z_at(w)))
+        cursor = max(cursor, v) if u < v else max(cursor, gap_end)
+    if cursor < seg.y2:
+        acc.add(cursor, seg.y2)
+        ops += 1
+
+    # A segment with zero visible width (a touch point) is reported
+    # hidden: drop degenerate parts produced by boundary clamping.
+    parts = [p for p in acc.parts if p.width > eps]
+    return VisibilityResult(parts, crossings, max(ops, 1))
+
+
+def _visible_vertical(
+    seg: ImageSegment, env: Envelope, eps: float
+) -> VisibilityResult:
+    """Point query for a vertically-projected edge: the edge is visible
+    iff its top endpoint rises above the profile at its ``y``."""
+    zenv = env.value_at(seg.y1)
+    if zenv == NEG_INF or seg.top > zenv + eps:
+        return VisibilityResult(
+            [VisiblePart(seg.y1, seg.y1)], [], 1
+        )
+    return VisibilityResult([], [], 1)

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without masking programming errors
+(``TypeError`` etc. are still raised for misuse of the API).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "DegeneracyError",
+    "EnvelopeError",
+    "TerrainError",
+    "OrderingError",
+    "PramError",
+    "PersistenceError",
+    "HsrError",
+    "BenchmarkError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (zero-length segment, bad polygon, ...)."""
+
+
+class DegeneracyError(GeometryError):
+    """A degenerate configuration that a routine explicitly does not
+    support (e.g. three collinear points where a strict turn is
+    required)."""
+
+
+class EnvelopeError(ReproError):
+    """Malformed envelope (unsorted breakpoints, overlapping pieces)."""
+
+
+class TerrainError(ReproError):
+    """The input does not describe a terrain (``z = f(x, y)``) — for
+    example two vertices share an ``(x, y)`` location with different
+    heights, or the xy-projection of the edge set self-intersects."""
+
+
+class OrderingError(ReproError):
+    """Front-to-back ordering failed — the in-front-of constraint graph
+    contains a cycle, which cannot happen for valid terrains and thus
+    indicates corrupt input."""
+
+
+class PramError(ReproError):
+    """Misuse of the PRAM cost tracker (unbalanced phases, negative
+    charges, scheduling with ``p <= 0``)."""
+
+
+class PersistenceError(ReproError):
+    """Invalid operation on a persistent structure (e.g. joining trees
+    whose key ranges overlap)."""
+
+
+class HsrError(ReproError):
+    """Hidden-surface-removal pipeline failure."""
+
+
+class BenchmarkError(ReproError):
+    """Benchmark harness misconfiguration."""

@@ -1,0 +1,77 @@
+"""Geometry kernel: points, segments, predicates, convex chains.
+
+See :mod:`repro.geometry.primitives` for the coordinate conventions
+used across the library (map plane vs image plane).
+"""
+
+from repro.geometry.convex import (
+    convex_hull,
+    hull_extreme_index,
+    is_convex_chain,
+    lower_hull,
+    max_over_hull,
+    min_over_hull,
+    upper_hull,
+)
+from repro.geometry.predicates import (
+    incircle_exact,
+    orient2d_adaptive,
+    orient2d_exact,
+    point_on_segment_exact,
+    segments_intersect_exact,
+)
+from repro.geometry.primitives import (
+    EPS,
+    NEG_INF,
+    Point2,
+    Point3,
+    almost_equal,
+    bbox,
+    collinear,
+    cross2,
+    dist2,
+    inv_lerp,
+    lerp,
+    orient2d,
+    turns_left,
+    turns_right,
+)
+from repro.geometry.segments import (
+    ImageSegment,
+    MapSegment,
+    line_crossing_y,
+    segment_intersection_2d,
+)
+
+__all__ = [
+    "EPS",
+    "NEG_INF",
+    "Point2",
+    "Point3",
+    "ImageSegment",
+    "MapSegment",
+    "almost_equal",
+    "bbox",
+    "collinear",
+    "convex_hull",
+    "cross2",
+    "dist2",
+    "hull_extreme_index",
+    "incircle_exact",
+    "inv_lerp",
+    "is_convex_chain",
+    "lerp",
+    "line_crossing_y",
+    "lower_hull",
+    "max_over_hull",
+    "min_over_hull",
+    "orient2d",
+    "orient2d_adaptive",
+    "orient2d_exact",
+    "point_on_segment_exact",
+    "segment_intersection_2d",
+    "segments_intersect_exact",
+    "turns_left",
+    "turns_right",
+    "upper_hull",
+]

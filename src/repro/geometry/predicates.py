@@ -1,0 +1,139 @@
+"""Exact geometric predicates.
+
+Float predicates (:mod:`repro.geometry.primitives`) are the fast path.
+The functions here recompute the same signs with exact rational
+arithmetic (:class:`fractions.Fraction`); the test-suite uses them to
+cross-check float decisions, and robust call-sites fall back to them
+when the float result is within tolerance of zero.
+
+The pattern follows adaptive-precision predicates (Shewchuk): evaluate
+in floating point, and only when the magnitude of the result is too
+small to trust, re-evaluate exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.geometry.primitives import EPS, Point2
+
+__all__ = [
+    "orient2d_exact",
+    "orient2d_adaptive",
+    "incircle_exact",
+    "segments_intersect_exact",
+    "point_on_segment_exact",
+]
+
+
+def _fr(v: float) -> Fraction:
+    return Fraction(v)
+
+
+def orient2d_exact(o: Point2, a: Point2, b: Point2) -> int:
+    """Exact orientation sign of ``o -> a -> b``: +1 CCW, -1 CW, 0."""
+    det = (_fr(a.x) - _fr(o.x)) * (_fr(b.y) - _fr(o.y)) - (
+        _fr(a.y) - _fr(o.y)
+    ) * (_fr(b.x) - _fr(o.x))
+    if det > 0:
+        return 1
+    if det < 0:
+        return -1
+    return 0
+
+
+def orient2d_adaptive(o: Point2, a: Point2, b: Point2) -> int:
+    """Orientation with a float fast path and exact fallback.
+
+    The float cross product is trusted when its magnitude exceeds a
+    conservative forward error bound; otherwise the exact sign is
+    computed.
+    """
+    detleft = (a.x - o.x) * (b.y - o.y)
+    detright = (a.y - o.y) * (b.x - o.x)
+    det = detleft - detright
+    detsum = abs(detleft) + abs(detright)
+    # Forward error of det is bounded by ~4 ulp of detsum; 1e-14 is a
+    # generous margin for double precision with coordinates O(1e3).
+    if abs(det) > 1e-14 * detsum + 1e-300:
+        return 1 if det > 0 else -1
+    return orient2d_exact(o, a, b)
+
+
+def incircle_exact(a: Point2, b: Point2, c: Point2, d: Point2) -> int:
+    """Exact in-circle predicate for Delaunay triangulation.
+
+    Returns +1 when ``d`` lies strictly inside the circle through
+    ``a, b, c`` (taken in CCW order), -1 when strictly outside, 0 on
+    the circle.  When ``a, b, c`` are CW the sign is flipped so the
+    caller never needs to pre-orient.
+    """
+    orient = orient2d_exact(a, b, c)
+    if orient == 0:
+        return 0
+    ax, ay = _fr(a.x) - _fr(d.x), _fr(a.y) - _fr(d.y)
+    bx, by = _fr(b.x) - _fr(d.x), _fr(b.y) - _fr(d.y)
+    cx, cy = _fr(c.x) - _fr(d.x), _fr(c.y) - _fr(d.y)
+    det = (
+        (ax * ax + ay * ay) * (bx * cy - cx * by)
+        - (bx * bx + by * by) * (ax * cy - cx * ay)
+        + (cx * cx + cy * cy) * (ax * by - bx * ay)
+    )
+    sign = 1 if det > 0 else (-1 if det < 0 else 0)
+    return sign * orient
+
+
+def point_on_segment_exact(p: Point2, a: Point2, b: Point2) -> bool:
+    """Exact test that ``p`` lies on the closed segment ``ab``."""
+    if orient2d_exact(a, b, p) != 0:
+        return False
+    px, py = _fr(p.x), _fr(p.y)
+    ax, ay = _fr(a.x), _fr(a.y)
+    bx, by = _fr(b.x), _fr(b.y)
+    return min(ax, bx) <= px <= max(ax, bx) and min(ay, by) <= py <= max(
+        ay, by
+    )
+
+
+def segments_intersect_exact(
+    a: Point2, b: Point2, c: Point2, d: Point2, *, proper_only: bool = False
+) -> bool:
+    """Exact segment-intersection test for ``ab`` vs ``cd``.
+
+    With ``proper_only`` the segments must cross at a single interior
+    point of both; otherwise shared endpoints and overlaps count too.
+    """
+    o1 = orient2d_exact(a, b, c)
+    o2 = orient2d_exact(a, b, d)
+    o3 = orient2d_exact(c, d, a)
+    o4 = orient2d_exact(c, d, b)
+    if o1 != o2 and o3 != o4 and 0 not in (o1, o2, o3, o4):
+        return True
+    if proper_only:
+        return False
+    if o1 == 0 and point_on_segment_exact(c, a, b):
+        return True
+    if o2 == 0 and point_on_segment_exact(d, a, b):
+        return True
+    if o3 == 0 and point_on_segment_exact(a, c, d):
+        return True
+    if o4 == 0 and point_on_segment_exact(b, c, d):
+        return True
+    # Touching cases where the crossing point is an endpoint but
+    # orientations are non-zero never occur (an endpoint on the other
+    # segment forces a zero orientation), so reaching here means the
+    # straddle test already decided.
+    return o1 != o2 and o3 != o4
+
+
+def polygon_signed_area(points: Sequence[Point2]) -> float:
+    """Signed area of a simple polygon (positive when CCW)."""
+    n = len(points)
+    if n < 3:
+        return 0.0
+    s = 0.0
+    for i in range(n):
+        p, q = points[i], points[(i + 1) % n]
+        s += p.x * q.y - q.x * p.y
+    return 0.5 * s

@@ -1,0 +1,176 @@
+"""Low-level geometric primitives.
+
+The library works in two planes:
+
+* the **xy-plane** (the "map" plane) — terrain edges are projected here
+  to compute the front-to-back order; projections never cross.
+* the **zy-plane** (the "image" plane) — terrain edges are projected
+  here to compute upper profiles; the visible image lives here.
+
+Points are plain ``(float, float)`` / ``(float, float, float)`` tuples
+wrapped in lightweight named classes for readability.  All predicates
+have a fast float path; the exact (``fractions.Fraction``) versions live
+in :mod:`repro.geometry.predicates`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, NamedTuple
+
+from repro.errors import GeometryError
+
+__all__ = [
+    "EPS",
+    "NEG_INF",
+    "Point2",
+    "Point3",
+    "cross2",
+    "orient2d",
+    "collinear",
+    "turns_left",
+    "turns_right",
+    "almost_equal",
+    "lerp",
+    "inv_lerp",
+    "dist2",
+    "bbox",
+]
+
+#: Default absolute tolerance used by float comparisons throughout the
+#: library.  Workload generators keep coordinates within ``O(1e3)`` so a
+#: fixed absolute epsilon is adequate; the exact predicates are used by
+#: the test-suite to cross-check decisions near the tolerance.
+EPS: float = 1e-9
+
+#: The value an envelope takes where no segment is present.
+NEG_INF: float = float("-inf")
+
+
+class Point2(NamedTuple):
+    """A point in a 2-D plane (either xy or zy, by context)."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point2") -> "Point2":  # type: ignore[override]
+        return Point2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point2") -> "Point2":
+        return Point2(self.x - other.x, self.y - other.y)
+
+    def scaled(self, f: float) -> "Point2":
+        """Return this point scaled by ``f`` about the origin."""
+        return Point2(self.x * f, self.y * f)
+
+
+class Point3(NamedTuple):
+    """A point on the terrain surface: ``z = f(x, y)``."""
+
+    x: float
+    y: float
+    z: float
+
+    def project_xy(self) -> Point2:
+        """Map-plane projection (drop ``z``)."""
+        return Point2(self.x, self.y)
+
+    def project_zy(self) -> Point2:
+        """Image-plane projection for a viewer at ``x = +inf``.
+
+        Returns the point as ``(y, z)`` — the image plane is
+        parameterised by ``y`` horizontally and ``z`` vertically, so in
+        the returned :class:`Point2` the ``x`` slot holds ``y`` and the
+        ``y`` slot holds ``z``.
+        """
+        return Point2(self.y, self.z)
+
+
+def cross2(o: Point2, a: Point2, b: Point2) -> float:
+    """Z-component of ``(a - o) × (b - o)``.
+
+    Positive when ``o -> a -> b`` turns counter-clockwise.
+    """
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+
+def orient2d(o: Point2, a: Point2, b: Point2, eps: float = EPS) -> int:
+    """Orientation predicate: ``+1`` CCW, ``-1`` CW, ``0`` collinear.
+
+    ``eps`` is an absolute tolerance on the signed area; pass ``0.0``
+    for strict floating-point sign.
+    """
+    c = cross2(o, a, b)
+    if c > eps:
+        return 1
+    if c < -eps:
+        return -1
+    return 0
+
+
+def collinear(o: Point2, a: Point2, b: Point2, eps: float = EPS) -> bool:
+    """True when the three points are collinear within tolerance."""
+    return orient2d(o, a, b, eps) == 0
+
+
+def turns_left(o: Point2, a: Point2, b: Point2, eps: float = EPS) -> bool:
+    """True when ``o -> a -> b`` makes a strict left (CCW) turn."""
+    return orient2d(o, a, b, eps) > 0
+
+
+def turns_right(o: Point2, a: Point2, b: Point2, eps: float = EPS) -> bool:
+    """True when ``o -> a -> b`` makes a strict right (CW) turn."""
+    return orient2d(o, a, b, eps) < 0
+
+
+def almost_equal(a: float, b: float, eps: float = EPS) -> bool:
+    """Absolute-tolerance float equality used by envelope bookkeeping."""
+    return abs(a - b) <= eps
+
+
+def lerp(a: float, b: float, t: float) -> float:
+    """Linear interpolation ``a + t*(b-a)`` (exact at ``t=0`` and ``t=1``)."""
+    if t == 0.0:
+        return a
+    if t == 1.0:
+        return b
+    return a + (b - a) * t
+
+
+def inv_lerp(a: float, b: float, v: float) -> float:
+    """Inverse interpolation: the ``t`` with ``lerp(a, b, t) == v``.
+
+    Raises :class:`GeometryError` when ``a == b`` (no unique ``t``).
+    """
+    if a == b:
+        raise GeometryError(f"inv_lerp over empty span [{a}, {b}]")
+    return (v - a) / (b - a)
+
+
+def dist2(a: Point2, b: Point2) -> float:
+    """Euclidean distance between two plane points."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def bbox(points: Iterable[Point2]) -> tuple[float, float, float, float]:
+    """Axis-aligned bounding box ``(xmin, ymin, xmax, ymax)``.
+
+    Raises :class:`GeometryError` on an empty iterable.
+    """
+    it = iter(points)
+    try:
+        first = next(it)
+    except StopIteration:
+        raise GeometryError("bbox of empty point set") from None
+    xmin = xmax = first.x
+    ymin = ymax = first.y
+    for p in it:
+        if p.x < xmin:
+            xmin = p.x
+        elif p.x > xmax:
+            xmax = p.x
+        if p.y < ymin:
+            ymin = p.y
+        elif p.y > ymax:
+            ymax = p.y
+    return (xmin, ymin, xmax, ymax)

@@ -1,0 +1,351 @@
+"""Augmented Chazelle–Guibas search on persistent profile versions.
+
+The paper (§3.1, Figs. 2–3) detects segment/profile intersections with
+a balanced structure whose edges carry *lower convex chains* of the
+profile vertices they span, searched level by level in ``O(log²)``.
+Instead of keeping one such structure per profile, it keeps a single
+shared one for all profiles of a PCT layer, with the chains stored
+persistently.
+
+Here the persistent treap that *is* the profile version doubles as
+that structure: every (immutable) treap node lazily memoises an
+augmentation —
+
+    (support span, first/last values, contiguity flag,
+     lower hull, upper hull of its subtree's piece vertices)
+
+Because nodes are immutable and shared across versions, an
+augmentation computed for one profile version is reused by every
+layer-mate sharing that subtree — precisely the paper's "single ACG
+structure for all the profiles".
+
+Queries prune subtrees by evaluating the linear functional
+``z - line(y)`` at hull extremes: if every subtree vertex lies
+strictly above the query segment's line the subtree cannot contribute
+a visibility flip (the segment is hidden throughout); strictly below
+likewise (the segment is exposed throughout, flips can only occur at
+support gaps, which are collected separately).  Only inconclusive
+subtrees are opened, giving the output-sensitive search of Lemma 3.6.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple, Optional
+
+from repro.envelope.chain import Envelope, Piece
+from repro.envelope.merge import Crossing, MergeResult
+from repro.geometry.convex import (
+    hull_extreme_index,
+    lower_hull_presorted,
+    upper_hull_presorted,
+)
+from repro.geometry.primitives import EPS, Point2
+from repro.geometry.segments import ImageSegment
+from repro.persistence import treap
+from repro.persistence.envelope_store import penv_splice_merge, penv_value_at
+from repro.persistence.treap import Root, TreapNode
+
+__all__ = [
+    "Augment",
+    "get_augment",
+    "collect_gaps",
+    "collect_flip_candidates",
+    "winner_regions",
+    "acg_splice_merge",
+]
+
+
+class Augment(NamedTuple):
+    """Memoised subtree summary (see module docstring)."""
+
+    ya_min: float
+    za_first: float
+    yb_max: float
+    zb_last: float
+    contiguous: bool
+    lower: tuple[Point2, ...]
+    upper: tuple[Point2, ...]
+
+
+def get_augment(node: TreapNode) -> Augment:
+    """The node's subtree augmentation, computed on first use and
+    cached on the (immutable, version-shared) node."""
+    aug = node.augment
+    if aug is not None:
+        return aug
+    piece: Piece = node.value
+    pts: list[Point2] = []
+    left_aug = get_augment(node.left) if node.left is not None else None
+    right_aug = get_augment(node.right) if node.right is not None else None
+    if left_aug is not None:
+        pts.extend(left_aug.lower)
+    own = [Point2(piece.ya, piece.za), Point2(piece.yb, piece.zb)]
+    pts.extend(own)
+    if right_aug is not None:
+        pts.extend(right_aug.lower)
+    lower = tuple(lower_hull_presorted(pts))
+    pts = []
+    if left_aug is not None:
+        pts.extend(left_aug.upper)
+    pts.extend(own)
+    if right_aug is not None:
+        pts.extend(right_aug.upper)
+    upper = tuple(upper_hull_presorted(pts))
+
+    ya_min = left_aug.ya_min if left_aug is not None else piece.ya
+    za_first = left_aug.za_first if left_aug is not None else piece.za
+    yb_max = right_aug.yb_max if right_aug is not None else piece.yb
+    zb_last = right_aug.zb_last if right_aug is not None else piece.zb
+    contiguous = (
+        (left_aug is None or (left_aug.contiguous and left_aug.yb_max == piece.ya))
+        and (
+            right_aug is None
+            or (right_aug.contiguous and right_aug.ya_min == piece.yb)
+        )
+    )
+    aug = Augment(ya_min, za_first, yb_max, zb_last, contiguous, lower, upper)
+    node.augment = aug
+    return aug
+
+
+def _hull_min(hull: tuple[Point2, ...], a: float, b: float) -> float:
+    """min over hull points of ``z - (a*y + b)``; hull points are
+    stored as ``(y, z)`` so the functional is ``p.y - (a*p.x + b)``."""
+    i = hull_extreme_index(hull, lambda p: p.y - (a * p.x + b), maximize=False)
+    p = hull[i]
+    return p.y - (a * p.x + b)
+
+
+def _hull_max(hull: tuple[Point2, ...], a: float, b: float) -> float:
+    i = hull_extreme_index(hull, lambda p: p.y - (a * p.x + b), maximize=True)
+    p = hull[i]
+    return p.y - (a * p.x + b)
+
+
+class _ProbeCounter:
+    __slots__ = ("probes",)
+
+    def __init__(self) -> None:
+        self.probes = 0
+
+
+def collect_gaps(
+    root: Root, lo: float, hi: float, counter: Optional[_ProbeCounter] = None
+) -> list[tuple[float, float]]:
+    """Maximal sub-intervals of ``[lo, hi]`` not covered by any piece
+    of the profile version — each boundary is a visibility flip for a
+    segment spanning it.  Cost O(log n + gaps) thanks to the
+    contiguity prune."""
+    out: list[tuple[float, float]] = []
+
+    def walk(node: Root, a: float, b: float) -> None:
+        if a >= b:
+            return
+        if counter is not None:
+            counter.probes += 1
+        if node is None:
+            out.append((a, b))
+            return
+        aug = get_augment(node)
+        if aug.contiguous and aug.ya_min <= a and b <= aug.yb_max:
+            return
+        if b <= aug.ya_min or a >= aug.yb_max:
+            out.append((a, b))
+            return
+        piece: Piece = node.value
+        walk(node.left, a, min(b, piece.ya))
+        walk(node.right, max(a, piece.yb), b)
+
+    walk(root, lo, hi)
+    # Walk emits in-order but boundary effects can split a gap exactly
+    # at a subtree frontier; merge adjacent.
+    out.sort()
+    merged: list[tuple[float, float]] = []
+    for g in out:
+        if merged and g[0] <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], g[1]))
+        else:
+            merged.append(g)
+    return merged
+
+
+def collect_flip_candidates(
+    root: Root,
+    seg: ImageSegment,
+    lo: float,
+    hi: float,
+    *,
+    eps: float = EPS,
+    counter: Optional[_ProbeCounter] = None,
+) -> list[float]:
+    """y-values in ``(lo, hi)`` where ``seg`` may exchange dominance
+    with the profile: transversal piece crossings and straddled jump
+    junctions.  Hull pruning skips subtrees wholly above or wholly
+    below the segment's supporting line (Lemma 3.6's search)."""
+    a = seg.slope
+    b = seg.z1 - a * seg.y1
+    out: list[float] = []
+
+    def walk(node: Root, u: float, v: float) -> None:
+        if node is None or u >= v:
+            return
+        if counter is not None:
+            counter.probes += 1
+        aug = get_augment(node)
+        if v <= aug.ya_min or u >= aug.yb_max:
+            return
+        if aug.ya_min >= u and aug.yb_max <= v:
+            # Subtree wholly inside the query range: hulls decide.
+            if _hull_min(aug.lower, a, b) > eps:
+                return  # chain strictly above the line: no flips
+            if _hull_max(aug.upper, a, b) < -eps:
+                return  # chain strictly below: flips only at gaps
+        piece: Piece = node.value
+        pu = max(u, piece.ya)
+        pv = min(v, piece.yb)
+        if pu < pv:
+            du = piece.z_at(pu) - (a * pu + b)
+            dv = piece.z_at(pv) - (a * pv + b)
+            su = 0 if abs(du) <= eps else (1 if du > 0 else -1)
+            sv = 0 if abs(dv) <= eps else (1 if dv > 0 else -1)
+            if su * sv < 0:
+                t = du / (du - dv)
+                w = pu + t * (pv - pu)
+                if pu < w < pv:
+                    out.append(w)
+            # Tangential contacts: diff vanishes at a piece endpoint
+            # without a strict sign flip.  Emit the endpoint as an
+            # event so the region-midpoint probe can never land on a
+            # zero of diff and misclassify the whole region.
+            if su == 0 and u < pu < v:
+                out.append(pu)
+            if sv == 0 and u < pv < v:
+                out.append(pv)
+        # Jump junctions with the neighbouring subtrees (inclusive
+        # straddle: grazing the top/bottom of a jump is a tangency and
+        # must split regions too).
+        if node.left is not None:
+            laug = get_augment(node.left)
+            y = piece.ya
+            if laug.yb_max == y and u < y < v:
+                z1, z2 = laug.zb_last, piece.za
+                sy = a * y + b
+                if min(z1, z2) - eps <= sy <= max(z1, z2) + eps:
+                    out.append(y)
+        if node.right is not None:
+            raug = get_augment(node.right)
+            y = piece.yb
+            if raug.ya_min == y and u < y < v:
+                z1, z2 = piece.zb, raug.za_first
+                sy = a * y + b
+                if min(z1, z2) - eps <= sy <= max(z1, z2) + eps:
+                    out.append(y)
+        walk(node.left, u, min(v, piece.ya))
+        walk(node.right, max(u, piece.yb), v)
+
+    walk(root, lo, hi)
+    return sorted(out)
+
+
+def winner_regions(
+    root: Root, seg: ImageSegment, *, eps: float = EPS
+) -> tuple[list[tuple[float, float, bool]], list[float], int]:
+    """Partition ``[seg.y1, seg.y2]`` into maximal regions where either
+    the profile or the segment dominates.
+
+    Returns ``(regions, crossings, probes)``: regions as
+    ``(ya, yb, seg_wins)``, the transversal crossing ordinates, and the
+    number of tree probes performed (the measured query cost for
+    experiments E6/E10).
+    """
+    counter = _ProbeCounter()
+    lo, hi = seg.y1, seg.y2
+    events: set[float] = {lo, hi}
+    for ga, gb in collect_gaps(root, lo, hi, counter):
+        events.add(ga)
+        events.add(gb)
+    flips = collect_flip_candidates(
+        root, seg, lo, hi, eps=eps, counter=counter
+    )
+    events.update(flips)
+    ys = sorted(events)
+    raw: list[tuple[float, float, bool]] = []
+    for u, v in zip(ys, ys[1:]):
+        if v - u <= 0:
+            continue
+        m = 0.5 * (u + v)
+        counter.probes += 1
+        seg_wins = seg.z_at(m) - penv_value_at(root, m) > eps
+        if raw and raw[-1][2] == seg_wins and raw[-1][1] == u:
+            raw[-1] = (raw[-1][0], v, seg_wins)
+        else:
+            raw.append((u, v, seg_wins))
+    # True crossings = flip candidates that actually separate regions
+    # with opposite winners.
+    boundaries = {r[0] for r in raw[1:]}
+    crossings = [y for y in flips if y in boundaries]
+    return raw, crossings, counter.probes
+
+
+def acg_splice_merge(
+    root: Root, other: Envelope, *, eps: float = EPS
+) -> tuple[Root, MergeResult]:
+    """Merge ``other`` into the profile version using ACG searches.
+
+    Functionally identical to
+    :func:`repro.persistence.envelope_store.penv_splice_merge` (the
+    test-suite asserts it), but locates the changed regions by
+    hull-pruned search instead of sweeping the whole overlap range —
+    the paper's output-sensitive Phase-2 engine.
+    """
+    if not other.pieces:
+        return root, MergeResult(Envelope.empty(), [], 0)
+    if root is None:
+        return (
+            treap.from_sorted([(p.ya, p) for p in other.pieces]),
+            MergeResult(other, [], other.size),
+        )
+    ops = 0
+    crossings: list[Crossing] = []
+    new_root = root
+    for piece in other.pieces:
+        seg = piece.as_segment()
+        if seg.is_vertical:  # pieces are never vertical, defensive
+            continue
+        regions, cross_ys, probes = winner_regions(new_root, seg, eps=eps)
+        ops += probes
+        for y in cross_ys:
+            crossings.append(
+                Crossing(y, seg.z_at(y), -1, piece.source)
+            )
+        for (ra, rb, seg_wins) in regions:
+            # Keep even eps-narrow regions: the midpoint test already
+            # required the segment to dominate by > eps in *height*,
+            # so a narrow region is real content, not noise.
+            if not seg_wins or rb <= ra:
+                continue
+            clip = piece.clipped(max(ra, piece.ya), min(rb, piece.yb))
+            new_root, res = penv_splice_merge(
+                new_root, Envelope([clip]), eps=eps
+            )
+            ops += res.ops
+    merged_view = Envelope([])  # callers use the root; view elided
+    return new_root, MergeResult(merged_view, crossings, ops)
+
+
+def acg_first_intersection(
+    root: Root, seg: ImageSegment, *, eps: float = EPS
+) -> Optional[tuple[float, float]]:
+    """First (smallest-y) visibility flip of ``seg`` against the
+    profile version — the CG primitive of Lemma 3.6, exposed for tests
+    and benchmarks."""
+    regions, cross_ys, _ = winner_regions(root, seg, eps=eps)
+    if cross_ys:
+        y = cross_ys[0]
+        return (y, seg.z_at(y))
+    # A flip can also occur at a gap boundary (jump onto/off support).
+    for i in range(1, len(regions)):
+        y = regions[i][0]
+        return (y, seg.z_at(y))
+    return None

@@ -1,0 +1,83 @@
+"""Visibility map as a planar graph.
+
+The paper defines the output size as "the number of vertices and edges
+of the displayed image as a (planar) graph" (§1.1).  This module
+materialises that graph explicitly (as a :class:`networkx.Graph`),
+which downstream consumers — mesh simplifiers, silhouette extractors,
+label placers — can traverse, and which lets the test-suite check
+graph-theoretic invariants of the output (planarity bounds, component
+structure, degree distribution).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hsr.result import VisibilityMap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx
+
+__all__ = ["visibility_graph", "graph_summary"]
+
+#: Quantum for identifying coincident image vertices (matches
+#: :mod:`repro.hsr.result`).
+_Q = 1e-6
+
+
+def _key(y: float, z: float) -> tuple[float, float]:
+    return (round(y / _Q) * _Q, round(z / _Q) * _Q)
+
+
+def visibility_graph(vmap: VisibilityMap) -> "networkx.Graph":
+    """Build the image's planar graph.
+
+    Nodes are quantised image points carrying a ``pos=(y, z)``
+    attribute; edges carry the set of source terrain edges in
+    ``sources`` (coincident visible segments merge into one graph
+    edge) and their Euclidean ``length``.  Point-degenerate visible
+    segments (vertically projected edges) become isolated nodes.
+    """
+    import networkx as nx
+
+    g = nx.Graph()
+    for s in vmap.segments:
+        a = _key(s.ya, s.za)
+        b = _key(s.yb, s.zb)
+        if a not in g:
+            g.add_node(a, pos=a)
+        if s.is_point or a == b:
+            continue
+        if b not in g:
+            g.add_node(b, pos=b)
+        if g.has_edge(a, b):
+            g.edges[a, b]["sources"].add(s.edge)
+        else:
+            length = ((b[0] - a[0]) ** 2 + (b[1] - a[1]) ** 2) ** 0.5
+            g.add_edge(a, b, sources={s.edge}, length=length)
+    return g
+
+
+def graph_summary(vmap: VisibilityMap) -> dict[str, float]:
+    """Scalar graph statistics of the visible image.
+
+    Keys: ``nodes``, ``edges``, ``components``, ``max_degree``,
+    ``total_length``, ``k`` (nodes + edges — the paper's output size,
+    possibly smaller than ``vmap.k`` when coincident segments merge).
+    """
+    import networkx as nx
+
+    g = visibility_graph(vmap)
+    degrees = [d for _, d in g.degree()]
+    return {
+        "nodes": float(g.number_of_nodes()),
+        "edges": float(g.number_of_edges()),
+        "components": float(nx.number_connected_components(g))
+        if g.number_of_nodes()
+        else 0.0,
+        "max_degree": float(max(degrees, default=0)),
+        "total_length": float(
+            sum(data["length"] for _, _, data in g.edges(data=True))
+        ),
+        "k": float(g.number_of_nodes() + g.number_of_edges()),
+    }

@@ -1,0 +1,139 @@
+"""Lemma 3.2: all intersections of a segment with a profile by
+middle-diagonal splitting.
+
+    "Split the segment s around the middle diagonal d (among the
+    diagonals that the segment spans).  Find the intersection closest
+    to d in both the subsegments and recurse."
+
+The recursion tree has one leaf per discovered intersection and depth
+``O(log m)`` (each level halves the spanned diagonal range), and the
+two recursive calls are independent — on a PRAM they run in parallel,
+which is how Lemma 2.1 turns ``k_s`` sequential searches into
+``O(T_I log m)`` parallel time.  The implementation mirrors that
+structure: the recursion charges a tracker with parallel branches so
+depth measurements reflect the lemma (experiment E10).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.geometry.segments import ImageSegment
+from repro.hsr.cg import ProfileIndex
+from repro.pram.tracker import PramTracker
+
+__all__ = ["all_intersections_lemma32"]
+
+
+def _closest_left(
+    index: ProfileIndex, a: float, b: float, u: float, v: float
+) -> tuple[Optional[tuple[float, float]], int]:
+    """Rightmost crossing in ``(u, v)`` — mirror of first-in-range."""
+    probes = 0
+    eps = index.eps
+
+    def walk(node, u: float, v: float):
+        nonlocal probes
+        if node is None or u >= v:
+            return None
+        if v <= node.ya or u >= node.yb:
+            return None
+        probes += 1
+        if node.ya >= u and node.yb <= v:
+            dmin = index._hull_extreme(node.lower, a, b, maximize=False)
+            if dmin > eps:
+                return None
+            dmax = index._hull_extreme(node.upper, a, b, maximize=True)
+            if dmax < -eps:
+                return None
+        if node.is_leaf:
+            return index._piece_crossing(
+                index.env.pieces[node.lo], a, b, u, v
+            )
+        hit = walk(node.right, u, v)
+        if hit is not None:
+            return hit
+        return walk(node.left, u, v)
+
+    return (walk(index.root, u, v), probes)
+
+
+def all_intersections_lemma32(
+    index: ProfileIndex,
+    seg: ImageSegment,
+    *,
+    tracker: Optional[PramTracker] = None,
+) -> tuple[list[tuple[float, float]], int]:
+    """All transversal crossings of ``seg`` with the indexed profile,
+    by the Lemma 3.2 middle-diagonal recursion.
+
+    Returns ``(crossings in y-order, total probes)``.  When a tracker
+    is supplied the two half-recursions are charged as parallel
+    branches, so measured depth is ``O(T_I · log m)`` as the lemma
+    states.
+    """
+    if index.root is None or seg.is_vertical:
+        return ([], 0)
+    a = seg.slope
+    b = seg.z1 - a * seg.y1
+    env = index.env
+    probes_total = 0
+    found: list[tuple[float, float]] = []
+
+    def middle_diagonal(u: float, v: float) -> Optional[float]:
+        """The envelope breakpoint most evenly splitting the pieces
+        the range spans (the paper's 'middle diagonal')."""
+        lo, hi = env.pieces_overlapping(u, v)
+        if hi - lo < 2:
+            return None
+        mid = (lo + hi) // 2
+        d = env.pieces[mid].ya
+        if not (u < d < v):
+            return None
+        return d
+
+    def recurse(u: float, v: float) -> None:
+        nonlocal probes_total
+        if u >= v:
+            return
+        d = middle_diagonal(u, v)
+        if d is None:
+            # The range spans at most one diagonal: solve directly.
+            hit, probes = index._first_in_range(a, b, u, v)
+            probes_total += probes
+            if tracker is not None:
+                tracker.charge(probes + 1)
+            while hit is not None:
+                found.append(hit)
+                hit, probes = index._first_in_range(
+                    a, b, hit[0] + 1e-12, v
+                )
+                probes_total += probes
+            return
+        # Closest intersections to d on each side.
+        left_hit, p1 = _closest_left(index, a, b, u, d)
+        right_hit, p2 = index._first_in_range(a, b, d, v)
+        probes_total += p1 + p2
+        if tracker is not None:
+            tracker.charge(p1 + p2 + 1, max(p1, p2) + 1)
+        branches: list[tuple[float, float]] = []
+        if left_hit is not None:
+            found.append(left_hit)
+            branches.append((u, left_hit[0] - 1e-12))
+        if right_hit is not None:
+            found.append(right_hit)
+            branches.append((right_hit[0] + 1e-12, v))
+        if not branches:
+            return
+        if tracker is not None:
+            with tracker.parallel() as par:
+                for (bu, bv) in branches:
+                    with par.branch():
+                        recurse(bu, bv)
+        else:
+            for (bu, bv) in branches:
+                recurse(bu, bv)
+
+    recurse(seg.y1, seg.y2)
+    found.sort()
+    return (found, probes_total)

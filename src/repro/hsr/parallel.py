@@ -1,0 +1,168 @@
+"""The paper's algorithm, end to end.
+
+:class:`ParallelHSR` runs the full pipeline of §3:
+
+1. front-to-back edge ordering (separator-tree role,
+   :mod:`repro.ordering`);
+2. Phase 1 — intermediate profiles bottom-up over the PCT
+   (:mod:`repro.hsr.pct`, Lemma 3.1);
+3. Phase 2 — actual profiles root-to-leaves with visibility extraction
+   at the leaves (:mod:`repro.hsr.phase2`, the systolic prefix);
+4. assembly of the object-space visibility map.
+
+Execution is sequential Python, but every step charges the CREW-PRAM
+cost tracker, so a run yields the (work, depth) pair Theorem 3.1
+bounds; :mod:`repro.pram.schedule` turns those into time-on-p curves.
+A process-pool backend can execute Phase-1 layers genuinely in
+parallel.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional, Sequence
+
+from repro.geometry.primitives import EPS
+from repro.hsr.pct import build_pct
+from repro.hsr.phase2 import PHASE2_MODES, Phase2Result, run_phase2
+from repro.hsr.result import HsrResult, HsrStats, VisibilityMap
+from repro.ordering.separator import SeparatorTree
+from repro.ordering.sweep import front_to_back_order
+from repro.pram.pool import ExecutionBackend
+from repro.pram.tracker import PramTracker
+from repro.terrain.model import Terrain
+
+__all__ = ["ParallelHSR"]
+
+
+class ParallelHSR:
+    """Output-size sensitive parallel hidden-surface removal.
+
+    Parameters
+    ----------
+    mode:
+        Phase-2 engine: ``"direct"`` (array merges), ``"persistent"``
+        (treap splice merges; default) or ``"acg"`` (hull-pruned
+        searches on the shared persistent structure — the paper's
+        full machinery).  All three produce the same visibility map.
+    eps:
+        Geometric tolerance.
+    backend:
+        Optional :class:`repro.pram.pool.ExecutionBackend` to execute
+        Phase-1 layers in real parallel processes.
+    measure_sharing:
+        Record the Fig.-1/Fig.-3 sharing statistics (adds a full-tree
+        traversal per layer; off by default).
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: str = "persistent",
+        eps: float = EPS,
+        backend: Optional[ExecutionBackend] = None,
+        measure_sharing: bool = False,
+    ):
+        if mode not in PHASE2_MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; choose from {PHASE2_MODES}"
+            )
+        self.mode = mode
+        self.eps = eps
+        self.backend = backend
+        self.measure_sharing = measure_sharing
+
+    def run(
+        self,
+        terrain: Terrain,
+        *,
+        order: Optional[Sequence[int]] = None,
+        tracker: Optional[PramTracker] = None,
+    ) -> HsrResult:
+        """Compute the visibility map; see class docstring.
+
+        Pass a :class:`PramTracker` to collect (work, depth); the
+        returned result carries it in ``result.tracker``.
+        """
+        t0 = time.perf_counter()
+        image_segments = terrain.image_segments()
+
+        if order is None:
+            if tracker is not None:
+                with tracker.phase("ordering"):
+                    # The Tamassia–Vitter construction is O(log n) deep
+                    # with n processors (paper Fact 1); charge that.
+                    n = max(terrain.n_edges, 2)
+                    with tracker.parallel() as par:
+                        for _ in range(1):
+                            par.spawn(
+                                n * math.ceil(math.log2(n)),
+                                math.ceil(math.log2(n)),
+                            )
+                    order = front_to_back_order(terrain)
+            else:
+                order = front_to_back_order(terrain)
+        order = list(order)
+
+        tree = SeparatorTree(order)
+
+        if tracker is not None:
+            with tracker.phase("phase1"):
+                pct = build_pct(
+                    tree,
+                    image_segments,
+                    eps=self.eps,
+                    tracker=tracker,
+                    backend=self.backend,
+                    measure_sharing=self.measure_sharing,
+                )
+            with tracker.phase("phase2"):
+                ph2 = run_phase2(
+                    pct,
+                    image_segments,
+                    mode=self.mode,
+                    eps=self.eps,
+                    tracker=tracker,
+                    measure_sharing=self.measure_sharing,
+                )
+        else:
+            pct = build_pct(
+                tree,
+                image_segments,
+                eps=self.eps,
+                backend=self.backend,
+                measure_sharing=self.measure_sharing,
+            )
+            ph2 = run_phase2(
+                pct,
+                image_segments,
+                mode=self.mode,
+                eps=self.eps,
+                measure_sharing=self.measure_sharing,
+            )
+
+        vmap = VisibilityMap()
+        for edge in order:
+            vis = ph2.visibility[edge]
+            vmap.add_edge_result(edge, image_segments[edge], vis)
+
+        stats = HsrStats(
+            n_edges=terrain.n_edges,
+            k=vmap.k,
+            ops=pct.ops + ph2.ops,
+            crossings_found=ph2.crossings,
+            wall_time_s=time.perf_counter() - t0,
+            extra={
+                "phase1_ops": float(pct.ops),
+                "phase2_ops": float(ph2.ops),
+                "pct_pieces": float(pct.total_profile_pieces()),
+                "nodes_allocated": float(ph2.nodes_allocated),
+                "pieces_materialised": float(ph2.pieces_materialised),
+                "tree_height": float(tree.height),
+            },
+        )
+        result = HsrResult(vmap, stats, order=order, tracker=tracker)
+        result.phase2 = ph2  # type: ignore[attr-defined]
+        result.pct = pct  # type: ignore[attr-defined]
+        return result

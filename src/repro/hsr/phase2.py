@@ -1,0 +1,233 @@
+"""Phase 2: actual profiles by systolic prefix propagation.
+
+From the paper (§2.1/§3.1): starting at the PCT root, proceed layer by
+layer toward the leaves.  Every node holds an *inherited* profile —
+the actual profile ``P_i`` of all edges preceding its subtree — and
+produces its children's inherited profiles:
+
+    left.inherited  = v.inherited                      (shared!)
+    right.inherited = merge(v.inherited, Phase1(left))
+
+At a leaf with front-to-back position ``i`` the inherited profile is
+exactly ``P_{i-1}``, and the visible portion of edge ``e_i`` is the
+part of its projection above it.
+
+Two interchangeable engines compute the merges (same output, different
+cost profile — experiment E11's ablation):
+
+``direct``
+    Array-envelope merges.  Simple, but each merge copies the full
+    inherited profile: per-layer work Θ(Σ |P_i|), *not* output
+    sensitive.
+``persistent``
+    Profiles are persistent-treap versions; a merge splices only the
+    y-range of the intermediate profile and shares the rest (paper
+    Figs. 1/3 — this is where the persistent structure earns the
+    output-sensitive work bound).  Left children share their parent's
+    version outright: zero copying.
+``acg``
+    Like ``persistent``, but crossings inside the spliced range are
+    located by hull-pruned searches on the augmented (Chazelle–Guibas
+    style) structure instead of a linear sweep —
+    see :mod:`repro.hsr.acg`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.envelope.chain import Envelope
+from repro.envelope.merge import merge_envelopes
+from repro.envelope.visibility import VisibilityResult, visible_parts
+from repro.errors import HsrError
+from repro.geometry.primitives import EPS
+from repro.geometry.segments import ImageSegment
+from repro.hsr.pct import PCT
+from repro.persistence import treap
+from repro.persistence.envelope_store import (
+    penv_splice_merge,
+    penv_visible_parts,
+)
+from repro.pram.tracker import PramTracker
+
+__all__ = ["Phase2Result", "run_phase2", "PHASE2_MODES"]
+
+PHASE2_MODES = ("direct", "persistent", "acg")
+
+
+@dataclass
+class LayerStats:
+    """Per-PCT-layer instrumentation (the paper's analysis is
+    per-layer: "all the intersections at the next layer of PCT")."""
+
+    depth: int
+    merges: int = 0
+    ops: int = 0
+    crossings: int = 0
+    inherited_pieces: int = 0
+    shared_nodes: int = 0
+    total_nodes: int = 0
+
+
+@dataclass
+class Phase2Result:
+    """Visibility per edge + instrumentation."""
+
+    visibility: dict[int, VisibilityResult] = field(default_factory=dict)
+    ops: int = 0
+    crossings: int = 0
+    layers: list[LayerStats] = field(default_factory=list)
+    #: persistent modes: treap nodes allocated during phase 2.
+    nodes_allocated: int = 0
+    #: direct mode: envelope pieces materialised (the copying cost).
+    pieces_materialised: int = 0
+
+
+def run_phase2(
+    pct: PCT,
+    image_segments: Sequence[ImageSegment],
+    *,
+    mode: str = "persistent",
+    eps: float = EPS,
+    tracker: Optional[PramTracker] = None,
+    measure_sharing: bool = False,
+) -> Phase2Result:
+    """Run Phase 2 over a built PCT (see module docstring)."""
+    if mode not in PHASE2_MODES:
+        raise HsrError(
+            f"unknown phase-2 mode {mode!r}; choose from {PHASE2_MODES}"
+        )
+    if mode == "direct":
+        return _phase2_direct(pct, image_segments, eps, tracker)
+    return _phase2_persistent(
+        pct,
+        image_segments,
+        eps,
+        tracker,
+        use_acg=(mode == "acg"),
+        measure_sharing=measure_sharing,
+    )
+
+
+def _merge_depth(ops: int) -> float:
+    return max(1.0, math.log2(ops + 1))
+
+
+def _phase2_direct(
+    pct: PCT,
+    image_segments: Sequence[ImageSegment],
+    eps: float,
+    tracker: Optional[PramTracker],
+) -> Phase2Result:
+    tree = pct.tree
+    out = Phase2Result()
+    inherited: dict[int, Envelope] = {tree.root.index: Envelope.empty()}
+
+    for level in tree.levels():
+        stats = LayerStats(depth=level[0].depth)
+        par_ctx = tracker.parallel() if tracker is not None else None
+        par = par_ctx.__enter__() if par_ctx is not None else None
+        for node in level:
+            P = inherited.pop(node.index)
+            stats.inherited_pieces += P.size
+            if node.is_leaf:
+                edge = tree.order[node.lo]
+                vis = visible_parts(image_segments[edge], P, eps=eps)
+                out.visibility[edge] = vis
+                out.ops += vis.ops
+                stats.ops += vis.ops
+                if par is not None:
+                    par.spawn(vis.ops, _merge_depth(vis.ops))
+            else:
+                assert node.left is not None and node.right is not None
+                inherited[node.left.index] = P
+                res = merge_envelopes(
+                    P, pct.envelope_of(node.left), eps=eps
+                )
+                inherited[node.right.index] = res.envelope
+                out.ops += res.ops
+                out.crossings += len(res.crossings)
+                out.pieces_materialised += res.envelope.size
+                stats.merges += 1
+                stats.ops += res.ops
+                stats.crossings += len(res.crossings)
+                if par is not None:
+                    par.spawn(res.ops, _merge_depth(res.ops))
+        if par_ctx is not None:
+            par_ctx.__exit__(None, None, None)
+        out.layers.append(stats)
+    return out
+
+
+def _phase2_persistent(
+    pct: PCT,
+    image_segments: Sequence[ImageSegment],
+    eps: float,
+    tracker: Optional[PramTracker],
+    *,
+    use_acg: bool,
+    measure_sharing: bool,
+) -> Phase2Result:
+    from repro.hsr.acg import acg_splice_merge  # local: avoid cycle
+
+    tree = pct.tree
+    out = Phase2Result()
+    alloc_before = treap.allocation_count()
+    inherited: dict[int, treap.Root] = {tree.root.index: None}
+
+    for level in tree.levels():
+        stats = LayerStats(depth=level[0].depth)
+        par_ctx = tracker.parallel() if tracker is not None else None
+        par = par_ctx.__enter__() if par_ctx is not None else None
+        for node in level:
+            root = inherited.pop(node.index)
+            if node.is_leaf:
+                edge = tree.order[node.lo]
+                vis = penv_visible_parts(
+                    root, image_segments[edge], eps=eps
+                )
+                out.visibility[edge] = vis
+                cost = vis.ops + _locate_cost(root)
+                out.ops += cost
+                stats.ops += cost
+                if par is not None:
+                    par.spawn(cost, _merge_depth(cost))
+            else:
+                assert node.left is not None and node.right is not None
+                inherited[node.left.index] = root  # shared version
+                intermediate = pct.envelope_of(node.left)
+                if use_acg:
+                    new_root, res = acg_splice_merge(
+                        root, intermediate, eps=eps
+                    )
+                else:
+                    new_root, res = penv_splice_merge(
+                        root, intermediate, eps=eps
+                    )
+                inherited[node.right.index] = new_root
+                cost = res.ops + _locate_cost(root)
+                out.ops += cost
+                out.crossings += len(res.crossings)
+                stats.merges += 1
+                stats.ops += cost
+                stats.crossings += len(res.crossings)
+                if par is not None:
+                    par.spawn(cost, _merge_depth(cost))
+        if par_ctx is not None:
+            par_ctx.__exit__(None, None, None)
+        if measure_sharing:
+            roots = list(inherited.values())
+            total, shared = treap.count_shared_nodes(*roots)
+            stats.total_nodes = total
+            stats.shared_nodes = shared
+        out.layers.append(stats)
+    out.nodes_allocated = treap.allocation_count() - alloc_before
+    return out
+
+
+def _locate_cost(root: treap.Root) -> int:
+    """O(log n) tree-descent charge for splice boundary location."""
+    n = treap.size(root)
+    return max(1, int(math.log2(n + 1)))

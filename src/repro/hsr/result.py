@@ -1,0 +1,239 @@
+"""Hidden-surface-removal output: the visibility map.
+
+The algorithm's output is *object-space* and device-independent
+(paper §1.1): a combinatorial description of the visible image — a
+planar graph in the image (zy) plane whose edges are the visible
+sub-segments of terrain edges and whose vertices are their endpoints
+(original vertex images and profile crossings).  The output size ``k``
+is the number of vertices plus edges of this graph, which is what
+Theorem 3.1's bound is sensitive to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, NamedTuple, Optional
+
+from repro.envelope.visibility import VisibilityResult
+from repro.geometry.segments import ImageSegment
+
+__all__ = ["VisibleSegment", "VisibilityMap", "HsrStats", "HsrResult"]
+
+#: Rounding grid for identifying coincident image vertices.
+_VERTEX_QUANTUM = 1e-6
+
+
+class VisibleSegment(NamedTuple):
+    """One visible sub-segment of a terrain edge in the image plane.
+
+    Degenerate (``ya == yb``) entries record visible vertically-
+    projected edges, which appear as single points in the image.
+    """
+
+    edge: int
+    ya: float
+    za: float
+    yb: float
+    zb: float
+
+    @property
+    def is_point(self) -> bool:
+        return self.ya == self.yb
+
+    @property
+    def width(self) -> float:
+        return self.yb - self.ya
+
+
+class VisibilityMap:
+    """The visible image as a collection of :class:`VisibleSegment`.
+
+    Construction is incremental (the pipelines append per-edge results
+    via :meth:`add_edge_result`); derived quantities (vertex count,
+    ``k``) are computed lazily and cached.
+    """
+
+    def __init__(self) -> None:
+        self.segments: list[VisibleSegment] = []
+        self._by_edge: dict[int, list[VisibleSegment]] = {}
+        self._k: Optional[int] = None
+
+    # -- construction ----------------------------------------------------
+
+    def add_segment(self, seg: VisibleSegment) -> None:
+        self.segments.append(seg)
+        self._by_edge.setdefault(seg.edge, []).append(seg)
+        self._k = None
+
+    def add_edge_result(
+        self, edge: int, image_seg: ImageSegment, result: VisibilityResult
+    ) -> None:
+        """Record the visible parts of one edge.
+
+        ``image_seg`` is the edge's image projection; each visible part
+        is clipped out of it.  Vertical projections store their top
+        point.
+        """
+        for part in result.parts:
+            if image_seg.is_vertical or part.ya == part.yb:
+                self.add_segment(
+                    VisibleSegment(
+                        edge,
+                        part.ya,
+                        image_seg.top,
+                        part.ya,
+                        image_seg.top,
+                    )
+                )
+            else:
+                sub = image_seg.subsegment(part.ya, part.yb)
+                self.add_segment(
+                    VisibleSegment(edge, sub.y1, sub.z1, sub.y2, sub.z2)
+                )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    def visible_edges(self) -> set[int]:
+        """Terrain edges with at least one visible part."""
+        return set(self._by_edge)
+
+    def edge_intervals(self, edge: int) -> list[tuple[float, float]]:
+        """Visible y-intervals of one edge, sorted."""
+        return sorted(
+            (s.ya, s.yb) for s in self._by_edge.get(edge, [])
+        )
+
+    def per_edge_intervals(self) -> dict[int, list[tuple[float, float]]]:
+        return {e: self.edge_intervals(e) for e in self._by_edge}
+
+    def vertices(self) -> set[tuple[float, float]]:
+        """Distinct image vertices (quantised endpoint coordinates)."""
+        q = _VERTEX_QUANTUM
+        out: set[tuple[float, float]] = set()
+        for s in self.segments:
+            out.add((round(s.ya / q) * q, round(s.za / q) * q))
+            out.add((round(s.yb / q) * q, round(s.zb / q) * q))
+        return out
+
+    @property
+    def k(self) -> int:
+        """Output size: image vertices + image edges (paper §1.1)."""
+        if self._k is None:
+            n_points = sum(1 for s in self.segments if s.is_point)
+            proper = self.n_segments - n_points
+            self._k = len(self.vertices()) + proper
+        return self._k
+
+    def total_visible_length(self) -> float:
+        """Total arc length of the visible image (a robust scalar for
+        cross-algorithm comparison)."""
+        total = 0.0
+        for s in self.segments:
+            dy = s.yb - s.ya
+            dz = s.zb - s.za
+            total += (dy * dy + dz * dz) ** 0.5
+        return total
+
+    # -- comparison ---------------------------------------------------------
+
+    def approx_same(
+        self, other: "VisibilityMap", *, tol: float = 1e-6
+    ) -> bool:
+        """Structural comparison of two visibility maps.
+
+        Two maps agree when every edge has the same visible y-intervals
+        up to ``tol`` (interval lists are merged before comparison so a
+        part split in two by one algorithm still matches).
+        """
+        edges = self.visible_edges() | other.visible_edges()
+        for e in edges:
+            a = _merge_intervals(self.edge_intervals(e), tol)
+            b = _merge_intervals(other.edge_intervals(e), tol)
+            if len(a) != len(b):
+                return False
+            for (a1, a2), (b1, b2) in zip(a, b):
+                if abs(a1 - b1) > tol or abs(a2 - b2) > tol:
+                    return False
+        return True
+
+    def difference_report(
+        self, other: "VisibilityMap", *, tol: float = 1e-6
+    ) -> list[str]:
+        """Human-readable mismatch list (empty when maps agree)."""
+        report: list[str] = []
+        edges = self.visible_edges() | other.visible_edges()
+        for e in sorted(edges):
+            a = _merge_intervals(self.edge_intervals(e), tol)
+            b = _merge_intervals(other.edge_intervals(e), tol)
+            if a != b and (
+                len(a) != len(b)
+                or any(
+                    abs(x1 - y1) > tol or abs(x2 - y2) > tol
+                    for (x1, x2), (y1, y2) in zip(a, b)
+                )
+            ):
+                report.append(f"edge {e}: {a} vs {b}")
+        return report
+
+    def summary(self) -> str:
+        return (
+            f"VisibilityMap: {self.n_segments} visible segments over"
+            f" {len(self.visible_edges())} edges, k={self.k}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.summary()}>"
+
+
+def _merge_intervals(
+    intervals: Iterable[tuple[float, float]], tol: float
+) -> list[tuple[float, float]]:
+    """Merge touching/overlapping intervals (within ``tol``)."""
+    out: list[tuple[float, float]] = []
+    for ya, yb in sorted(intervals):
+        if out and ya <= out[-1][1] + tol:
+            out[-1] = (out[-1][0], max(out[-1][1], yb))
+        else:
+            out.append((ya, yb))
+    return out
+
+
+@dataclass
+class HsrStats:
+    """Instrumentation from one HSR run."""
+
+    n_edges: int = 0
+    k: int = 0
+    ops: int = 0
+    crossings_found: int = 0
+    wall_time_s: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, float]:
+        row: dict[str, float] = {
+            "n": self.n_edges,
+            "k": self.k,
+            "ops": self.ops,
+            "crossings": self.crossings_found,
+            "seconds": self.wall_time_s,
+        }
+        row.update(self.extra)
+        return row
+
+
+@dataclass
+class HsrResult:
+    """Output + instrumentation of an HSR pipeline run."""
+
+    visibility_map: VisibilityMap
+    stats: HsrStats
+    order: list[int] = field(default_factory=list)
+    tracker: object = None  # Optional[PramTracker]; object to avoid import cycle
+
+    @property
+    def k(self) -> int:
+        return self.visibility_map.k

@@ -1,0 +1,186 @@
+"""Image-space z-buffer baseline (device-*dependent* contrast).
+
+The paper argues for object-space output (§1.1): image-space solutions
+"compute the visibility information at every pixel which makes them
+device dependent".  This module implements that contrast — a classic
+z-buffer (here an *x*-buffer: the viewer looks along ``-x``, so depth
+is ``-x``) rasterising terrain triangles onto a ``width × height``
+image-plane grid.
+
+Experiment E12 uses it two ways:
+
+* cost: z-buffer work scales with pixel count (resolution²) and ``n``,
+  never with ``k``;
+* agreement: sampling edge visibility against the buffer approaches
+  the object-space visibility map as resolution grows (validating both
+  implementations against each other).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hsr.result import HsrResult, HsrStats, VisibilityMap, VisibleSegment
+from repro.terrain.model import Terrain
+
+__all__ = ["ZBufferHSR", "ZBufferImage"]
+
+
+@dataclass
+class ZBufferImage:
+    """Rasterisation result: per-pixel nearest face and its depth.
+
+    ``occluder`` is the *solid-terrain* depth: the paper's terrains
+    "rise from the ground level" (§2), so a pixel at height ``z`` is
+    blocked by any nearer surface at height ``>= z``.  It is the
+    suffix maximum of ``depth`` down each image column.
+    """
+
+    face_id: np.ndarray  # (H, W) int32, -1 = background
+    depth: np.ndarray  # (H, W) float64, -inf = background
+    occluder: np.ndarray  # (H, W) float64 solid-occlusion depth
+    y_min: float
+    y_max: float
+    z_min: float
+    z_max: float
+
+    @property
+    def width(self) -> int:
+        return self.face_id.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.face_id.shape[0]
+
+    def pixel_of(self, y: float, z: float) -> tuple[int, int]:
+        """(row, col) of an image-plane point (clamped to bounds)."""
+        c = int(
+            (y - self.y_min) / max(self.y_max - self.y_min, 1e-12) * (self.width - 1)
+        )
+        r = int(
+            (z - self.z_min) / max(self.z_max - self.z_min, 1e-12) * (self.height - 1)
+        )
+        return (min(max(r, 0), self.height - 1), min(max(c, 0), self.width - 1))
+
+
+class ZBufferHSR:
+    """Rasterising baseline; see module docstring.
+
+    Parameters
+    ----------
+    width, height:
+        Image resolution in pixels.
+    """
+
+    def __init__(self, *, width: int = 256, height: int = 256):
+        self.width = width
+        self.height = height
+
+    def rasterize(self, terrain: Terrain) -> ZBufferImage:
+        """Rasterise all faces into the x-buffer (vectorised per face
+        bounding box)."""
+        verts = terrain.vertices
+        ys = [v.y for v in verts]
+        zs = [v.z for v in verts]
+        y_min, y_max = min(ys), max(ys)
+        z_min, z_max = min(zs), max(zs)
+        W, H = self.width, self.height
+        face_id = np.full((H, W), -1, dtype=np.int32)
+        depth = np.full((H, W), -np.inf, dtype=np.float64)
+        # Pixel-centre coordinate grids in image space.
+        ygrid = np.linspace(y_min, y_max, W)
+        zgrid = np.linspace(z_min, z_max, H)
+
+        for fi, (a, b, c) in enumerate(terrain.faces):
+            va, vb, vc = verts[a], verts[b], verts[c]
+            # Image-plane triangle (y, z); depth is x.
+            py = np.array([va.y, vb.y, vc.y])
+            pz = np.array([va.z, vb.z, vc.z])
+            px = np.array([va.x, vb.x, vc.x])
+            c0 = max(int(np.searchsorted(ygrid, py.min())) - 1, 0)
+            c1 = min(int(np.searchsorted(ygrid, py.max())) + 1, W)
+            r0 = max(int(np.searchsorted(zgrid, pz.min())) - 1, 0)
+            r1 = min(int(np.searchsorted(zgrid, pz.max())) + 1, H)
+            if c0 >= c1 or r0 >= r1:
+                continue
+            gy, gz = np.meshgrid(ygrid[c0:c1], zgrid[r0:r1])
+            # Barycentric coordinates in the image plane.
+            d = (pz[1] - pz[2]) * (py[0] - py[2]) + (py[2] - py[1]) * (
+                pz[0] - pz[2]
+            )
+            if abs(d) < 1e-15:
+                continue  # edge-on triangle: zero image area
+            w0 = (
+                (pz[1] - pz[2]) * (gy - py[2]) + (py[2] - py[1]) * (gz - pz[2])
+            ) / d
+            w1 = (
+                (pz[2] - pz[0]) * (gy - py[2]) + (py[0] - py[2]) * (gz - pz[2])
+            ) / d
+            w2 = 1.0 - w0 - w1
+            inside = (w0 >= -1e-9) & (w1 >= -1e-9) & (w2 >= -1e-9)
+            if not inside.any():
+                continue
+            x_interp = w0 * px[0] + w1 * px[1] + w2 * px[2]
+            block_depth = depth[r0:r1, c0:c1]
+            block_face = face_id[r0:r1, c0:c1]
+            better = inside & (x_interp > block_depth)
+            block_depth[better] = x_interp[better]
+            block_face[better] = fi
+        # Solid occlusion: row index grows with z, so the blocker for a
+        # pixel is the deepest (max-x) surface sample at its height or
+        # above — a reversed cumulative max down each column.
+        occluder = np.maximum.accumulate(depth[::-1, :], axis=0)[::-1, :]
+        return ZBufferImage(
+            face_id, depth, occluder, y_min, y_max, z_min, z_max
+        )
+
+    def run(self, terrain: Terrain, *, samples_per_edge: int = 32) -> HsrResult:
+        """Approximate edge-visibility map from the x-buffer.
+
+        Each edge is sampled along its length; a sample is visible when
+        its depth is within tolerance of the buffer's front depth at
+        that pixel.  Consecutive visible samples merge into
+        :class:`VisibleSegment` entries.
+        """
+        t0 = time.perf_counter()
+        img = self.rasterize(terrain)
+        vmap = VisibilityMap()
+        # Depth tolerance: a couple of pixels' worth of surface slope.
+        span_x = max(v.x for v in terrain.vertices) - min(
+            v.x for v in terrain.vertices
+        )
+        tol = max(span_x, 1.0) * 4.0 / max(self.width, self.height)
+        for e in range(terrain.n_edges):
+            p, q = terrain.edge_endpoints(e)
+            run_start = None
+            prev = None
+            for i in range(samples_per_edge + 1):
+                t = i / samples_per_edge
+                x = p.x + t * (q.x - p.x)
+                y = p.y + t * (q.y - p.y)
+                z = p.z + t * (q.z - p.z)
+                r, c = img.pixel_of(y, z)
+                visible = x >= img.occluder[r, c] - tol
+                if visible and run_start is None:
+                    run_start = (y, z)
+                if (not visible or i == samples_per_edge) and run_start is not None:
+                    end = (y, z) if visible else prev
+                    if end is not None:
+                        ya, za = run_start
+                        yb, zb = end
+                        if ya > yb:
+                            ya, za, yb, zb = yb, zb, ya, za
+                        vmap.add_segment(VisibleSegment(e, ya, za, yb, zb))
+                    run_start = None
+                prev = (y, z)
+        stats = HsrStats(
+            n_edges=terrain.n_edges,
+            k=vmap.k,
+            ops=self.width * self.height,
+            wall_time_s=time.perf_counter() - t0,
+            extra={"pixels": float(self.width * self.height)},
+        )
+        return HsrResult(vmap, stats)

@@ -1,0 +1,16 @@
+"""Front-to-back ordering and the separator/PCT tree skeleton."""
+
+from repro.ordering.separator import SeparatorNode, SeparatorTree
+from repro.ordering.sweep import (
+    front_to_back_order,
+    in_front_comparison,
+    order_constraints,
+)
+
+__all__ = [
+    "SeparatorNode",
+    "SeparatorTree",
+    "front_to_back_order",
+    "in_front_comparison",
+    "order_constraints",
+]

@@ -1,0 +1,58 @@
+"""Persistent data structures (paper §1: "our use of persistent
+data-structures is somewhat novel in the context of parallel
+algorithms").
+
+* :mod:`repro.persistence.treap` — fully persistent treap primitives.
+* :mod:`repro.persistence.envelope_store` — profile versions that
+  share structure across PCT layer-mates.
+"""
+
+from repro.persistence.envelope_store import (
+    PersistentEnvelope,
+    penv_from_envelope,
+    penv_splice_merge,
+    penv_value_at,
+)
+from repro.persistence.treap import (
+    TreapNode,
+    allocation_count,
+    count_nodes,
+    count_shared_nodes,
+    delete,
+    find,
+    from_sorted,
+    insert,
+    iter_nodes,
+    join,
+    kth,
+    range_query,
+    reset_allocation_count,
+    size,
+    split,
+    to_list,
+    treap_priority,
+)
+
+__all__ = [
+    "PersistentEnvelope",
+    "TreapNode",
+    "allocation_count",
+    "count_nodes",
+    "count_shared_nodes",
+    "delete",
+    "find",
+    "from_sorted",
+    "insert",
+    "iter_nodes",
+    "join",
+    "kth",
+    "penv_from_envelope",
+    "penv_splice_merge",
+    "penv_value_at",
+    "range_query",
+    "reset_allocation_count",
+    "size",
+    "split",
+    "to_list",
+    "treap_priority",
+]

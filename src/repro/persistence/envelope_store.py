@@ -1,0 +1,196 @@
+"""Persistent envelopes: treap-backed profile versions.
+
+Phase 2 of the algorithm materialises one *actual profile* per PCT
+node, and profiles at the same layer share all structure outside the
+y-range of the intermediate profile merged in (paper Fig. 1: "profiles
+may be shared among the layers").  Array envelopes would copy
+everything; here a profile version is a persistent-treap root keyed by
+piece start, and a merge **splices** only the affected y-range —
+``O(log n)`` fresh nodes plus the genuinely new pieces.
+
+Experiment E5 measures the resulting node sharing and compares memory
+against the copying alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.envelope.chain import Envelope, Piece
+from repro.envelope.merge import MergeResult, merge_envelopes
+from repro.geometry.primitives import EPS, NEG_INF
+from repro.persistence import treap
+from repro.persistence.treap import Root, TreapNode
+
+__all__ = [
+    "PersistentEnvelope",
+    "penv_from_envelope",
+    "penv_value_at",
+    "penv_range_pieces",
+    "penv_splice_merge",
+    "penv_visible_parts",
+]
+
+
+def penv_from_envelope(env: Envelope) -> Root:
+    """Build a treap version from an array envelope in ``O(n)``."""
+    return treap.from_sorted([(p.ya, p) for p in env.pieces])
+
+
+def penv_value_at(root: Root, y: float) -> float:
+    """Profile height at ``y`` (``-inf`` in gaps): treap descent."""
+    node = root
+    candidate: Optional[Piece] = None
+    while node is not None:
+        if node.key <= y:
+            piece: Piece = node.value
+            if piece.ya <= y <= piece.yb:
+                candidate = piece
+            node = node.right
+        else:
+            node = node.left
+    if candidate is not None:
+        return candidate.z_at(y)
+    return NEG_INF
+
+
+def penv_range_pieces(root: Root, ya: float, yb: float) -> list[Piece]:
+    """Pieces of the version whose closed span intersects ``[ya, yb]``,
+    in y-order — ``O(log n + output)`` via a range query plus the
+    single possible straddling predecessor."""
+    out: list[Piece] = []
+    prev = treap.pred(root, ya)
+    if prev is not None:
+        piece: Piece = prev.value
+        if piece.yb >= ya:
+            out.append(piece)
+    out.extend(p for _, p in treap.range_query(root, ya, yb))
+    # A piece starting exactly at yb touches the range boundary only;
+    # callers that care about touch-points query value_at directly.
+    return out
+
+
+def penv_visible_parts(root: Root, seg, *, eps: float = EPS):
+    """Visible parts of an image segment against a profile version.
+
+    Extracts only the pieces overlapping the segment's y-range and
+    reuses the array-envelope scan — ``O(log n + range)``.
+    """
+    from repro.envelope.visibility import visible_parts
+
+    if seg.is_vertical:
+        local = Envelope(penv_range_pieces(root, seg.y1, seg.y1 + 1e-12))
+        return visible_parts(seg, local, eps=eps)
+    local = Envelope(penv_range_pieces(root, seg.y1, seg.y2))
+    return visible_parts(seg, local, eps=eps)
+
+
+def _trim_boundary_piece(root: Root, cut: float) -> Root:
+    """Given a version whose keys are all ``< cut``, trim its last piece
+    so nothing extends past ``cut``."""
+    if root is None:
+        return None
+    last = treap.kth(root, treap.size(root) - 1)
+    piece: Piece = last.value
+    if piece.yb > cut:
+        if piece.ya >= cut:  # pragma: no cover - keys < cut guarantees
+            return treap.delete(root, piece.ya)
+        return treap.insert(root, piece.ya, piece.clipped(piece.ya, cut))
+    return root
+
+
+def penv_splice_merge(
+    root: Root, other: Envelope, *, eps: float = EPS
+) -> tuple[Root, MergeResult]:
+    """Merge an array envelope ``other`` into profile version ``root``.
+
+    Only the pieces of the version overlapping ``other``'s span are
+    extracted (``range_query``), merged with ``other`` by the standard
+    sweep, and spliced back — everything else is shared with the input
+    version.  Returns ``(new_root, merge_result)`` where the merge
+    result covers only the affected range.
+    """
+    if not other.pieces:
+        return root, MergeResult(Envelope.empty(), [], 0)
+    ya, yb = other.y_span()
+    if root is None:
+        new_mid = penv_from_envelope(other)
+        return new_mid, MergeResult(other, [], other.size)
+
+    left, rest = treap.split(root, ya)
+    # The piece straddling ya sits in `left`; pull it into the merge
+    # range so the sweep sees it, then trim it out of `left`.
+    straddle: Optional[Piece] = None
+    if left is not None:
+        last = treap.kth(left, treap.size(left) - 1)
+        piece: Piece = last.value
+        if piece.yb > ya:
+            straddle = piece
+            left = treap.insert(left, piece.ya, piece.clipped(piece.ya, ya))
+            if left is not None and piece.ya >= ya:  # pragma: no cover
+                left = treap.delete(left, piece.ya)
+    mid, right = treap.split(rest, yb)
+    mid_pieces: list[Piece] = [p for _, p in treap.to_list(mid)]
+    if straddle is not None:
+        mid_pieces.insert(0, straddle.clipped(ya, straddle.yb))
+    # The last in-range piece may extend beyond yb; keep the overhang
+    # out of the merge and re-attach it afterwards.
+    carry: Optional[Piece] = None
+    if mid_pieces and mid_pieces[-1].yb > yb:
+        tail = mid_pieces[-1]
+        mid_pieces[-1] = tail.clipped(tail.ya, yb)
+        if mid_pieces[-1].ya >= mid_pieces[-1].yb:
+            mid_pieces.pop()
+        carry = tail.clipped(yb, tail.yb)
+
+    local = Envelope(mid_pieces)
+    res = merge_envelopes(local, other, eps=eps)
+    merged_pieces = list(res.envelope.pieces)
+    if carry is not None and carry.ya < carry.yb:
+        merged_pieces.append(carry)
+    new_mid = treap.from_sorted([(p.ya, p) for p in merged_pieces])
+    new_root = treap.join(treap.join(left, new_mid), right)
+    return new_root, res
+
+
+class PersistentEnvelope:
+    """Convenience wrapper pairing a treap root with envelope queries.
+
+    Instances are immutable values: ``merged_with`` returns a fresh
+    instance sharing structure with ``self``.
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: Root = None):
+        self.root = root
+
+    @staticmethod
+    def from_envelope(env: Envelope) -> "PersistentEnvelope":
+        return PersistentEnvelope(penv_from_envelope(env))
+
+    @staticmethod
+    def empty() -> "PersistentEnvelope":
+        return PersistentEnvelope(None)
+
+    @property
+    def size(self) -> int:
+        return treap.size(self.root)
+
+    def value_at(self, y: float) -> float:
+        return penv_value_at(self.root, y)
+
+    def to_envelope(self) -> Envelope:
+        return Envelope([p for _, p in treap.to_list(self.root)])
+
+    def merged_with(
+        self, other: Envelope, *, eps: float = EPS
+    ) -> tuple["PersistentEnvelope", MergeResult]:
+        new_root, res = penv_splice_merge(self.root, other, eps=eps)
+        return PersistentEnvelope(new_root), res
+
+    def node_count(self) -> int:
+        return treap.count_nodes(self.root)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PersistentEnvelope(size={self.size})"

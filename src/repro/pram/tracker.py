@@ -1,0 +1,206 @@
+"""Work/depth accounting for the simulated CREW PRAM.
+
+PRAM algorithms are characterised by two quantities: total **work**
+(operations summed over all processors) and **depth** (parallel time
+with unboundedly many processors).  Theorem 3.1's bound
+``O(max{log^4 n, (k + n·alpha(n)) log^3 n / p})`` is exactly a
+(work, depth) statement combined with Brent scheduling — so the
+reproduction *measures* work and depth while running the algorithm,
+then converts them to time-on-``p``-processors with the schedulers in
+:mod:`repro.pram.schedule`.
+
+Usage pattern::
+
+    t = PramTracker()
+    with t.phase("phase 1 / layer 3"):
+        with t.parallel() as par:
+            for task in tasks:
+                with par.branch():
+                    ...   # charges inside accrue to this branch
+    print(t.work, t.depth)
+
+Inside a ``parallel()`` region the branches' work adds up while only
+the *deepest* branch contributes to depth — the defining PRAM rule.
+Regions nest arbitrarily.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import PramError
+
+__all__ = ["PhaseRecord", "PramTracker"]
+
+
+@dataclass
+class PhaseRecord:
+    """Aggregate cost of one named phase (for Lemma 2.2 scheduling).
+
+    ``tasks`` is the number of parallel branches opened directly in the
+    phase and ``max_task_depth`` the deepest of them — together these
+    are the ``N_i`` and ``t_i`` of Lemma 2.2.
+    """
+
+    name: str
+    work: float = 0.0
+    depth: float = 0.0
+    tasks: int = 0
+    max_task_depth: float = 0.0
+
+
+class _Frame:
+    """A cost-accumulation frame (sequential unless ``parallel``)."""
+
+    __slots__ = ("work", "depth", "parallel", "branch_depths", "tasks")
+
+    def __init__(self, parallel: bool):
+        self.work = 0.0
+        self.depth = 0.0
+        self.parallel = parallel
+        self.branch_depths: list[float] = []
+        self.tasks = 0
+
+
+class PramTracker:
+    """Accumulates PRAM work and depth through nested regions.
+
+    The tracker is deliberately cheap (a few float adds per charge) so
+    instrumented algorithm runs remain usable for timing benchmarks;
+    pass ``tracker=None`` to algorithm entry points to skip accounting
+    entirely.
+    """
+
+    def __init__(self) -> None:
+        self._stack: list[_Frame] = [_Frame(parallel=False)]
+        self.phases: list[PhaseRecord] = []
+        self._phase_stack: list[PhaseRecord] = []
+
+    # -- totals -------------------------------------------------------
+
+    @property
+    def work(self) -> float:
+        """Total operations across all (virtual) processors."""
+        return self._stack[0].work
+
+    @property
+    def depth(self) -> float:
+        """Parallel time with unbounded processors."""
+        return self._stack[0].depth
+
+    @property
+    def parallelism(self) -> float:
+        """Average available parallelism ``work / depth``."""
+        d = self.depth
+        return self.work / d if d > 0 else 0.0
+
+    # -- charging -----------------------------------------------------
+
+    def charge(self, work: float, depth: Optional[float] = None) -> None:
+        """Charge ``work`` operations executed sequentially by one
+        processor (depth defaults to the work)."""
+        if work < 0:
+            raise PramError(f"negative work charge: {work}")
+        d = work if depth is None else depth
+        if d < 0:
+            raise PramError(f"negative depth charge: {d}")
+        top = self._stack[-1]
+        top.work += work
+        top.depth += d
+        for ph in self._phase_stack:
+            ph.work += work
+        if self._phase_stack:
+            self._phase_stack[-1].depth += d
+
+    # -- structured regions --------------------------------------------
+
+    @contextmanager
+    def parallel(self) -> Iterator["_ParallelRegion"]:
+        """A region whose branches execute concurrently.
+
+        On exit the region contributes ``sum`` of branch work and
+        ``max`` of branch depth to the enclosing frame.
+        """
+        frame = _Frame(parallel=True)
+        self._stack.append(frame)
+        region = _ParallelRegion(self, frame)
+        try:
+            yield region
+        finally:
+            popped = self._stack.pop()
+            if popped is not frame:  # pragma: no cover - defensive
+                raise PramError("unbalanced parallel region")
+            parent = self._stack[-1]
+            parent.work += frame.work
+            max_d = max(frame.branch_depths, default=0.0)
+            parent.depth += max_d
+            if self._phase_stack:
+                ph = self._phase_stack[-1]
+                ph.depth += max_d
+                ph.tasks += frame.tasks
+                ph.max_task_depth = max(ph.max_task_depth, max_d)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseRecord]:
+        """A named phase; records per-phase totals for Lemma 2.2."""
+        rec = PhaseRecord(name)
+        self._phase_stack.append(rec)
+        try:
+            yield rec
+        finally:
+            self._phase_stack.pop()
+            self.phases.append(rec)
+
+    # -- snapshots ------------------------------------------------------
+
+    def snapshot(self) -> tuple[float, float]:
+        """Current (work, depth) of the root frame."""
+        return (self.work, self.depth)
+
+
+class _ParallelRegion:
+    """Handle yielded by :meth:`PramTracker.parallel`."""
+
+    __slots__ = ("_tracker", "_frame")
+
+    def __init__(self, tracker: PramTracker, frame: _Frame):
+        self._tracker = tracker
+        self._frame = frame
+
+    @contextmanager
+    def branch(self) -> Iterator[None]:
+        """One concurrent branch; charges inside accrue to it."""
+        sub = _Frame(parallel=False)
+        self._tracker._stack.append(sub)
+        try:
+            yield
+        finally:
+            popped = self._tracker._stack.pop()
+            if popped is not sub:  # pragma: no cover - defensive
+                raise PramError("unbalanced branch")
+            self._frame.work += sub.work
+            self._frame.branch_depths.append(sub.depth)
+            self._frame.tasks += 1
+
+    def spawn(self, work: float, depth: Optional[float] = None) -> None:
+        """Shorthand for a branch consisting of a single charge."""
+        if work < 0:
+            raise PramError(f"negative work charge: {work}")
+        d = work if depth is None else depth
+        self._frame.work += work
+        self._frame.branch_depths.append(d)
+        self._frame.tasks += 1
+        # Phase work attribution happens when the region closes for
+        # depth; work must be added to open phases here.
+        for ph in self._tracker._phase_stack:
+            ph.work += work
+
+
+def null_safe_charge(
+    tracker: Optional[PramTracker], work: float, depth: Optional[float] = None
+) -> None:
+    """Charge helper tolerating ``tracker=None`` (accounting disabled)."""
+    if tracker is not None:
+        tracker.charge(work, depth)

@@ -1,0 +1,10 @@
+"""Rendering backends consuming the object-space visibility map."""
+
+from repro.render.ascii_art import ascii_visibility
+from repro.render.svg import render_envelope_svg, render_visibility_svg
+
+__all__ = [
+    "ascii_visibility",
+    "render_envelope_svg",
+    "render_visibility_svg",
+]

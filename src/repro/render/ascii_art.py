@@ -1,0 +1,48 @@
+"""Terminal rendering of visibility maps (quick-look diagnostics)."""
+
+from __future__ import annotations
+
+from repro.hsr.result import VisibilityMap
+
+__all__ = ["ascii_visibility"]
+
+_SHADES = ".:-=+*#%@"
+
+
+def ascii_visibility(
+    vmap: VisibilityMap, *, width: int = 78, height: int = 22
+) -> str:
+    """Rasterise a visibility map into a character grid.
+
+    Each visible segment is sampled along its length; the glyph
+    encodes the source edge (so adjacent edges are distinguishable in
+    a terminal).  Returns the multi-line string.
+    """
+    if not vmap.segments:
+        return "(empty visibility map)"
+    ys: list[float] = []
+    zs: list[float] = []
+    for s in vmap.segments:
+        ys += [s.ya, s.yb]
+        zs += [s.za, s.zb]
+    y0, y1 = min(ys), max(ys)
+    z0, z1 = min(zs), max(zs)
+    dy = max(y1 - y0, 1e-9)
+    dz = max(z1 - z0, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(y: float, z: float, edge: int) -> None:
+        c = int((y - y0) / dy * (width - 1))
+        r = int((z - z0) / dz * (height - 1))
+        grid[height - 1 - r][c] = _SHADES[edge % len(_SHADES)]
+
+    for s in vmap.segments:
+        steps = max(
+            2,
+            int(abs(s.yb - s.ya) / dy * width)
+            + int(abs(s.zb - s.za) / dz * height),
+        )
+        for i in range(steps + 1):
+            t = i / steps
+            plot(s.ya + t * (s.yb - s.ya), s.za + t * (s.zb - s.za), s.edge)
+    return "\n".join("".join(row) for row in grid)

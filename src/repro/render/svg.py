@@ -1,0 +1,134 @@
+"""SVG rendering of visibility maps and profiles.
+
+The algorithm's output is device-independent (§1.1: "a combinatorial
+description of the visible scene which can then be rendered on any
+display device") — this module is one such display device.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.envelope.chain import Envelope
+from repro.hsr.result import VisibilityMap
+
+__all__ = ["render_visibility_svg", "render_envelope_svg"]
+
+_PALETTE = [
+    "#1b9e77",
+    "#d95f02",
+    "#7570b3",
+    "#e7298a",
+    "#66a61e",
+    "#e6ab02",
+    "#a6761d",
+    "#666666",
+]
+
+
+def _viewbox(
+    points: Sequence[tuple[float, float]], pad: float = 0.05
+) -> tuple[float, float, float, float]:
+    ys = [p[0] for p in points]
+    zs = [p[1] for p in points]
+    y0, y1 = min(ys), max(ys)
+    z0, z1 = min(zs), max(zs)
+    dy = max(y1 - y0, 1e-9)
+    dz = max(z1 - z0, 1e-9)
+    return (y0 - pad * dy, z0 - pad * dz, dy * (1 + 2 * pad), dz * (1 + 2 * pad))
+
+
+def render_visibility_svg(
+    vmap: VisibilityMap,
+    path: Union[str, Path, None] = None,
+    *,
+    width: int = 800,
+    height: int = 400,
+    stroke_width: Optional[float] = None,
+    title: str = "visible image",
+) -> str:
+    """Render a visibility map as an SVG document.
+
+    Returns the SVG text; writes it to ``path`` when given.  The image
+    plane's z points up, so the SVG y-axis is flipped.
+    """
+    pts: list[tuple[float, float]] = []
+    for s in vmap.segments:
+        pts.append((s.ya, s.za))
+        pts.append((s.yb, s.zb))
+    if not pts:
+        pts = [(0.0, 0.0), (1.0, 1.0)]
+    vx, vz, vw, vh = _viewbox(pts)
+    sw = stroke_width if stroke_width is not None else vw / 400.0
+    lines = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}"'
+        f' height="{height}" viewBox="{vx:.6g} {-(vz + vh):.6g}'
+        f' {vw:.6g} {vh:.6g}">',
+        f"<title>{title}</title>",
+        f'<rect x="{vx:.6g}" y="{-(vz + vh):.6g}" width="{vw:.6g}"'
+        f' height="{vh:.6g}" fill="#0b1021"/>',
+    ]
+    for s in vmap.segments:
+        color = _PALETTE[s.edge % len(_PALETTE)]
+        if s.is_point:
+            lines.append(
+                f'<circle cx="{s.ya:.6g}" cy="{-s.za:.6g}" r="{sw:.6g}"'
+                f' fill="{color}"/>'
+            )
+        else:
+            lines.append(
+                f'<line x1="{s.ya:.6g}" y1="{-s.za:.6g}" x2="{s.yb:.6g}"'
+                f' y2="{-s.zb:.6g}" stroke="{color}"'
+                f' stroke-width="{sw:.6g}" stroke-linecap="round"/>'
+            )
+    lines.append("</svg>")
+    text = "\n".join(lines)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def render_envelope_svg(
+    env: Envelope,
+    path: Union[str, Path, None] = None,
+    *,
+    width: int = 800,
+    height: int = 300,
+    title: str = "upper profile",
+) -> str:
+    """Render an envelope (e.g. the scene horizon) as an SVG polyline
+    per contiguous run, with gaps left blank."""
+    pts = [(v.x, v.y) for v in env.vertices()] or [(0.0, 0.0), (1.0, 1.0)]
+    vx, vz, vw, vh = _viewbox(pts)
+    sw = vw / 400.0
+    lines = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}"'
+        f' height="{height}" viewBox="{vx:.6g} {-(vz + vh):.6g}'
+        f' {vw:.6g} {vh:.6g}">',
+        f"<title>{title}</title>",
+    ]
+    run: list[str] = []
+    prev_end: Optional[float] = None
+    for p in env.pieces:
+        if prev_end is not None and p.ya > prev_end:
+            if run:
+                lines.append(
+                    f'<polyline points="{" ".join(run)}" fill="none"'
+                    f' stroke="#d95f02" stroke-width="{sw:.6g}"/>'
+                )
+            run = []
+        if not run:
+            run.append(f"{p.ya:.6g},{-p.za:.6g}")
+        run.append(f"{p.yb:.6g},{-p.zb:.6g}")
+        prev_end = p.yb
+    if run:
+        lines.append(
+            f'<polyline points="{" ".join(run)}" fill="none"'
+            f' stroke="#d95f02" stroke-width="{sw:.6g}"/>'
+        )
+    lines.append("</svg>")
+    text = "\n".join(lines)
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,59 @@
+"""Terrain substrate: TIN model, generators, triangulation, DEM, I/O."""
+
+from repro.terrain.dem import dem_to_terrain, parse_esri_ascii, write_esri_ascii
+from repro.terrain.generators import (
+    GENERATORS,
+    fractal_terrain,
+    generate_terrain,
+    grid_terrain_from_heights,
+    plateau_terrain,
+    random_terrain,
+    ridge_terrain,
+    shielded_basin_terrain,
+    valley_terrain,
+)
+from repro.terrain.io import (
+    load_terrain_json,
+    load_terrain_obj,
+    save_terrain_json,
+    save_terrain_obj,
+)
+from repro.terrain.model import Terrain
+from repro.terrain.perspective import (
+    Viewpoint,
+    perspective_image_point,
+    perspective_transform,
+)
+from repro.terrain.triangulate import (
+    bowyer_watson,
+    delaunay_faces,
+    grid_faces,
+    triangulate_monotone_polygon,
+)
+
+__all__ = [
+    "GENERATORS",
+    "Terrain",
+    "Viewpoint",
+    "bowyer_watson",
+    "perspective_image_point",
+    "perspective_transform",
+    "delaunay_faces",
+    "dem_to_terrain",
+    "fractal_terrain",
+    "generate_terrain",
+    "grid_faces",
+    "grid_terrain_from_heights",
+    "load_terrain_json",
+    "load_terrain_obj",
+    "parse_esri_ascii",
+    "plateau_terrain",
+    "random_terrain",
+    "ridge_terrain",
+    "save_terrain_json",
+    "save_terrain_obj",
+    "shielded_basin_terrain",
+    "triangulate_monotone_polygon",
+    "valley_terrain",
+    "write_esri_ascii",
+]

@@ -1,0 +1,103 @@
+"""Digital-elevation-model (DEM) import.
+
+Geographic terrain data commonly arrives as a regular height grid
+(e.g. ESRI ASCII grid).  This module parses that format and converts
+grids to TINs via :func:`grid_terrain_from_heights` — the substrate
+for the GIS viewshed example.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.errors import TerrainError
+from repro.terrain.generators import grid_terrain_from_heights
+from repro.terrain.model import Terrain
+
+__all__ = ["parse_esri_ascii", "dem_to_terrain", "write_esri_ascii"]
+
+_HEADER_KEYS = {"ncols", "nrows", "xllcorner", "yllcorner", "cellsize"}
+
+
+def parse_esri_ascii(source: Union[str, Path, TextIO]) -> tuple[np.ndarray, float]:
+    """Parse an ESRI ASCII grid; returns ``(heights, cellsize)``.
+
+    ``heights[0]`` is the southernmost row (the file stores north
+    first; we flip so row index increases northward, matching the
+    terrain convention that rows advance along +x).  ``NODATA`` cells
+    are filled with the grid minimum (terrains must be total
+    functions).
+    """
+    if isinstance(source, (str, Path)):
+        text = Path(source).read_text()
+        stream: TextIO = io.StringIO(text)
+    else:
+        stream = source
+    header: dict[str, float] = {}
+    rows: list[list[float]] = []
+    nodata = None
+    for line in stream:
+        parts = line.split()
+        if not parts:
+            continue
+        key = parts[0].lower()
+        if key in _HEADER_KEYS:
+            header[key] = float(parts[1])
+        elif key == "nodata_value":
+            nodata = float(parts[1])
+        else:
+            rows.append([float(tok) for tok in parts])
+    for req in ("ncols", "nrows", "cellsize"):
+        if req not in header:
+            raise TerrainError(f"ESRI ASCII grid missing header {req!r}")
+    ncols, nrows = int(header["ncols"]), int(header["nrows"])
+    flat = [v for row in rows for v in row]
+    if len(flat) != ncols * nrows:
+        raise TerrainError(
+            f"expected {ncols * nrows} height values, got {len(flat)}"
+        )
+    h = np.array(flat, dtype=np.float64).reshape(nrows, ncols)
+    h = np.flipud(h)
+    if nodata is not None:
+        mask = h == nodata
+        if mask.all():
+            raise TerrainError("grid is entirely NODATA")
+        h[mask] = h[~mask].min()
+    return h, float(header["cellsize"])
+
+
+def dem_to_terrain(
+    source: Union[str, Path, TextIO],
+    *,
+    z_exaggeration: float = 1.0,
+    jitter_seed: int | None = 0,
+) -> Terrain:
+    """Load an ESRI ASCII grid as a terrain TIN."""
+    h, cellsize = parse_esri_ascii(source)
+    return grid_terrain_from_heights(
+        h * z_exaggeration, spacing=cellsize, jitter_seed=jitter_seed
+    )
+
+
+def write_esri_ascii(
+    heights: np.ndarray, path: Union[str, Path], *, cellsize: float = 1.0
+) -> None:
+    """Write a height grid in ESRI ASCII format (row 0 = south)."""
+    h = np.asarray(heights, dtype=np.float64)
+    if h.ndim != 2:
+        raise TerrainError("heights must be 2-D")
+    nrows, ncols = h.shape
+    lines = [
+        f"ncols {ncols}",
+        f"nrows {nrows}",
+        "xllcorner 0.0",
+        "yllcorner 0.0",
+        f"cellsize {cellsize}",
+    ]
+    for row in np.flipud(h):
+        lines.append(" ".join(f"{v:.6g}" for v in row))
+    Path(path).write_text("\n".join(lines) + "\n")

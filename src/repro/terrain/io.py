@@ -1,0 +1,67 @@
+"""Terrain serialisation: JSON (lossless) and Wavefront OBJ (interop)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import TerrainError
+from repro.geometry.primitives import Point3
+from repro.terrain.model import Terrain
+
+__all__ = ["save_terrain_json", "load_terrain_json", "save_terrain_obj", "load_terrain_obj"]
+
+
+def save_terrain_json(terrain: Terrain, path: Union[str, Path]) -> None:
+    """Lossless JSON dump (vertices + faces)."""
+    data = {
+        "format": "repro-terrain",
+        "version": 1,
+        "vertices": [[v.x, v.y, v.z] for v in terrain.vertices],
+        "faces": [list(f) for f in terrain.faces],
+    }
+    Path(path).write_text(json.dumps(data))
+
+
+def load_terrain_json(path: Union[str, Path]) -> Terrain:
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != "repro-terrain":
+        raise TerrainError(f"{path}: not a repro terrain JSON file")
+    verts = [Point3(*map(float, v)) for v in data["vertices"]]
+    faces = [tuple(map(int, f)) for f in data["faces"]]
+    return Terrain(verts, faces, validate=True)
+
+
+def save_terrain_obj(terrain: Terrain, path: Union[str, Path]) -> None:
+    """Wavefront OBJ export (1-based indices, triangles only)."""
+    lines = ["# repro terrain"]
+    for v in terrain.vertices:
+        lines.append(f"v {v.x:.9g} {v.y:.9g} {v.z:.9g}")
+    for a, b, c in terrain.faces:
+        lines.append(f"f {a + 1} {b + 1} {c + 1}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_terrain_obj(path: Union[str, Path]) -> Terrain:
+    """Minimal OBJ import: ``v`` and triangular ``f`` records only."""
+    verts: list[Point3] = []
+    faces: list[tuple[int, int, int]] = []
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), 1):
+        parts = raw.split()
+        if not parts or parts[0].startswith("#"):
+            continue
+        if parts[0] == "v":
+            if len(parts) < 4:
+                raise TerrainError(f"{path}:{lineno}: malformed vertex")
+            verts.append(
+                Point3(float(parts[1]), float(parts[2]), float(parts[3]))
+            )
+        elif parts[0] == "f":
+            idx = [int(tok.split("/")[0]) - 1 for tok in parts[1:]]
+            if len(idx) != 3:
+                raise TerrainError(
+                    f"{path}:{lineno}: only triangular faces supported"
+                )
+            faces.append((idx[0], idx[1], idx[2]))
+    return Terrain(verts, faces, validate=True)

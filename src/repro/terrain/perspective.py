@@ -1,0 +1,97 @@
+"""Perspective viewing support.
+
+The paper (§2): "We are viewing the scene in a direction perpendicular
+to the projection plane, however the algorithm works for perspective
+projection as well."  The reason it works is that a perspective view
+from a finite viewpoint is an *orthographic view of a projectively
+transformed scene*: mapping every vertex through
+
+    y' = (y - vy) / (vx - x)
+    z' = (z - vz) / (vx - x)
+    x' = 1 / (vx - x)
+
+(viewpoint ``(vx, vy, vz)``, looking along ``-x``) sends rays through
+the viewpoint to rays parallel to the x-axis, preserves straightness
+of edges (it is a projective map), and preserves the front-to-back
+order along each ray (``1/(vx - x)`` is increasing in ``x`` for
+``x < vx``, so nearer points keep larger ``x'``).
+Hence running the standard pipeline on the transformed terrain
+computes exactly the perspective visibility, with image coordinates
+``(y', z')`` being the normalised picture-plane coordinates.
+
+Requirements: every vertex strictly in front of the viewpoint
+(``x < vx``) — checked, since the map degenerates at the viewpoint
+plane.  Note the transformed scene is still a terrain in the algorithm
+sense: edges project without crossings onto the new xy-plane because
+projective maps preserve incidence.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import TerrainError
+from repro.geometry.primitives import Point3
+from repro.terrain.model import Terrain
+
+__all__ = ["Viewpoint", "perspective_transform", "perspective_image_point"]
+
+
+class Viewpoint(NamedTuple):
+    """A finite camera position, looking along ``-x``."""
+
+    x: float
+    y: float
+    z: float
+
+    @property
+    def position(self) -> Point3:
+        return Point3(self.x, self.y, self.z)
+
+
+def perspective_image_point(
+    v: Point3, view: Viewpoint
+) -> tuple[float, float]:
+    """Picture-plane coordinates ``(y', z')`` of a scene point.
+
+    Raises :class:`TerrainError` for points not strictly in front of
+    the camera.
+    """
+    depth = view.x - v.x
+    if depth <= 0:
+        raise TerrainError(
+            f"point {v} is behind (or at) the viewpoint plane x={view.x}"
+        )
+    return ((v.y - view.y) / depth, (v.z - view.z) / depth)
+
+
+def perspective_transform(
+    terrain: Terrain, view: Viewpoint, *, min_depth: float = 1e-6
+) -> Terrain:
+    """The projectively transformed terrain whose orthographic
+    visibility equals the perspective visibility of ``terrain`` from
+    ``view`` (see module docstring).
+
+    ``min_depth`` guards against vertices arbitrarily close to the
+    viewpoint plane (the map blows up there).
+    """
+    verts: list[Point3] = []
+    for v in terrain.vertices:
+        depth = view.x - v.x
+        if depth < min_depth:
+            raise TerrainError(
+                f"vertex {v} too close to the viewpoint plane"
+                f" (depth {depth} < {min_depth})"
+            )
+        verts.append(
+            Point3(
+                1.0 / depth,
+                (v.y - view.y) / depth,
+                (v.z - view.z) / depth,
+            )
+        )
+    # The transformed vertex set can collapse distinct xy-projections
+    # only if two vertices lie on one ray through the viewpoint with
+    # equal y' — in that case the scene genuinely self-occludes at a
+    # point and the strict terrain check rightfully fails.
+    return Terrain(verts, terrain.faces, validate=True)

@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.segments import ImageSegment
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+def random_image_segments(
+    rng: random.Random,
+    count: int,
+    *,
+    y_range: tuple[float, float] = (0.0, 100.0),
+    z_range: tuple[float, float] = (0.0, 50.0),
+    min_width: float = 0.5,
+) -> list[ImageSegment]:
+    """Random non-vertical image segments with distinct sources."""
+    out = []
+    lo, hi = y_range
+    for i in range(count):
+        y1 = rng.uniform(lo, hi - min_width)
+        y2 = rng.uniform(y1 + min_width, hi)
+        z1 = rng.uniform(*z_range)
+        z2 = rng.uniform(*z_range)
+        out.append(ImageSegment(y1, z1, y2, z2, i))
+    return out
+
+
+def brute_force_envelope_value(segments, y: float) -> float:
+    """Reference upper-envelope value at ``y``: max over segments."""
+    best = float("-inf")
+    for s in segments:
+        if s.is_vertical:
+            continue
+        if s.y1 <= y <= s.y2:
+            v = s.z_at(y)
+            if v > best:
+                best = v
+    return best

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestGenerate:
+    def test_json_output(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        rc = main(
+            ["generate", "fractal", str(out), "--size", "5", "--seed", "3"]
+        )
+        assert rc == 0
+        assert out.exists()
+        data = json.loads(out.read_text())
+        assert data["format"] == "repro-terrain"
+
+    def test_obj_output(self, tmp_path):
+        out = tmp_path / "t.obj"
+        rc = main(["generate", "ridge", str(out), "--rows", "6", "--cols", "6"])
+        assert rc == 0
+        assert out.read_text().startswith("# repro terrain")
+
+    def test_unknown_kind(self, tmp_path):
+        from repro.errors import TerrainError
+
+        with pytest.raises(TerrainError):
+            main(["generate", "marsscape", str(tmp_path / "x.json")])
+
+
+class TestRun:
+    def test_run_generator_json(self, capsys):
+        rc = main(
+            ["run", "ridge", "--json", "--algorithm", "sequential"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "sequential"
+        assert payload["k"] > 0
+
+    def test_run_parallel_reports_pram(self, capsys):
+        rc = main(["run", "ridge", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["work"] > payload["depth"] > 0
+
+    def test_run_terrain_file(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        main(["generate", "fractal", str(path), "--size", "5"])
+        capsys.readouterr()
+        rc = main(["run", str(path), "--algorithm", "sequential"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "VisibilityMap" in out
+
+    def test_run_with_svg(self, tmp_path, capsys):
+        svg = tmp_path / "scene.svg"
+        rc = main(["run", "ridge", "--svg", str(svg)])
+        assert rc == 0
+        assert svg.exists()
+
+    def test_run_azimuth(self, capsys):
+        rc = main(["run", "ridge", "--json", "--azimuth", "90"])
+        assert rc == 0
+
+    def test_zbuffer_algorithm(self, capsys):
+        rc = main(["run", "ridge", "--json", "--algorithm", "zbuffer"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "zbuffer"
+
+    def test_bad_terrain_spec(self):
+        with pytest.raises(SystemExit, match="neither"):
+            main(["run", "/nonexistent/terrain.json"])
+
+
+class TestRenderAndInfo:
+    def test_render_ascii(self, capsys):
+        rc = main(["render", "ridge", "--width", "40", "--height", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) >= 10
+
+    def test_render_svg(self, tmp_path, capsys):
+        svg = tmp_path / "r.svg"
+        rc = main(["render", "ridge", "--svg", str(svg)])
+        assert rc == 0
+        assert svg.exists()
+
+    def test_info(self, capsys):
+        rc = main(["info"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "E1" in out
+
+    def test_bench_single(self, capsys):
+        rc = main(["bench", "E9"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "E9" in out

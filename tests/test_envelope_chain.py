@@ -1,0 +1,183 @@
+"""Unit tests for repro.envelope.chain (Envelope representation)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.envelope.chain import Envelope, EnvelopeBuilder, Piece
+from repro.errors import EnvelopeError
+from repro.geometry.primitives import NEG_INF
+from repro.geometry.segments import ImageSegment
+
+
+def make_env(*pieces):
+    return Envelope([Piece(*p) for p in pieces])
+
+
+class TestPiece:
+    def test_z_at(self):
+        p = Piece(0.0, 0.0, 2.0, 4.0, 1)
+        assert p.z_at(0.0) == 0.0
+        assert p.z_at(2.0) == 4.0
+        assert math.isclose(p.z_at(1.0), 2.0)
+
+    def test_slope(self):
+        assert Piece(0.0, 1.0, 2.0, 5.0, 0).slope == 2.0
+
+    def test_clipped(self):
+        p = Piece(0.0, 0.0, 10.0, 10.0, 2)
+        c = p.clipped(2.0, 3.0)
+        assert (c.ya, c.za, c.yb, c.zb, c.source) == (2.0, 2.0, 3.0, 3.0, 2)
+
+    def test_clipped_invalid(self):
+        p = Piece(0.0, 0.0, 1.0, 1.0, 0)
+        with pytest.raises(EnvelopeError):
+            p.clipped(0.5, 0.2)
+        with pytest.raises(EnvelopeError):
+            p.clipped(-1.0, 0.5)
+
+    def test_as_segment_roundtrip(self):
+        p = Piece(1.0, 2.0, 3.0, 4.0, 9)
+        s = p.as_segment()
+        assert isinstance(s, ImageSegment)
+        assert (s.y1, s.z1, s.y2, s.z2, s.source) == (1, 2, 3, 4, 9)
+
+
+class TestEnvelopeBasics:
+    def test_empty(self):
+        e = Envelope.empty()
+        assert not e
+        assert e.size == 0
+        assert e.value_at(0.0) == NEG_INF
+        with pytest.raises(EnvelopeError):
+            e.y_span()
+
+    def test_from_segment(self):
+        e = Envelope.from_segment(ImageSegment(0.0, 1.0, 2.0, 3.0, 5))
+        assert e.size == 1
+        assert e.value_at(1.0) == 2.0
+        assert e.y_span() == (0.0, 2.0)
+        assert e.sources() == {5}
+
+    def test_from_vertical_segment_empty(self):
+        e = Envelope.from_segment(ImageSegment(1.0, 0.0, 1.0, 5.0, 0))
+        assert e.size == 0
+
+    def test_value_in_gap(self):
+        e = make_env((0, 0, 1, 1, 0), (2, 5, 3, 5, 1))
+        assert e.value_at(1.5) == NEG_INF
+        assert e.value_at(0.5) == 0.5
+        assert e.value_at(2.5) == 5.0
+
+    def test_value_outside_span(self):
+        e = make_env((0, 0, 1, 1, 0))
+        assert e.value_at(-1.0) == NEG_INF
+        assert e.value_at(2.0) == NEG_INF
+
+    def test_value_at_shared_breakpoint_takes_max(self):
+        # Jump discontinuity at y=1: left piece ends at z=1, right
+        # piece starts at z=5; upper envelope convention takes 5.
+        e = make_env((0, 0, 1, 1, 0), (1, 5, 2, 5, 1))
+        assert e.value_at(1.0) == 5.0
+
+    def test_piece_index_covering(self):
+        e = make_env((0, 0, 1, 1, 0), (2, 5, 3, 5, 1))
+        assert e.piece_index_covering(0.5) == 0
+        assert e.piece_index_covering(2.0) == 1
+        assert e.piece_index_covering(1.5) is None
+        assert e.piece_index_covering(9.0) is None
+
+    def test_pieces_overlapping(self):
+        e = make_env((0, 0, 1, 0, 0), (1, 0, 2, 0, 1), (3, 0, 4, 0, 2))
+        assert e.pieces_overlapping(0.5, 1.5) == (0, 2)
+        assert e.pieces_overlapping(1.0, 1.2) == (1, 2)
+        assert e.pieces_overlapping(2.2, 2.8) == (2, 2)
+        assert e.pieces_overlapping(-5, 10) == (0, 3)
+        # Touching only at a point is not overlap.
+        assert e.pieces_overlapping(2.0, 3.0) == (2, 2)
+
+    def test_vertices(self):
+        e = make_env((0, 0, 1, 1, 0), (1, 1, 2, 0, 1))
+        vs = e.vertices()
+        assert [(-0.0 + v.x, v.y) for v in vs] == [
+            (0, 0),
+            (1, 1),
+            (2, 0),
+        ]
+
+    def test_total_length(self):
+        e = make_env((0, 0, 3, 4, 0))
+        assert math.isclose(e.total_length(), 5.0)
+
+
+class TestValidate:
+    def test_ok(self):
+        make_env((0, 0, 1, 1, 0), (1, 1, 2, 2, 1)).validate()
+
+    def test_empty_piece(self):
+        with pytest.raises(EnvelopeError):
+            make_env((1, 0, 1, 1, 0)).validate()
+
+    def test_overlap(self):
+        with pytest.raises(EnvelopeError):
+            make_env((0, 0, 2, 0, 0), (1, 0, 3, 0, 1)).validate()
+
+
+class TestApproxEqual:
+    def test_identical(self):
+        a = make_env((0, 0, 1, 1, 0))
+        b = make_env((0, 0, 1, 1, 9))  # source differs, geometry same
+        assert a.approx_equal(b)
+
+    def test_split_but_equal(self):
+        a = make_env((0, 0, 2, 2, 0))
+        b = make_env((0, 0, 1, 1, 0), (1, 1, 2, 2, 0))
+        assert a.approx_equal(b)
+
+    def test_different(self):
+        a = make_env((0, 0, 1, 1, 0))
+        b = make_env((0, 0, 1, 2, 0))
+        assert not a.approx_equal(b)
+
+    def test_gap_mismatch(self):
+        a = make_env((0, 0, 1, 1, 0), (2, 0, 3, 1, 0))
+        b = make_env((0, 0, 3, 1, 0))
+        assert not a.approx_equal(b)
+
+    def test_both_empty(self):
+        assert Envelope.empty().approx_equal(Envelope.empty())
+
+
+class TestEnvelopeBuilder:
+    def test_coalesces_same_source_contiguous(self):
+        b = EnvelopeBuilder()
+        b.add(Piece(0.0, 0.0, 1.0, 1.0, 3))
+        b.add(Piece(1.0, 1.0, 2.0, 2.0, 3))
+        env = b.build()
+        assert env.size == 1
+        assert env.pieces[0] == Piece(0.0, 0.0, 2.0, 2.0, 3)
+
+    def test_no_coalesce_across_gap(self):
+        b = EnvelopeBuilder()
+        b.add(Piece(0.0, 0.0, 1.0, 1.0, 3))
+        b.add(Piece(1.5, 1.5, 2.0, 2.0, 3))
+        assert b.build().size == 2
+
+    def test_no_coalesce_different_source(self):
+        b = EnvelopeBuilder()
+        b.add(Piece(0.0, 0.0, 1.0, 1.0, 3))
+        b.add(Piece(1.0, 1.0, 2.0, 2.0, 4))
+        assert b.build().size == 2
+
+    def test_drops_empty_pieces(self):
+        b = EnvelopeBuilder()
+        b.add(Piece(1.0, 0.0, 1.0, 0.0, 0))
+        assert b.build().size == 0
+
+    def test_synthetic_sources_need_matching_slope(self):
+        b = EnvelopeBuilder()
+        b.add(Piece(0.0, 0.0, 1.0, 1.0, -1))
+        b.add(Piece(1.0, 1.0, 2.0, 0.0, -1))  # kink: different slope
+        assert b.build().size == 2

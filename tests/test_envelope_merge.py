@@ -1,0 +1,212 @@
+"""Unit and property tests for envelope merging and D&C construction."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.envelope.build import build_envelope, build_envelope_sequential
+from repro.envelope.chain import Envelope, Piece
+from repro.envelope.merge import merge_envelopes, merge_many
+from repro.geometry.primitives import NEG_INF
+from repro.geometry.segments import ImageSegment
+from repro.pram.tracker import PramTracker
+from tests.conftest import brute_force_envelope_value, random_image_segments
+
+
+def seg(y1, z1, y2, z2, src=0):
+    return ImageSegment(float(y1), float(z1), float(y2), float(z2), src)
+
+
+def env_of(*segs):
+    return build_envelope(list(segs)).envelope
+
+
+class TestMergeBasics:
+    def test_merge_with_empty(self):
+        e = Envelope.from_segment(seg(0, 0, 1, 1))
+        assert merge_envelopes(e, Envelope.empty()).envelope.approx_equal(e)
+        assert merge_envelopes(Envelope.empty(), e).envelope.approx_equal(e)
+
+    def test_disjoint(self):
+        a = Envelope.from_segment(seg(0, 0, 1, 0, 0))
+        b = Envelope.from_segment(seg(2, 5, 3, 5, 1))
+        m = merge_envelopes(a, b).envelope
+        assert m.size == 2
+        assert m.value_at(0.5) == 0.0
+        assert m.value_at(2.5) == 5.0
+        assert m.value_at(1.5) == NEG_INF
+
+    def test_one_above(self):
+        a = Envelope.from_segment(seg(0, 10, 4, 10, 0))
+        b = Envelope.from_segment(seg(1, 0, 2, 1, 1))
+        res = merge_envelopes(a, b)
+        assert res.envelope.approx_equal(a)
+        assert res.crossings == []
+
+    def test_single_crossing(self):
+        a = Envelope.from_segment(seg(0, 0, 10, 10, 0))
+        b = Envelope.from_segment(seg(0, 10, 10, 0, 1))
+        res = merge_envelopes(a, b)
+        assert len(res.crossings) == 1
+        c = res.crossings[0]
+        assert math.isclose(c.y, 5.0) and math.isclose(c.z, 5.0)
+        assert {c.front, c.back} == {0, 1}
+        # max shape: V upside down — descending then ascending? No:
+        # upper envelope of X shape is a V pointing down at the middle.
+        assert math.isclose(res.envelope.value_at(0.0), 10.0)
+        assert math.isclose(res.envelope.value_at(10.0), 10.0)
+        assert math.isclose(res.envelope.value_at(5.0), 5.0)
+
+    def test_tie_prefers_a(self):
+        # Identical geometry, different sources: a's source must win.
+        a = Envelope.from_segment(seg(0, 1, 1, 1, 7))
+        b = Envelope.from_segment(seg(0, 1, 1, 1, 8))
+        res = merge_envelopes(a, b)
+        assert res.envelope.sources() == {7}
+        assert res.crossings == []
+
+    def test_partial_overlap_tie(self):
+        # b extends beyond a with identical z where they overlap.
+        a = Envelope.from_segment(seg(0, 1, 1, 1, 7))
+        b = Envelope.from_segment(seg(0.5, 1, 2, 1, 8))
+        res = merge_envelopes(a, b)
+        m = res.envelope
+        assert m.value_at(0.25) == 1.0
+        assert m.value_at(1.5) == 1.0
+        srcs = [p.source for p in m.pieces]
+        assert srcs[0] == 7 and srcs[-1] == 8
+
+    def test_jump_discontinuity(self):
+        # a ends at z=0 where b starts at z=5: result has a jump, no
+        # transversal crossing.
+        a = Envelope.from_segment(seg(0, 0, 1, 0, 0))
+        b = Envelope.from_segment(seg(1, 5, 2, 5, 1))
+        res = merge_envelopes(a, b)
+        assert res.crossings == []
+        assert res.envelope.value_at(1.0) == 5.0
+
+    def test_coalescing_keeps_size_small(self):
+        # b is entirely below a but has many pieces: a must come back
+        # as a single piece, not split at b's breakpoints.
+        a = Envelope.from_segment(seg(0, 10, 10, 10, 0))
+        pieces = [
+            Piece(float(i), 1.0, float(i + 1), 1.0, 100 + i)
+            for i in range(10)
+        ]
+        b = Envelope(pieces)
+        res = merge_envelopes(a, b)
+        assert res.envelope.size == 1
+
+
+class TestMergeRandomised:
+    def test_against_brute_force(self, rng):
+        for trial in range(30):
+            segs_a = random_image_segments(rng, rng.randint(1, 12))
+            segs_b = [
+                ImageSegment(s.y1, s.z1, s.y2, s.z2, 50 + i)
+                for i, s in enumerate(
+                    random_image_segments(rng, rng.randint(1, 12))
+                )
+            ]
+            a = env_of(*segs_a)
+            b = env_of(*segs_b)
+            m = merge_envelopes(a, b).envelope
+            m.validate()
+            for _ in range(40):
+                y = rng.uniform(-5, 105)
+                want = max(a.value_at(y), b.value_at(y))
+                got = m.value_at(y)
+                if want == NEG_INF:
+                    assert got == NEG_INF
+                else:
+                    assert abs(got - want) <= 1e-7
+
+    def test_merge_many_matches_pairwise(self, rng):
+        segs = random_image_segments(rng, 20)
+        envs = [Envelope.from_segment(s) for s in segs]
+        res = merge_many(envs)
+        for _ in range(60):
+            y = rng.uniform(0, 100)
+            want = brute_force_envelope_value(segs, y)
+            got = res.envelope.value_at(y)
+            if want == NEG_INF:
+                assert got == NEG_INF
+            else:
+                assert abs(got - want) <= 1e-7
+
+
+@st.composite
+def segment_lists(draw, max_size=16):
+    n = draw(st.integers(1, max_size))
+    out = []
+    for i in range(n):
+        y1 = draw(st.floats(0, 99, allow_nan=False))
+        width = draw(st.floats(0.25, 40, allow_nan=False))
+        z1 = draw(st.floats(0, 50, allow_nan=False))
+        z2 = draw(st.floats(0, 50, allow_nan=False))
+        out.append(ImageSegment(y1, z1, y1 + width, z2, i))
+    return out
+
+
+class TestBuildEnvelope:
+    @given(segment_lists())
+    @settings(max_examples=120, deadline=None)
+    def test_dc_matches_brute_force(self, segs):
+        env = build_envelope(segs).envelope
+        env.validate()
+        ys = sorted(
+            {s.y1 for s in segs}
+            | {s.y2 for s in segs}
+            | {s.y1 + 0.37 * (s.y2 - s.y1) for s in segs}
+        )
+        for y in ys:
+            want = brute_force_envelope_value(segs, y)
+            got = env.value_at(y)
+            if want == NEG_INF:
+                assert got == NEG_INF
+            else:
+                assert abs(got - want) <= 1e-6 * (1 + abs(want))
+
+    @given(segment_lists(max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_dc_matches_incremental(self, segs):
+        a = build_envelope(segs).envelope
+        b = build_envelope_sequential(segs).envelope
+        assert a.approx_equal(b, eps=1e-6)
+
+    def test_empty_input(self):
+        assert build_envelope([]).envelope.size == 0
+
+    def test_vertical_segments_skipped(self):
+        segs = [seg(1, 0, 1, 5, 0), seg(0, 1, 2, 1, 1)]
+        env = build_envelope(segs).envelope
+        assert env.sources() == {1}
+
+    def test_order_invariance(self, rng):
+        segs = random_image_segments(rng, 25)
+        e1 = build_envelope(segs).envelope
+        shuffled = segs[:]
+        rng.shuffle(shuffled)
+        e2 = build_envelope(shuffled).envelope
+        assert e1.approx_equal(e2)
+
+    def test_tracker_depth_polylog(self):
+        rng = random.Random(1)
+        for m in (64, 256, 1024):
+            segs = random_image_segments(rng, m)
+            t = PramTracker()
+            build_envelope(segs, tracker=t)
+            # Lemma 3.1: depth O(log^2 m) — allow a generous constant.
+            assert t.depth <= 4.0 * math.log2(m) ** 2
+            assert t.work >= m  # at least reads every segment
+
+    def test_envelope_size_near_linear(self, rng):
+        # Upper envelope of m segments has size O(m alpha(m)); for
+        # random segments it is well below 3m.
+        segs = random_image_segments(rng, 400)
+        env = build_envelope(segs).envelope
+        assert env.size <= 3 * len(segs)

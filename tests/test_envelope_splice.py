@@ -1,0 +1,69 @@
+"""Tests for localised envelope insertion (sequential-algorithm core)."""
+
+from __future__ import annotations
+
+from repro.envelope.build import build_envelope
+from repro.envelope.chain import Envelope
+from repro.envelope.merge import merge_envelopes
+from repro.envelope.splice import insert_segment
+from repro.geometry.segments import ImageSegment
+from tests.conftest import random_image_segments
+
+
+class TestInsertSegment:
+    def test_insert_into_empty(self):
+        seg = ImageSegment(0, 1, 5, 2, 0)
+        res = insert_segment(Envelope.empty(), seg)
+        assert res.envelope.size == 1
+        assert res.visibility.fully_visible
+
+    def test_hidden_leaves_envelope_unchanged(self):
+        base = Envelope.from_segment(ImageSegment(0, 10, 10, 10, 0))
+        seg = ImageSegment(2, 1, 8, 1, 1)
+        res = insert_segment(base, seg)
+        assert res.envelope is base  # identity: no splice performed
+        assert res.visibility.fully_hidden
+
+    def test_vertical_never_splices(self):
+        base = Envelope.from_segment(ImageSegment(0, 1, 10, 1, 0))
+        seg = ImageSegment(5, 0, 5, 9, 1)
+        res = insert_segment(base, seg)
+        assert res.envelope is base
+        assert not res.visibility.fully_hidden
+
+    def test_incremental_matches_batch_merge(self, rng):
+        for _ in range(15):
+            segs = random_image_segments(rng, rng.randint(2, 25))
+            env = Envelope.empty()
+            for s in segs:
+                env = insert_segment(env, s).envelope
+            want = build_envelope(segs).envelope
+            assert env.approx_equal(want, eps=1e-7)
+
+    def test_visibility_matches_direct_query(self, rng):
+        from repro.envelope.visibility import visible_parts
+
+        segs = random_image_segments(rng, 20)
+        env = Envelope.empty()
+        for s in segs:
+            direct = visible_parts(s, env)
+            res = insert_segment(env, s)
+            assert len(direct.parts) == len(res.visibility.parts)
+            env = res.envelope
+
+    def test_splice_is_local(self, rng):
+        # Pieces far from the inserted segment's span must be reused
+        # by identity (no copying outside the splice range).
+        segs = random_image_segments(rng, 40, y_range=(0.0, 1000.0))
+        env = build_envelope(segs).envelope
+        narrow = ImageSegment(495.0, 1e6, 505.0, 1e6, 777)
+        res = insert_segment(env, narrow)
+        old_ids = {id(p) for p in env.pieces}
+        reused = sum(1 for p in res.envelope.pieces if id(p) in old_ids)
+        assert reused >= env.size - 6
+
+    def test_ops_accounting(self, rng):
+        segs = random_image_segments(rng, 10)
+        env = build_envelope(segs).envelope
+        res = insert_segment(env, ImageSegment(20, 100, 30, 100, 50))
+        assert res.ops >= 1

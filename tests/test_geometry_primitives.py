@@ -1,0 +1,116 @@
+"""Unit tests for repro.geometry.primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import (
+    EPS,
+    Point2,
+    Point3,
+    almost_equal,
+    bbox,
+    collinear,
+    cross2,
+    dist2,
+    inv_lerp,
+    lerp,
+    orient2d,
+    turns_left,
+    turns_right,
+)
+
+
+class TestPoint2:
+    def test_add_sub(self):
+        a = Point2(1.0, 2.0)
+        b = Point2(3.0, -1.0)
+        assert a + b == Point2(4.0, 1.0)
+        assert b - a == Point2(2.0, -3.0)
+
+    def test_scaled(self):
+        assert Point2(2.0, -4.0).scaled(0.5) == Point2(1.0, -2.0)
+
+    def test_tuple_compat(self):
+        x, y = Point2(5.0, 6.0)
+        assert (x, y) == (5.0, 6.0)
+
+
+class TestPoint3:
+    def test_project_xy(self):
+        assert Point3(1.0, 2.0, 3.0).project_xy() == Point2(1.0, 2.0)
+
+    def test_project_zy_is_y_then_z(self):
+        p = Point3(1.0, 2.0, 3.0).project_zy()
+        assert p == Point2(2.0, 3.0)
+
+
+class TestOrientation:
+    def test_ccw(self):
+        assert orient2d(Point2(0, 0), Point2(1, 0), Point2(1, 1)) == 1
+
+    def test_cw(self):
+        assert orient2d(Point2(0, 0), Point2(1, 0), Point2(1, -1)) == -1
+
+    def test_collinear(self):
+        assert orient2d(Point2(0, 0), Point2(1, 1), Point2(2, 2)) == 0
+        assert collinear(Point2(0, 0), Point2(1, 1), Point2(2, 2))
+
+    def test_eps_band(self):
+        # Signed area below eps counts as collinear.
+        o, a = Point2(0, 0), Point2(1, 0)
+        b = Point2(1, EPS / 10)
+        assert orient2d(o, a, b) == 0
+        assert orient2d(o, a, b, eps=0.0) == 1
+
+    def test_turns(self):
+        o, a = Point2(0, 0), Point2(1, 0)
+        assert turns_left(o, a, Point2(1, 1))
+        assert turns_right(o, a, Point2(1, -1))
+        assert not turns_left(o, a, Point2(2, 0))
+
+    def test_cross2_magnitude(self):
+        # Twice the triangle area.
+        assert cross2(Point2(0, 0), Point2(2, 0), Point2(0, 3)) == 6.0
+
+
+class TestInterp:
+    def test_lerp_endpoints_exact(self):
+        a, b = 0.1, 0.3
+        assert lerp(a, b, 0.0) == a
+        assert lerp(a, b, 1.0) == b
+
+    def test_lerp_midpoint(self):
+        assert lerp(0.0, 10.0, 0.5) == 5.0
+
+    def test_inv_lerp_roundtrip(self):
+        a, b = -3.0, 7.0
+        for t in (0.0, 0.25, 0.5, 1.0):
+            assert math.isclose(inv_lerp(a, b, lerp(a, b, t)), t)
+
+    def test_inv_lerp_degenerate(self):
+        with pytest.raises(GeometryError):
+            inv_lerp(1.0, 1.0, 1.0)
+
+
+class TestMisc:
+    def test_almost_equal(self):
+        assert almost_equal(1.0, 1.0 + EPS / 2)
+        assert not almost_equal(1.0, 1.0 + 10 * EPS)
+
+    def test_dist2(self):
+        assert dist2(Point2(0, 0), Point2(3, 4)) == 5.0
+
+    def test_bbox(self):
+        pts = [Point2(1, 5), Point2(-2, 3), Point2(4, -1)]
+        assert bbox(pts) == (-2, -1, 4, 5)
+
+    def test_bbox_empty(self):
+        with pytest.raises(GeometryError):
+            bbox([])
+
+    def test_bbox_single(self):
+        assert bbox([Point2(2, 3)]) == (2, 3, 2, 3)

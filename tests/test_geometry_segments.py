@@ -1,0 +1,133 @@
+"""Unit tests for repro.geometry.segments."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import Point2
+from repro.geometry.segments import (
+    ImageSegment,
+    MapSegment,
+    line_crossing_y,
+    segment_intersection_2d,
+)
+
+
+class TestImageSegment:
+    def test_make_normalises_order(self):
+        s = ImageSegment.make(Point2(5.0, 1.0), Point2(2.0, 3.0), source=7)
+        assert (s.y1, s.z1, s.y2, s.z2) == (2.0, 3.0, 5.0, 1.0)
+        assert s.source == 7
+
+    def test_z_at_endpoints_exact(self):
+        s = ImageSegment(0.1, 0.2, 0.9, 0.7, 0)
+        assert s.z_at(0.1) == 0.2
+        assert s.z_at(0.9) == 0.7
+
+    def test_z_at_interior(self):
+        s = ImageSegment(0.0, 0.0, 10.0, 20.0, 0)
+        assert math.isclose(s.z_at(2.5), 5.0)
+
+    def test_slope(self):
+        s = ImageSegment(0.0, 1.0, 2.0, 5.0, 0)
+        assert s.slope == 2.0
+
+    def test_vertical(self):
+        s = ImageSegment(3.0, 1.0, 3.0, 9.0, 0)
+        assert s.is_vertical
+        assert s.top == 9.0
+        assert s.z_at(3.0) == 9.0
+        with pytest.raises(GeometryError):
+            _ = s.slope
+
+    def test_covers(self):
+        s = ImageSegment(1.0, 0.0, 2.0, 0.0, 0)
+        assert s.covers(1.0) and s.covers(2.0) and s.covers(1.5)
+        assert not s.covers(0.99)
+        assert s.covers(0.99, eps=0.02)
+
+    def test_subsegment(self):
+        s = ImageSegment(0.0, 0.0, 10.0, 10.0, 3)
+        sub = s.subsegment(2.0, 4.0)
+        assert (sub.y1, sub.z1, sub.y2, sub.z2) == (2.0, 2.0, 4.0, 4.0)
+        assert sub.source == 3
+
+    def test_subsegment_out_of_range(self):
+        s = ImageSegment(0.0, 0.0, 10.0, 10.0, 0)
+        with pytest.raises(GeometryError):
+            s.subsegment(-1.0, 5.0)
+        with pytest.raises(GeometryError):
+            s.subsegment(5.0, 4.0)
+
+    def test_length(self):
+        assert ImageSegment(0, 0, 3, 4, 0).length() == 5.0
+
+    def test_as_points(self):
+        a, b = ImageSegment(0, 1, 2, 3, 0).as_points()
+        assert a == Point2(0, 1) and b == Point2(2, 3)
+
+
+class TestMapSegment:
+    def test_make_normalises(self):
+        s = MapSegment.make(Point2(1.0, 9.0), Point2(2.0, 3.0))
+        assert s.y1 <= s.y2
+
+    def test_x_at(self):
+        s = MapSegment(0.0, 0.0, 10.0, 10.0, 0)
+        assert s.x_at(5.0) == 5.0
+        assert s.x_at(0.0) == 0.0
+
+    def test_horizontal_takes_near_side(self):
+        s = MapSegment(2.0, 1.0, 8.0, 1.0, 0)
+        assert s.is_horizontal
+        assert s.x_at(1.0) == 8.0  # the x nearest the viewer at +inf
+
+
+class TestLineCrossing:
+    def test_simple_cross(self):
+        a = ImageSegment(0.0, 0.0, 10.0, 10.0, 0)
+        b = ImageSegment(0.0, 10.0, 10.0, 0.0, 1)
+        y = line_crossing_y(a, b)
+        assert y is not None and math.isclose(y, 5.0)
+
+    def test_parallel(self):
+        a = ImageSegment(0.0, 0.0, 10.0, 10.0, 0)
+        b = ImageSegment(0.0, 1.0, 10.0, 11.0, 1)
+        assert line_crossing_y(a, b) is None
+
+    def test_vertical_raises(self):
+        a = ImageSegment(0.0, 0.0, 0.0, 10.0, 0)
+        b = ImageSegment(0.0, 10.0, 10.0, 0.0, 1)
+        with pytest.raises(GeometryError):
+            line_crossing_y(a, b)
+
+
+class TestSegmentIntersection2d:
+    def test_cross(self):
+        p = segment_intersection_2d(
+            Point2(0, 0), Point2(2, 2), Point2(0, 2), Point2(2, 0)
+        )
+        assert p is not None
+        assert math.isclose(p.x, 1.0) and math.isclose(p.y, 1.0)
+
+    def test_miss(self):
+        p = segment_intersection_2d(
+            Point2(0, 0), Point2(1, 0), Point2(0, 1), Point2(1, 1)
+        )
+        assert p is None
+
+    def test_endpoint_touch(self):
+        p = segment_intersection_2d(
+            Point2(0, 0), Point2(1, 1), Point2(1, 1), Point2(2, 0)
+        )
+        assert p is not None
+        assert math.isclose(p.x, 1.0) and math.isclose(p.y, 1.0)
+
+    def test_collinear_overlap_returns_none(self):
+        p = segment_intersection_2d(
+            Point2(0, 0), Point2(2, 0), Point2(1, 0), Point2(3, 0)
+        )
+        assert p is None

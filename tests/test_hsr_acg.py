@@ -1,0 +1,230 @@
+"""Tests for the persistent hull-augmented (ACG) search structures."""
+
+from __future__ import annotations
+
+import math
+
+from repro.envelope.build import build_envelope
+from repro.envelope.chain import Envelope, Piece
+from repro.envelope.merge import merge_envelopes
+from repro.geometry.convex import is_convex_chain
+from repro.geometry.segments import ImageSegment
+from repro.hsr.acg import (
+    acg_splice_merge,
+    collect_flip_candidates,
+    collect_gaps,
+    get_augment,
+    winner_regions,
+)
+from repro.persistence import treap
+from repro.persistence.envelope_store import penv_from_envelope
+from tests.conftest import random_image_segments
+
+
+def env_of(segs):
+    return build_envelope(segs).envelope
+
+
+def brute_gaps(env: Envelope, lo: float, hi: float):
+    """Reference gap computation by linear scan."""
+    out = []
+    cursor = lo
+    for p in env.pieces:
+        if p.ya >= hi:
+            break
+        if p.yb <= lo:
+            continue
+        if p.ya > cursor:
+            out.append((cursor, min(p.ya, hi)))
+        cursor = max(cursor, p.yb)
+    if cursor < hi:
+        out.append((cursor, hi))
+    return [g for g in out if g[1] > g[0]]
+
+
+class TestAugment:
+    def test_span_and_contiguity(self, rng):
+        env = env_of(random_image_segments(rng, 25))
+        root = penv_from_envelope(env)
+        aug = get_augment(root)
+        assert aug.ya_min == env.pieces[0].ya
+        assert aug.yb_max == env.pieces[-1].yb
+        has_gap = any(
+            env.pieces[i].yb != env.pieces[i + 1].ya
+            for i in range(env.size - 1)
+        )
+        assert aug.contiguous == (not has_gap)
+
+    def test_hulls_are_convex_chains(self, rng):
+        env = env_of(random_image_segments(rng, 40))
+        root = penv_from_envelope(env)
+        aug = get_augment(root)
+        # Presorted hull keeps possible duplicate-x stubs at the tail;
+        # the strict convexity check applies to the interior.
+        assert len(aug.lower) >= 2
+        assert all(
+            aug.lower[i].x <= aug.lower[i + 1].x
+            for i in range(len(aug.lower) - 1)
+        )
+        assert all(
+            aug.upper[i].x <= aug.upper[i + 1].x
+            for i in range(len(aug.upper) - 1)
+        )
+
+    def test_hull_bounds_all_vertices(self, rng):
+        env = env_of(random_image_segments(rng, 30))
+        root = penv_from_envelope(env)
+        aug = get_augment(root)
+        lo_min = min(p.y for p in aug.lower)
+        hi_max = max(p.y for p in aug.upper)
+        for p in env.pieces:
+            assert p.za >= lo_min - 1e-9 and p.zb >= lo_min - 1e-9
+            assert p.za <= hi_max + 1e-9 and p.zb <= hi_max + 1e-9
+
+    def test_memoised(self, rng):
+        env = env_of(random_image_segments(rng, 10))
+        root = penv_from_envelope(env)
+        a1 = get_augment(root)
+        a2 = get_augment(root)
+        assert a1 is a2
+
+
+class TestCollectGaps:
+    def test_matches_brute_force(self, rng):
+        for _ in range(30):
+            env = env_of(random_image_segments(rng, rng.randint(1, 20)))
+            root = penv_from_envelope(env)
+            lo = rng.uniform(-10, 50)
+            hi = lo + rng.uniform(1, 120)
+            got = collect_gaps(root, lo, hi)
+            want = brute_gaps(env, lo, hi)
+            assert len(got) == len(want), (got, want)
+            for (ga, gb), (wa, wb) in zip(got, want):
+                assert abs(ga - wa) <= 1e-9
+                assert abs(gb - wb) <= 1e-9
+
+    def test_empty_root(self):
+        assert collect_gaps(None, 0.0, 5.0) == [(0.0, 5.0)]
+
+    def test_no_gaps_in_contiguous(self):
+        env = Envelope([Piece(0, 0, 5, 1, 0), Piece(5, 1, 9, 0, 1)])
+        root = penv_from_envelope(env)
+        assert collect_gaps(root, 1.0, 8.0) == []
+
+
+class TestFlipCandidates:
+    def test_transversal_crossing_found(self):
+        env = Envelope([Piece(0, 0, 10, 10, 0)])
+        root = penv_from_envelope(env)
+        seg = ImageSegment(0, 10, 10, 0, 1)
+        flips = collect_flip_candidates(root, seg, 0.0, 10.0)
+        assert len(flips) == 1
+        assert math.isclose(flips[0], 5.0)
+
+    def test_jump_junction_found(self):
+        env = Envelope([Piece(0, 0, 5, 0, 0), Piece(5, 10, 10, 10, 1)])
+        root = penv_from_envelope(env)
+        seg = ImageSegment(0, 5, 10, 5, 2)  # passes between the jump
+        flips = collect_flip_candidates(root, seg, 0.0, 10.0)
+        assert any(math.isclose(f, 5.0) for f in flips)
+
+    def test_pruned_when_profile_above(self, rng):
+        env = env_of(random_image_segments(rng, 50, z_range=(50, 60)))
+        root = penv_from_envelope(env)
+        lo, hi = env.y_span()
+        seg = ImageSegment(lo, 1.0, hi, 2.0, 99)  # far below
+        from repro.hsr.acg import _ProbeCounter
+
+        c = _ProbeCounter()
+        flips = collect_flip_candidates(root, seg, lo, hi, counter=c)
+        assert flips == []
+        # Hull pruning must cut the search well below the piece count.
+        assert c.probes <= env.size / 2 + 10
+
+
+class TestWinnerRegions:
+    def test_regions_partition_segment(self, rng):
+        env = env_of(random_image_segments(rng, 20))
+        root = penv_from_envelope(env)
+        q = random_image_segments(rng, 1)[0]
+        regions, _crossings, _probes = winner_regions(root, q)
+        assert regions[0][0] == q.y1
+        assert regions[-1][1] == q.y2
+        for (a, b, _w), (c, d, _w2) in zip(regions, regions[1:]):
+            assert b == c
+
+    def test_winner_matches_values(self, rng):
+        from repro.persistence.envelope_store import penv_value_at
+
+        for _ in range(15):
+            env = env_of(random_image_segments(rng, rng.randint(1, 15)))
+            root = penv_from_envelope(env)
+            q = random_image_segments(rng, 1)[0]
+            regions, _, _ = winner_regions(root, q)
+            for (a, b, seg_wins) in regions:
+                m = 0.5 * (a + b)
+                diff = q.z_at(m) - penv_value_at(root, m)
+                if seg_wins:
+                    assert diff > -1e-7
+                else:
+                    assert diff < 1e-7
+
+
+class TestAcgSpliceMerge:
+    def test_matches_plain_merge(self, rng):
+        for trial in range(25):
+            base = env_of(random_image_segments(rng, rng.randint(1, 20)))
+            other_segs = [
+                ImageSegment(s.y1, s.z1, s.y2, s.z2, 100 + i)
+                for i, s in enumerate(
+                    random_image_segments(rng, rng.randint(1, 8))
+                )
+            ]
+            other = env_of(other_segs)
+            root = penv_from_envelope(base)
+            new_root, _ = acg_splice_merge(root, other)
+            got = Envelope([p for _, p in treap.to_list(new_root)])
+            want = merge_envelopes(base, other).envelope
+            assert got.approx_equal(want, eps=1e-6), (
+                f"trial {trial}: acg merge diverged"
+            )
+
+    def test_merge_into_empty(self, rng):
+        other = env_of(random_image_segments(rng, 5))
+        root, _ = acg_splice_merge(None, other)
+        got = Envelope([p for _, p in treap.to_list(root)])
+        assert got.approx_equal(other)
+
+    def test_versions_shared(self, rng):
+        base = env_of(random_image_segments(rng, 60, y_range=(0, 1000)))
+        root = penv_from_envelope(base)
+        narrow = Envelope.from_segment(
+            ImageSegment(480.0, 10000.0, 520.0, 10000.0, 777)
+        )
+        new_root, _ = acg_splice_merge(root, narrow)
+        total, shared = treap.count_shared_nodes(root, new_root)
+        assert shared > 0.5 * treap.size(root)
+
+    def test_hidden_other_only_fills_gaps(self, rng):
+        # A segment far below the profile changes nothing except in
+        # the profile's support gaps (where -inf loses to anything).
+        base = env_of(random_image_segments(rng, 20, z_range=(50, 60)))
+        root = penv_from_envelope(base)
+        lo, hi = base.y_span()
+        low = Envelope.from_segment(ImageSegment(lo, 1.0, hi, 1.0, 99))
+        new_root, res = acg_splice_merge(root, low)
+        got = Envelope([p for _, p in treap.to_list(new_root)])
+        want = merge_envelopes(base, low).envelope
+        assert got.approx_equal(want)
+        assert res.crossings == []  # gap flips are not transversal
+
+    def test_hidden_other_under_contiguous_profile(self):
+        base = Envelope(
+            [Piece(0, 50, 5, 55, 0), Piece(5, 55, 10, 50, 1)]
+        )
+        root = penv_from_envelope(base)
+        low = Envelope.from_segment(ImageSegment(0.0, 1.0, 10.0, 1.0, 99))
+        new_root, res = acg_splice_merge(root, low)
+        got = Envelope([p for _, p in treap.to_list(new_root)])
+        assert got.approx_equal(base)
+        assert res.crossings == []

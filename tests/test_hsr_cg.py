@@ -1,0 +1,165 @@
+"""Tests for the static CG/ACG profile index (Fig. 2, Lemmas 3.3-3.6)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.envelope.build import build_envelope
+from repro.envelope.chain import Envelope, Piece
+from repro.geometry.segments import ImageSegment
+from repro.hsr.cg import ProfileIndex
+from tests.conftest import random_image_segments
+
+
+def brute_crossings(env: Envelope, seg: ImageSegment, eps=1e-9):
+    """Reference: scan every piece for a transversal crossing."""
+    out = []
+    a = seg.slope
+    b = seg.z1 - a * seg.y1
+    for p in env.pieces:
+        u = max(p.ya, seg.y1)
+        v = min(p.yb, seg.y2)
+        if u >= v:
+            continue
+        du = p.z_at(u) - (a * u + b)
+        dv = p.z_at(v) - (a * v + b)
+        su = 0 if abs(du) <= eps else (1 if du > 0 else -1)
+        sv = 0 if abs(dv) <= eps else (1 if dv > 0 else -1)
+        if su * sv < 0:
+            t = du / (du - dv)
+            w = u + t * (v - u)
+            if u < w < v:
+                out.append((w, a * w + b))
+    return sorted(out)
+
+
+def make_profile(rng, m):
+    segs = random_image_segments(rng, m)
+    return build_envelope(segs).envelope
+
+
+class TestConstruction:
+    def test_empty(self):
+        idx = ProfileIndex(Envelope.empty())
+        assert idx.root is None
+        assert idx.node_count() == 0
+        seg = ImageSegment(0, 0, 1, 1, 0)
+        assert idx.first_intersection(seg) == (None, 0)
+
+    def test_single_piece(self):
+        env = Envelope([Piece(0, 0, 10, 10, 0)])
+        idx = ProfileIndex(env)
+        assert idx.node_count() == 1
+        assert idx.root.contiguous
+
+    def test_balanced_height(self, rng):
+        env = make_profile(rng, 200)
+        idx = ProfileIndex(env)
+        assert idx.height() <= math.ceil(math.log2(env.size)) + 1
+
+    def test_contiguity_flags(self):
+        env = Envelope(
+            [Piece(0, 0, 1, 0, 0), Piece(2, 0, 3, 0, 1)]  # gap at [1,2]
+        )
+        idx = ProfileIndex(env)
+        assert not idx.root.contiguous
+
+    def test_build_ops_near_linearithmic(self, rng):
+        env = make_profile(rng, 400)
+        idx = ProfileIndex(env)
+        m = env.size
+        assert idx.build_ops <= 4 * m * math.log2(m)
+
+
+class TestFirstIntersection:
+    def test_simple_crossing(self):
+        env = Envelope([Piece(0, 0, 10, 10, 0)])
+        idx = ProfileIndex(env)
+        seg = ImageSegment(0, 10, 10, 0, 1)
+        hit, probes = idx.first_intersection(seg)
+        assert hit is not None
+        assert math.isclose(hit[0], 5.0) and math.isclose(hit[1], 5.0)
+        assert probes >= 1
+
+    def test_no_crossing_above(self):
+        env = Envelope([Piece(0, 0, 10, 1, 0)])
+        idx = ProfileIndex(env)
+        hit, _ = idx.first_intersection(ImageSegment(0, 5, 10, 6, 1))
+        assert hit is None
+
+    def test_y_from_restriction(self):
+        # Tent profile crossed twice; restricting y_from skips the
+        # first crossing.
+        env = Envelope([Piece(0, 0, 5, 5, 0), Piece(5, 5, 10, 0, 0)])
+        idx = ProfileIndex(env)
+        seg = ImageSegment(0, 2.5, 10, 2.5, 1)
+        hit1, _ = idx.first_intersection(seg)
+        assert math.isclose(hit1[0], 2.5)
+        hit2, _ = idx.first_intersection(seg, y_from=3.0)
+        assert math.isclose(hit2[0], 7.5)
+
+    def test_vertical_segment(self):
+        env = Envelope([Piece(0, 0, 10, 10, 0)])
+        idx = ProfileIndex(env)
+        assert idx.first_intersection(ImageSegment(5, 0, 5, 9, 1)) == (
+            None,
+            0,
+        )
+
+    def test_matches_brute_force_first(self, rng):
+        for _ in range(30):
+            env = make_profile(rng, rng.randint(2, 40))
+            q = random_image_segments(rng, 1)[0]
+            idx = ProfileIndex(env)
+            hit, _ = idx.first_intersection(q)
+            want = brute_crossings(env, q)
+            if want:
+                assert hit is not None
+                assert abs(hit[0] - want[0][0]) <= 1e-9
+            else:
+                assert hit is None
+
+    def test_probe_count_polylog(self, rng):
+        env = make_profile(rng, 500)
+        idx = ProfileIndex(env)
+        lo, hi = env.y_span()
+        worst = 0
+        for _ in range(100):
+            y1 = rng.uniform(lo, hi)
+            seg = ImageSegment(
+                y1, rng.uniform(0, 50), y1 + rng.uniform(1, 30), rng.uniform(0, 50), 9
+            )
+            hit, probes = idx.first_intersection(seg)
+            if hit is not None:
+                worst = max(worst, probes)
+        # First-hit searches must not degenerate to linear scans.
+        assert worst <= 8 * math.log2(env.size) ** 2
+
+
+class TestAllIntersections:
+    def test_matches_brute_force(self, rng):
+        for _ in range(30):
+            env = make_profile(rng, rng.randint(2, 40))
+            q = random_image_segments(rng, 1)[0]
+            idx = ProfileIndex(env)
+            got, _ = idx.all_intersections(q)
+            want = brute_crossings(env, q)
+            assert len(got) == len(want)
+            for (gy, gz), (wy, wz) in zip(got, want):
+                assert abs(gy - wy) <= 1e-8
+                assert abs(gz - wz) <= 1e-8
+
+    def test_many_crossings_sawtooth(self):
+        # Sawtooth profile crossed by a horizontal line: k_s crossings.
+        pieces = []
+        for i in range(20):
+            y = float(2 * i)
+            pieces.append(Piece(y, 0.0, y + 1, 2.0, i))
+            pieces.append(Piece(y + 1, 2.0, y + 2, 0.0, i))
+        env = Envelope(pieces)
+        idx = ProfileIndex(env)
+        seg = ImageSegment(0.0, 1.0, 40.0, 1.0, 99)
+        got, probes = idx.all_intersections(seg)
+        assert len(got) == 40  # two crossings per tooth
+        assert probes > 0

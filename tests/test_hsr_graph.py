@@ -1,0 +1,108 @@
+"""Tests for the planar-graph view of the visibility map."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.hsr.graph import graph_summary, visibility_graph
+from repro.hsr.result import VisibilityMap, VisibleSegment
+from repro.hsr.sequential import SequentialHSR
+from repro.terrain.generators import fractal_terrain, valley_terrain
+
+
+def vm_with(*segs):
+    vm = VisibilityMap()
+    for s in segs:
+        vm.add_segment(VisibleSegment(*s))
+    return vm
+
+
+class TestGraphConstruction:
+    def test_empty(self):
+        g = visibility_graph(VisibilityMap())
+        assert g.number_of_nodes() == 0
+        s = graph_summary(VisibilityMap())
+        assert s["k"] == 0.0 and s["components"] == 0.0
+
+    def test_chain(self):
+        vm = vm_with(
+            (0, 0.0, 0.0, 1.0, 1.0),
+            (1, 1.0, 1.0, 2.0, 0.0),
+        )
+        g = visibility_graph(vm)
+        assert g.number_of_nodes() == 3
+        assert g.number_of_edges() == 2
+        assert nx.number_connected_components(g) == 1
+
+    def test_shared_vertex_welds(self):
+        # Endpoints equal to within the quantum collapse to one node.
+        vm = vm_with(
+            (0, 0.0, 0.0, 1.0, 1.0),
+            (1, 1.0 + 1e-9, 1.0 - 1e-9, 2.0, 0.0),
+        )
+        g = visibility_graph(vm)
+        assert g.number_of_nodes() == 3
+
+    def test_coincident_segments_merge_sources(self):
+        vm = vm_with(
+            (0, 0.0, 0.0, 1.0, 0.0),
+            (5, 0.0, 0.0, 1.0, 0.0),
+        )
+        g = visibility_graph(vm)
+        assert g.number_of_edges() == 1
+        (_, _, data), = g.edges(data=True)
+        assert data["sources"] == {0, 5}
+
+    def test_point_segment_isolated_node(self):
+        vm = vm_with((3, 2.0, 5.0, 2.0, 5.0))
+        g = visibility_graph(vm)
+        assert g.number_of_nodes() == 1
+        assert g.number_of_edges() == 0
+
+    def test_edge_lengths(self):
+        vm = vm_with((0, 0.0, 0.0, 3.0, 4.0))
+        g = visibility_graph(vm)
+        (_, _, data), = g.edges(data=True)
+        assert data["length"] == pytest.approx(5.0)
+
+
+class TestRealScenes:
+    @pytest.fixture(scope="class")
+    def scene(self):
+        t = fractal_terrain(size=17, seed=13)
+        return SequentialHSR().run(t)
+
+    def test_planarity_edge_bound(self, scene):
+        # Planar graphs satisfy E <= 3V - 6 (V >= 3).
+        g = visibility_graph(scene.visibility_map)
+        v = g.number_of_nodes()
+        e = g.number_of_edges()
+        assert v >= 3
+        assert e <= 3 * v - 6
+
+    def test_is_actually_planar(self, scene):
+        g = visibility_graph(scene.visibility_map)
+        is_planar, _ = nx.check_planarity(g)
+        assert is_planar
+
+    def test_total_length_matches_map(self, scene):
+        s = graph_summary(scene.visibility_map)
+        assert s["total_length"] == pytest.approx(
+            scene.visibility_map.total_visible_length(), rel=1e-6
+        )
+
+    def test_k_close_to_map_k(self, scene):
+        s = graph_summary(scene.visibility_map)
+        # Graph k can differ from map k only by merged coincident
+        # segments and welded vertices: stay within 5%.
+        assert abs(s["k"] - scene.k) <= 0.05 * scene.k + 2
+
+    def test_valley_more_connected_than_fractal(self):
+        frac = SequentialHSR().run(fractal_terrain(size=9, seed=14))
+        vall = SequentialHSR().run(valley_terrain(rows=9, cols=9, seed=14))
+        sf = graph_summary(frac.visibility_map)
+        sv = graph_summary(vall.visibility_map)
+        # An amphitheatre's visible image is one big connected sheet;
+        # a fractal's is fragmented ridge crests.
+        assert sv["components"] / sv["nodes"] < sf["components"] / sf["nodes"]

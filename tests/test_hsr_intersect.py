@@ -1,0 +1,98 @@
+"""Tests for the Lemma 3.2 middle-diagonal intersection recursion."""
+
+from __future__ import annotations
+
+import math
+
+from repro.envelope.build import build_envelope
+from repro.envelope.chain import Envelope, Piece
+from repro.geometry.segments import ImageSegment
+from repro.hsr.cg import ProfileIndex
+from repro.hsr.intersect import all_intersections_lemma32
+from repro.pram.tracker import PramTracker
+from tests.conftest import random_image_segments
+from tests.test_hsr_cg import brute_crossings
+
+
+def sawtooth(teeth: int) -> Envelope:
+    pieces = []
+    for i in range(teeth):
+        y = float(2 * i)
+        pieces.append(Piece(y, 0.0, y + 1, 2.0, i))
+        pieces.append(Piece(y + 1, 2.0, y + 2, 0.0, i))
+    return Envelope(pieces)
+
+
+class TestLemma32:
+    def test_empty_profile(self):
+        idx = ProfileIndex(Envelope.empty())
+        got, probes = all_intersections_lemma32(
+            idx, ImageSegment(0, 0, 1, 1, 0)
+        )
+        assert got == [] and probes == 0
+
+    def test_single_crossing(self):
+        env = Envelope([Piece(0, 0, 10, 10, 0)])
+        idx = ProfileIndex(env)
+        got, _ = all_intersections_lemma32(idx, ImageSegment(0, 10, 10, 0, 1))
+        assert len(got) == 1
+        assert math.isclose(got[0][0], 5.0)
+
+    def test_sawtooth_all_found(self):
+        env = sawtooth(16)
+        idx = ProfileIndex(env)
+        seg = ImageSegment(0.0, 1.0, 32.0, 1.0, 99)
+        got, _ = all_intersections_lemma32(idx, seg)
+        assert len(got) == 32
+        ys = [y for y, _ in got]
+        assert ys == sorted(ys)
+
+    def test_matches_brute_force_random(self, rng):
+        for _ in range(30):
+            env = build_envelope(
+                random_image_segments(rng, rng.randint(2, 30))
+            ).envelope
+            idx = ProfileIndex(env)
+            q = random_image_segments(rng, 1)[0]
+            got, _ = all_intersections_lemma32(idx, q)
+            want = brute_crossings(env, q)
+            assert len(got) == len(want)
+            for (gy, _), (wy, _) in zip(got, want):
+                assert abs(gy - wy) <= 1e-8
+
+    def test_matches_repeated_first(self, rng):
+        env = build_envelope(random_image_segments(rng, 25)).envelope
+        idx = ProfileIndex(env)
+        for _ in range(20):
+            q = random_image_segments(rng, 1)[0]
+            a, _ = all_intersections_lemma32(idx, q)
+            b, _ = idx.all_intersections(q)
+            assert len(a) == len(b)
+
+    def test_parallel_depth_less_than_work(self):
+        env = sawtooth(64)
+        idx = ProfileIndex(env)
+        seg = ImageSegment(0.0, 1.0, 128.0, 1.0, 99)
+        tracker = PramTracker()
+        got, probes = all_intersections_lemma32(idx, seg, tracker=tracker)
+        assert len(got) == 128
+        # The recursion splits into parallel branches: depth must be
+        # well below total work.
+        assert tracker.depth < tracker.work / 2
+
+    def test_probe_bound(self):
+        # k_s crossings cost O((k_s + 1) log^2 m) probes.
+        env = sawtooth(64)
+        idx = ProfileIndex(env)
+        seg = ImageSegment(0.0, 1.0, 128.0, 1.0, 99)
+        got, probes = all_intersections_lemma32(idx, seg)
+        ks = len(got)
+        m = env.size
+        assert probes <= 6 * (ks + 1) * math.log2(m) ** 2
+
+    def test_vertical_query(self):
+        idx = ProfileIndex(sawtooth(4))
+        got, probes = all_intersections_lemma32(
+            idx, ImageSegment(3.0, 0.0, 3.0, 5.0, 9)
+        )
+        assert got == [] and probes == 0

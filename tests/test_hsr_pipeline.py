@@ -1,0 +1,171 @@
+"""Integration tests: all HSR algorithms agree on all workload families.
+
+This is the central correctness statement of the reproduction — the
+parallel algorithm (in each of its three Phase-2 engines) must produce
+the identical visibility map to the incremental sequential algorithm
+and the Θ(n²) brute-force baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hsr.naive import NaiveHSR
+from repro.hsr.parallel import ParallelHSR
+from repro.hsr.phase2 import PHASE2_MODES
+from repro.hsr.sequential import SequentialHSR
+from repro.ordering.sweep import front_to_back_order
+from repro.pram.tracker import PramTracker
+from repro.terrain.generators import (
+    fractal_terrain,
+    plateau_terrain,
+    random_terrain,
+    ridge_terrain,
+    shielded_basin_terrain,
+    valley_terrain,
+)
+
+FAMILIES = [
+    ("fractal", lambda: fractal_terrain(size=9, seed=11)),
+    ("ridge", lambda: ridge_terrain(rows=9, cols=9, seed=12)),
+    ("valley", lambda: valley_terrain(rows=9, cols=9, seed=13)),
+    (
+        "basin-open",
+        lambda: shielded_basin_terrain(rows=9, cols=9, occlusion=0.0, seed=14),
+    ),
+    (
+        "basin-shut",
+        lambda: shielded_basin_terrain(rows=9, cols=9, occlusion=1.5, seed=15),
+    ),
+    ("plateau", lambda: plateau_terrain(rows=9, cols=9, seed=16)),
+    ("random", lambda: random_terrain(n_points=50, seed=17)),
+]
+
+
+@pytest.fixture(scope="module", params=FAMILIES, ids=[f[0] for f in FAMILIES])
+def family(request):
+    name, make = request.param
+    terrain = make()
+    seq = SequentialHSR().run(terrain)
+    return name, terrain, seq
+
+
+class TestAgreement:
+    def test_sequential_vs_naive(self, family):
+        _, terrain, seq = family
+        naive = NaiveHSR().run(terrain)
+        assert seq.visibility_map.approx_same(
+            naive.visibility_map, tol=1e-6
+        ), "\n".join(
+            seq.visibility_map.difference_report(naive.visibility_map)[:5]
+        )
+
+    @pytest.mark.parametrize("mode", PHASE2_MODES)
+    def test_parallel_vs_sequential(self, family, mode):
+        _, terrain, seq = family
+        par = ParallelHSR(mode=mode).run(terrain)
+        assert par.visibility_map.approx_same(
+            seq.visibility_map, tol=1e-6
+        ), "\n".join(
+            par.visibility_map.difference_report(seq.visibility_map)[:5]
+        )
+
+    def test_k_matches(self, family):
+        _, terrain, seq = family
+        par = ParallelHSR().run(terrain)
+        assert par.k == seq.k
+
+
+class TestOrderIndependence:
+    def test_any_valid_order_same_output(self):
+        # The visibility map must not depend on which linear extension
+        # of the in-front order is used: reversing tie-breaks by
+        # passing the order reversed-stable is not valid, but two runs
+        # over rotated terrains that realign must agree.
+        t = fractal_terrain(size=9, seed=21)
+        order = front_to_back_order(t)
+        seq1 = SequentialHSR().run(t, order=order)
+        seq2 = SequentialHSR().run(t)  # recomputed order
+        assert seq1.visibility_map.approx_same(seq2.visibility_map)
+
+    def test_shared_order_across_algorithms(self):
+        t = valley_terrain(rows=8, cols=8, seed=22)
+        order = front_to_back_order(t)
+        a = SequentialHSR().run(t, order=order)
+        b = ParallelHSR().run(t, order=order)
+        assert a.visibility_map.approx_same(b.visibility_map)
+
+
+class TestStructuralInvariants:
+    def test_front_edge_always_fully_visible(self, family):
+        """The front-most edge in the order can never be occluded."""
+        _, terrain, seq = family
+        first = seq.order[0]
+        intervals = seq.visibility_map.edge_intervals(first)
+        seg = terrain.image_segment(first)
+        assert intervals, "front edge must be visible"
+        if not seg.is_vertical:
+            total = sum(b - a for a, b in intervals)
+            assert total == pytest.approx(seg.y2 - seg.y1, abs=1e-9)
+
+    def test_visible_parts_within_projection(self, family):
+        _, terrain, seq = family
+        for e in seq.visibility_map.visible_edges():
+            seg = terrain.image_segment(e)
+            for (a, b) in seq.visibility_map.edge_intervals(e):
+                assert seg.y1 - 1e-9 <= a <= b <= seg.y2 + 1e-9
+
+    def test_k_at_least_visible_edges(self, family):
+        _, _, seq = family
+        assert seq.k >= len(seq.visibility_map.visible_edges())
+
+    def test_horizon_edges_visible(self, family):
+        """Every edge contributing to the final profile (the horizon)
+        must have a visible portion."""
+        _, terrain, seq = family
+        horizon = SequentialHSR().final_profile(terrain)
+        visible = seq.visibility_map.visible_edges()
+        for src in horizon.sources():
+            assert src in visible, f"horizon edge {src} reported hidden"
+
+
+class TestTrackerIntegration:
+    def test_work_depth_positive_and_consistent(self):
+        t = fractal_terrain(size=9, seed=31)
+        tracker = PramTracker()
+        ParallelHSR().run(t, tracker=tracker)
+        assert tracker.work > t.n_edges
+        assert 0 < tracker.depth < tracker.work
+        # Phase records cover ordering + phase1 + phase2.
+        names = [p.name for p in tracker.phases]
+        assert names == ["ordering", "phase1", "phase2"]
+
+    def test_depth_polylog_bound(self):
+        # Generous constant: depth within 6·log^4(n) for small n.
+        t = fractal_terrain(size=17, seed=32)
+        tracker = PramTracker()
+        ParallelHSR().run(t, tracker=tracker)
+        n = t.n_edges
+        assert tracker.depth <= 6.0 * math.log2(n) ** 4
+
+    def test_mode_invalid(self):
+        with pytest.raises(ValueError):
+            ParallelHSR(mode="quantum")
+
+
+class TestRotatedViews:
+    @pytest.mark.parametrize("azimuth", [30.0, 90.0, 215.0])
+    def test_rotated_terrain_still_consistent(self, azimuth):
+        t = random_terrain(n_points=40, seed=41).rotated(azimuth)
+        seq = SequentialHSR().run(t)
+        par = ParallelHSR().run(t)
+        assert par.visibility_map.approx_same(seq.visibility_map, tol=1e-6)
+
+    def test_rotation_changes_visibility(self):
+        t = ridge_terrain(rows=9, cols=9, seed=42)
+        k_front = SequentialHSR().run(t).k
+        k_side = SequentialHSR().run(t.rotated(90.0)).k
+        # Looking along the ridges vs across them must differ.
+        assert k_front != k_side

@@ -1,0 +1,107 @@
+"""Property-based end-to-end tests: random mini-terrains through the
+whole pipeline.
+
+Hypothesis generates small height grids; the invariant under test is
+the reproduction's core claim — sequential, naive and all parallel
+engines agree — plus order-independence (two different valid linear
+extensions of the in-front order give identical maps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hsr.naive import NaiveHSR
+from repro.hsr.parallel import ParallelHSR
+from repro.hsr.sequential import SequentialHSR
+from repro.ordering.sweep import front_to_back_order
+from repro.terrain.generators import grid_terrain_from_heights
+
+
+@st.composite
+def height_grids(draw):
+    rows = draw(st.integers(3, 6))
+    cols = draw(st.integers(3, 6))
+    cells = draw(
+        st.lists(
+            st.floats(0.0, 10.0, allow_nan=False),
+            min_size=rows * cols,
+            max_size=rows * cols,
+        )
+    )
+    seed = draw(st.integers(0, 2**16))
+    return np.array(cells).reshape(rows, cols), seed
+
+
+class TestPipelineProperties:
+    @given(height_grids())
+    @settings(max_examples=40, deadline=None)
+    def test_all_engines_agree(self, grid_and_seed):
+        heights, seed = grid_and_seed
+        terrain = grid_terrain_from_heights(heights, jitter_seed=seed)
+        seq = SequentialHSR().run(terrain)
+        for mode in ("direct", "persistent", "acg"):
+            par = ParallelHSR(mode=mode).run(terrain)
+            assert par.visibility_map.approx_same(
+                seq.visibility_map, tol=1e-6
+            ), "\n".join(
+                par.visibility_map.difference_report(
+                    seq.visibility_map
+                )[:4]
+            )
+
+    @given(height_grids())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_naive(self, grid_and_seed):
+        heights, seed = grid_and_seed
+        terrain = grid_terrain_from_heights(heights, jitter_seed=seed)
+        seq = SequentialHSR().run(terrain)
+        naive = NaiveHSR().run(terrain)
+        assert seq.visibility_map.approx_same(
+            naive.visibility_map, tol=1e-6
+        )
+
+    @given(height_grids())
+    @settings(max_examples=25, deadline=None)
+    def test_order_independence(self, grid_and_seed):
+        heights, seed = grid_and_seed
+        terrain = grid_terrain_from_heights(heights, jitter_seed=seed)
+        o1 = front_to_back_order(terrain, tie_break="min")
+        o2 = front_to_back_order(terrain, tie_break="max")
+        a = SequentialHSR().run(terrain, order=o1)
+        b = SequentialHSR().run(terrain, order=o2)
+        assert a.visibility_map.approx_same(b.visibility_map, tol=1e-6)
+
+    @given(height_grids())
+    @settings(max_examples=25, deadline=None)
+    def test_output_size_bounds(self, grid_and_seed):
+        heights, seed = grid_and_seed
+        terrain = grid_terrain_from_heights(heights, jitter_seed=seed)
+        res = SequentialHSR().run(terrain)
+        # k is at least the visible-edge count and at most the
+        # theoretical worst case O(n^2) (loose sanity bounds).
+        v = len(res.visibility_map.visible_edges())
+        assert v <= terrain.n_edges
+        assert res.k >= v
+        assert res.k <= terrain.n_edges**2
+
+    @given(height_grids(), st.floats(1.0, 100.0))
+    @settings(max_examples=20, deadline=None)
+    def test_z_offset_invariance(self, grid_and_seed, dz):
+        # Visibility is invariant under a global height shift.
+        heights, seed = grid_and_seed
+        t1 = grid_terrain_from_heights(heights, jitter_seed=seed)
+        t2 = grid_terrain_from_heights(heights + dz, jitter_seed=seed)
+        a = SequentialHSR().run(t1)
+        b = SequentialHSR().run(t2)
+        assert a.visibility_map.visible_edges() == (
+            b.visibility_map.visible_edges()
+        )
+        for e in a.visibility_map.visible_edges():
+            ia = a.visibility_map.edge_intervals(e)
+            ib = b.visibility_map.edge_intervals(e)
+            assert len(ia) == len(ib)
+            for (a1, a2), (b1, b2) in zip(ia, ib):
+                assert abs(a1 - b1) < 1e-6 and abs(a2 - b2) < 1e-6

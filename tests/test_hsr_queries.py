@@ -1,0 +1,137 @@
+"""Tests for point-visibility queries."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import Point3
+from repro.hsr.queries import VisibilityOracle, point_visible
+from repro.terrain.generators import (
+    fractal_terrain,
+    grid_terrain_from_heights,
+)
+
+
+@pytest.fixture(scope="module")
+def ramp():
+    """Plane rising toward the viewer (crest occludes the far side)."""
+    rows = cols = 8
+    h = np.arange(rows, dtype=float)[:, None] * np.ones((1, cols))
+    return grid_terrain_from_heights(h, jitter_seed=1)
+
+
+class TestPointVisible:
+    def test_above_everything(self, ramp):
+        assert point_visible(ramp, Point3(0.0, 3.0, 100.0))
+
+    def test_in_front_of_everything(self, ramp):
+        assert point_visible(ramp, Point3(50.0, 3.0, 0.5))
+
+    def test_behind_crest_low(self, ramp):
+        # Far side of the ramp, below the crest height: occluded.
+        assert not point_visible(ramp, Point3(0.0, 3.0, 1.0))
+
+    def test_behind_crest_above(self, ramp):
+        # Far side but above the crest: visible.
+        assert point_visible(ramp, Point3(0.0, 3.0, 10.0))
+
+    def test_outside_y_range(self, ramp):
+        # No edge covers this y: nothing can occlude.
+        assert point_visible(ramp, Point3(0.0, 1e6, -100.0))
+
+    def test_point_on_surface_visible_when_front(self, ramp):
+        # A point on the crest surface itself.
+        v = ramp.vertices[ramp.n_vertices - 1]
+        assert point_visible(ramp, v)
+
+
+class TestOracle:
+    def test_matches_reference_random(self):
+        t = fractal_terrain(size=9, seed=23)
+        oracle = VisibilityOracle(t)
+        rng = random.Random(5)
+        x0, y0, x1, y1 = t.xy_bounds()
+        z0, z1 = t.height_range()
+        pts = [
+            Point3(
+                rng.uniform(x0 - 2, x1 + 2),
+                rng.uniform(y0, y1),
+                rng.uniform(z0 - 2, z1 + 4),
+            )
+            for _ in range(120)
+        ]
+        got = oracle.visible_many(pts)
+        want = [point_visible(t, p) for p in pts]
+        assert got == want
+
+    def test_matches_reference_on_surface_points(self):
+        t = fractal_terrain(size=9, seed=24)
+        oracle = VisibilityOracle(t)
+        for v in t.vertices[:: max(1, t.n_vertices // 40)]:
+            assert oracle.visible(v) == point_visible(t, v)
+
+    def test_checkpoint_count(self):
+        t = fractal_terrain(size=9, seed=25)
+        oracle = VisibilityOracle(t, checkpoints=5)
+        assert 2 <= oracle.n_checkpoints <= 8
+
+    def test_single_checkpoint_degenerate(self):
+        t = fractal_terrain(size=5, seed=26)
+        oracle = VisibilityOracle(t, checkpoints=1)
+        rng = random.Random(2)
+        x0, y0, x1, y1 = t.xy_bounds()
+        for _ in range(30):
+            p = Point3(
+                rng.uniform(x0, x1), rng.uniform(y0, y1), rng.uniform(0, 8)
+            )
+            assert oracle.visible(p) == point_visible(t, p)
+
+    def test_visible_points_match_visible_edges(self):
+        """Midpoints of visible edge portions must be visible points;
+        midpoints of fully hidden edges must not."""
+        from repro.hsr.sequential import SequentialHSR
+
+        t = fractal_terrain(size=9, seed=27)
+        res = SequentialHSR().run(t)
+        visible_edges = res.visibility_map.visible_edges()
+        oracle = VisibilityOracle(t)
+        checked_vis = checked_hid = 0
+        for e in range(t.n_edges):
+            a, b = t.edge_endpoints(e)
+            mid = Point3(
+                (a.x + b.x) / 2, (a.y + b.y) / 2, (a.z + b.z) / 2
+            )
+            if e in visible_edges:
+                ivals = res.visibility_map.edge_intervals(e)
+                total = sum(y2 - y1 for y1, y2 in ivals)
+                seg = t.image_segment(e)
+                if (
+                    not seg.is_vertical
+                    and total >= (seg.y2 - seg.y1) - 1e-9
+                ):
+                    # Fully visible edge: its midpoint must be visible.
+                    assert oracle.visible(mid), f"edge {e} midpoint"
+                    checked_vis += 1
+            else:
+                assert not oracle.visible(mid) or _near_silhouette(
+                    t, mid
+                ), f"hidden edge {e} midpoint visible"
+                checked_hid += 1
+        assert checked_vis > 5 and checked_hid > 5
+
+
+def _near_silhouette(t, p, eps=1e-6) -> bool:
+    """Borderline case: the midpoint sits within eps of the occluding
+    profile (grazing contact) — either verdict is acceptable."""
+    from repro.geometry.primitives import NEG_INF
+
+    best = NEG_INF
+    for e in range(t.n_edges):
+        m = t.map_segment(e)
+        if m.y1 <= p.y <= m.y2 and m.x_at(p.y) > p.x + 1e-12:
+            z = t.image_segment(e).z_at(p.y)
+            best = max(best, z)
+    return best != NEG_INF and abs(best - p.z) < 1e-6

@@ -1,0 +1,107 @@
+"""Tests for the visibility-map output structure."""
+
+from __future__ import annotations
+
+import math
+
+from repro.envelope.visibility import VisibilityResult, VisiblePart
+from repro.geometry.segments import ImageSegment
+from repro.hsr.result import HsrStats, VisibilityMap, VisibleSegment
+
+
+def vm_with(*segs):
+    vm = VisibilityMap()
+    for s in segs:
+        vm.add_segment(VisibleSegment(*s))
+    return vm
+
+
+class TestVisibleSegment:
+    def test_point_flag(self):
+        assert VisibleSegment(0, 1.0, 2.0, 1.0, 2.0).is_point
+        assert not VisibleSegment(0, 1.0, 2.0, 3.0, 2.0).is_point
+
+    def test_width(self):
+        assert VisibleSegment(0, 1.0, 0.0, 4.0, 0.0).width == 3.0
+
+
+class TestVisibilityMap:
+    def test_empty(self):
+        vm = VisibilityMap()
+        assert vm.n_segments == 0
+        assert vm.k == 0
+        assert vm.visible_edges() == set()
+        assert "0 visible segments" in vm.summary()
+
+    def test_add_edge_result(self):
+        vm = VisibilityMap()
+        seg = ImageSegment(0.0, 0.0, 10.0, 10.0, 3)
+        res = VisibilityResult([VisiblePart(2.0, 6.0)], [(2.0, 2.0)], 1)
+        vm.add_edge_result(3, seg, res)
+        assert vm.visible_edges() == {3}
+        [(a, b)] = vm.edge_intervals(3)
+        assert (a, b) == (2.0, 6.0)
+        s = vm.segments[0]
+        assert math.isclose(s.za, 2.0) and math.isclose(s.zb, 6.0)
+
+    def test_vertical_edge_stored_as_point(self):
+        vm = VisibilityMap()
+        seg = ImageSegment(5.0, 1.0, 5.0, 9.0, 7)
+        res = VisibilityResult([VisiblePart(5.0, 5.0)], [], 1)
+        vm.add_edge_result(7, seg, res)
+        assert vm.segments[0].is_point
+        assert vm.segments[0].za == 9.0  # the top endpoint
+
+    def test_k_counts_vertices_and_edges(self):
+        # Two connected segments: 3 vertices + 2 edges = 5.
+        vm = vm_with((0, 0.0, 0.0, 1.0, 1.0), (1, 1.0, 1.0, 2.0, 0.0))
+        assert vm.k == 5
+
+    def test_k_dedups_shared_vertices(self):
+        # The same map twice: vertices dedup, edges count twice.
+        vm = vm_with((0, 0.0, 0.0, 1.0, 1.0), (1, 0.0, 0.0, 1.0, 1.0))
+        assert len(vm.vertices()) == 2
+        assert vm.k == 4
+
+    def test_total_visible_length(self):
+        vm = vm_with((0, 0.0, 0.0, 3.0, 4.0))
+        assert math.isclose(vm.total_visible_length(), 5.0)
+
+
+class TestComparison:
+    def test_same_maps(self):
+        a = vm_with((0, 0.0, 0.0, 1.0, 0.0))
+        b = vm_with((0, 0.0, 0.0, 1.0, 0.0))
+        assert a.approx_same(b)
+        assert a.difference_report(b) == []
+
+    def test_split_interval_still_same(self):
+        a = vm_with((0, 0.0, 0.0, 2.0, 2.0))
+        b = vm_with((0, 0.0, 0.0, 1.0, 1.0), (0, 1.0, 1.0, 2.0, 2.0))
+        assert a.approx_same(b)
+
+    def test_different_extents(self):
+        a = vm_with((0, 0.0, 0.0, 1.0, 0.0))
+        b = vm_with((0, 0.0, 0.0, 1.5, 0.0))
+        assert not a.approx_same(b)
+        assert len(a.difference_report(b)) == 1
+
+    def test_missing_edge(self):
+        a = vm_with((0, 0.0, 0.0, 1.0, 0.0))
+        b = VisibilityMap()
+        assert not a.approx_same(b)
+
+    def test_tolerance(self):
+        a = vm_with((0, 0.0, 0.0, 1.0, 0.0))
+        b = vm_with((0, 1e-9, 0.0, 1.0, 0.0))
+        assert a.approx_same(b, tol=1e-6)
+        assert not a.approx_same(b, tol=1e-12)
+
+
+class TestHsrStats:
+    def test_as_row(self):
+        st = HsrStats(n_edges=10, k=5, ops=100, extra={"foo": 1.0})
+        row = st.as_row()
+        assert row["n"] == 10
+        assert row["k"] == 5
+        assert row["foo"] == 1.0

@@ -1,0 +1,101 @@
+"""Tests for the image-space z-buffer baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hsr.sequential import SequentialHSR
+from repro.hsr.zbuffer import ZBufferHSR
+from repro.terrain.generators import (
+    fractal_terrain,
+    grid_terrain_from_heights,
+)
+
+
+def toward_plane(rows=8, cols=8):
+    """Plane rising toward the viewer: only the crest visible."""
+    h = np.arange(rows, dtype=float)[:, None] * np.ones((1, cols))
+    return grid_terrain_from_heights(h, jitter_seed=1)
+
+
+def away_plane(rows=8, cols=8):
+    """Amphitheatre plane: everything visible."""
+    h = (rows - 1 - np.arange(rows, dtype=float))[:, None] * np.ones(
+        (1, cols)
+    )
+    return grid_terrain_from_heights(h, jitter_seed=1)
+
+
+class TestRasterize:
+    def test_buffers_shape(self):
+        t = toward_plane()
+        img = ZBufferHSR(width=64, height=32).rasterize(t)
+        assert img.depth.shape == (32, 64)
+        assert img.face_id.shape == (32, 64)
+        assert img.occluder.shape == (32, 64)
+
+    def test_coverage(self):
+        t = away_plane()
+        img = ZBufferHSR(width=64, height=64).rasterize(t)
+        # The amphitheatre fills most of the image rectangle's lower
+        # triangle; at least a third of pixels must be covered.
+        assert (img.face_id >= 0).mean() > 0.3
+
+    def test_occluder_dominates_depth(self):
+        t = toward_plane()
+        img = ZBufferHSR(width=64, height=64).rasterize(t)
+        finite = np.isfinite(img.depth)
+        assert (img.occluder[finite] >= img.depth[finite]).all()
+
+    def test_occluder_column_monotone(self):
+        t = toward_plane()
+        img = ZBufferHSR(width=32, height=32).rasterize(t)
+        # Suffix max downward: lower rows are >= upper rows.
+        for c in range(img.width):
+            col = img.occluder[:, c]
+            assert (col[:-1] >= col[1:] - 1e-12).all()
+
+    def test_pixel_of_clamps(self):
+        t = toward_plane()
+        img = ZBufferHSR(width=16, height=16).rasterize(t)
+        assert img.pixel_of(-1e9, -1e9) == (0, 0)
+        assert img.pixel_of(1e9, 1e9) == (15, 15)
+
+
+class TestVisibility:
+    def test_away_plane_all_visible(self):
+        t = away_plane()
+        res = ZBufferHSR(width=128, height=128).run(t)
+        assert len(res.visibility_map.visible_edges()) == t.n_edges
+
+    def test_toward_plane_mostly_hidden(self):
+        t = toward_plane()
+        res = ZBufferHSR(width=128, height=128).run(t)
+        frac = len(res.visibility_map.visible_edges()) / t.n_edges
+        assert frac < 0.4  # only crest + silhouette
+
+    def test_agrees_with_object_space_in_length(self):
+        t = fractal_terrain(size=9, seed=8)
+        obj = SequentialHSR().run(t)
+        zb = ZBufferHSR(width=256, height=256).run(t)
+        ratio = (
+            zb.visibility_map.total_visible_length()
+            / max(obj.visibility_map.total_visible_length(), 1e-9)
+        )
+        assert 0.6 < ratio < 2.0
+
+    def test_resolution_improves_agreement(self):
+        t = fractal_terrain(size=9, seed=9)
+        obj_len = SequentialHSR().run(t).visibility_map.total_visible_length()
+        errs = []
+        for px in (32, 128):
+            zb = ZBufferHSR(width=px, height=px).run(t)
+            errs.append(
+                abs(zb.visibility_map.total_visible_length() - obj_len)
+            )
+        assert errs[1] <= errs[0] + 1e-9
+
+    def test_stats_report_pixels(self):
+        t = toward_plane()
+        res = ZBufferHSR(width=32, height=16).run(t)
+        assert res.stats.extra["pixels"] == 512.0

@@ -1,0 +1,179 @@
+"""Tests for front-to-back ordering and the separator tree."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import OrderingError
+from repro.geometry.primitives import Point3
+from repro.geometry.segments import MapSegment
+from repro.ordering.separator import SeparatorTree
+from repro.ordering.sweep import (
+    front_to_back_order,
+    in_front_comparison,
+    order_constraints,
+)
+from repro.terrain.generators import (
+    fractal_terrain,
+    random_terrain,
+    valley_terrain,
+)
+from repro.terrain.model import Terrain
+
+
+class TestInFrontComparison:
+    def test_clear_order(self):
+        a = MapSegment(10.0, 0.0, 10.0, 5.0, 0)  # vertical at x=10
+        b = MapSegment(1.0, 0.0, 1.0, 5.0, 1)
+        assert in_front_comparison(a, b) == 1
+        assert in_front_comparison(b, a) == -1
+
+    def test_no_overlap(self):
+        a = MapSegment(0.0, 0.0, 1.0, 1.0, 0)
+        b = MapSegment(5.0, 2.0, 6.0, 3.0, 1)
+        assert in_front_comparison(a, b) == 0
+
+    def test_touching_endpoints_no_constraint(self):
+        a = MapSegment(0.0, 0.0, 1.0, 1.0, 0)
+        b = MapSegment(9.0, 1.0, 9.0, 2.0, 1)
+        assert in_front_comparison(a, b) == 0
+
+    def test_shared_vertex_divergent(self):
+        # Both start at the same map point, diverge in x.
+        a = MapSegment(0.0, 0.0, 5.0, 10.0, 0)
+        b = MapSegment(0.0, 0.0, -5.0, 10.0, 1)
+        assert in_front_comparison(a, b) == 1
+
+
+class TestOrderCorrectness:
+    def _assert_valid_order(self, terrain: Terrain, order: list[int]):
+        """Every in-front pair must appear in front-to-back order."""
+        pos = {e: i for i, e in enumerate(order)}
+        segs = terrain.map_segments()
+        n = len(segs)
+        for a in range(n):
+            for b in range(a + 1, n):
+                c = in_front_comparison(segs[a], segs[b])
+                if c == 1:
+                    assert pos[a] < pos[b], (
+                        f"edge {a} is in front of {b} but ordered later"
+                    )
+                elif c == -1:
+                    assert pos[b] < pos[a], (
+                        f"edge {b} is in front of {a} but ordered later"
+                    )
+
+    def test_permutation(self):
+        t = fractal_terrain(size=9, seed=1)
+        order = front_to_back_order(t)
+        assert sorted(order) == list(range(t.n_edges))
+
+    def test_valid_on_fractal(self):
+        t = fractal_terrain(size=5, seed=2)
+        self._assert_valid_order(t, front_to_back_order(t))
+
+    def test_valid_on_valley(self):
+        t = valley_terrain(rows=6, cols=6, seed=3)
+        self._assert_valid_order(t, front_to_back_order(t))
+
+    def test_valid_on_random_delaunay(self):
+        t = random_terrain(n_points=40, seed=4)
+        self._assert_valid_order(t, front_to_back_order(t))
+
+    def test_deterministic(self):
+        t = fractal_terrain(size=9, seed=5)
+        assert front_to_back_order(t) == front_to_back_order(t)
+
+    def test_handles_horizontal_map_edges(self):
+        # Exact lattice (no jitter): many edges with constant sweep y.
+        import numpy as np
+
+        from repro.terrain.generators import grid_terrain_from_heights
+
+        t = grid_terrain_from_heights(
+            np.arange(16, dtype=float).reshape(4, 4), jitter_seed=None
+        )
+        order = front_to_back_order(t)
+        assert sorted(order) == list(range(t.n_edges))
+
+    def test_constraint_count_linear(self):
+        t = fractal_terrain(size=17, seed=6)
+        cons = order_constraints(t.map_segments())
+        assert len(cons) <= 3 * t.n_edges
+
+    def test_cycle_detection(self):
+        # Fabricated constraint cycle via three mutually-overlapping
+        # crossing segments (invalid as terrain projections).
+        segs = [
+            MapSegment(0.0, 0.0, 10.0, 10.0, 0),
+            MapSegment(10.0, 0.0, 0.0, 10.0, 1),
+            MapSegment(5.0, -1.0, 5.5, 11.0, 2),
+        ]
+        # These cross, so the sweep's status order is inconsistent —
+        # either an OrderingError is raised or the output is still a
+        # permutation (crossings break the in-front premise, both
+        # behaviours are acceptable; what must never happen is a hang
+        # or a wrong-length result silently).
+        verts = [Point3(0, 0, 0)]
+        t = Terrain(verts, [], validate=False)
+        try:
+            order = front_to_back_order(t, segments=segs)
+            assert sorted(order) == [0, 1, 2]
+        except OrderingError:
+            pass
+
+
+class TestSeparatorTree:
+    def test_structure(self):
+        tree = SeparatorTree(list(range(10)))
+        assert tree.n_leaves == 10
+        assert tree.root.span == 10
+        assert len(tree.leaves()) == 10
+        assert tree.height == math.ceil(math.log2(10)) + 1
+
+    def test_leaf_order(self):
+        order = [4, 2, 7, 1]
+        tree = SeparatorTree(order)
+        leaves = sorted(tree.leaves(), key=lambda n: n.lo)
+        assert [tree.leaf_edge(n) for n in leaves] == order
+
+    def test_levels_partition(self):
+        tree = SeparatorTree(list(range(13)))
+        seen = set()
+        for level in tree.levels():
+            for node in level:
+                assert node.index not in seen
+                seen.add(node.index)
+        assert len(seen) == tree.node_count()
+
+    def test_children_partition_parent(self):
+        tree = SeparatorTree(list(range(23)))
+        for node in tree.nodes():
+            if not node.is_leaf:
+                assert node.left.lo == node.lo
+                assert node.left.hi == node.right.lo
+                assert node.right.hi == node.hi
+                assert node.left.parent is node
+
+    def test_bottom_up_is_reverse(self):
+        tree = SeparatorTree(list(range(8)))
+        down = [lvl[0].depth for lvl in tree.levels()]
+        up = [lvl[0].depth for lvl in tree.levels_bottom_up()]
+        assert up == down[::-1]
+
+    def test_leaf_edge_on_internal_raises(self):
+        tree = SeparatorTree(list(range(4)))
+        with pytest.raises(OrderingError):
+            tree.leaf_edge(tree.root)
+
+    def test_empty_rejected(self):
+        with pytest.raises(OrderingError):
+            SeparatorTree([])
+
+    def test_height_logarithmic(self):
+        for n in (2, 17, 100, 1000):
+            tree = SeparatorTree(list(range(n)))
+            assert tree.height <= math.ceil(math.log2(n)) + 1

@@ -1,0 +1,107 @@
+"""Contract tests for the public package surface."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestLazyTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_exports_resolve(self):
+        for name in (
+            "Terrain",
+            "generate_terrain",
+            "ParallelHSR",
+            "SequentialHSR",
+            "NaiveHSR",
+            "VisibilityMap",
+            "PramTracker",
+            "Envelope",
+        ):
+            assert getattr(repro, name) is not None
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_thing
+
+    def test_dir_lists_lazy_names(self):
+        listing = dir(repro)
+        assert "ParallelHSR" in listing
+        assert "generate_terrain" in listing
+
+    def test_import_is_cheap(self):
+        # `import repro` must not pull in the heavy subpackages.
+        code = (
+            "import sys; import repro; "
+            "assert 'repro.hsr' not in sys.modules, 'hsr loaded eagerly'; "
+            "assert 'scipy' not in sys.modules, 'scipy loaded eagerly'; "
+            "print('lazy-ok')"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert "lazy-ok" in out.stdout
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, Exception)
+            if name != "ReproError":
+                assert issubclass(exc, errors.ReproError)
+
+    def test_catchable_as_base(self):
+        from repro.terrain import generate_terrain
+
+        with pytest.raises(errors.ReproError):
+            generate_terrain("not-a-kind")
+
+    def test_distinct_categories(self):
+        assert not issubclass(errors.TerrainError, errors.EnvelopeError)
+        assert not issubclass(errors.PramError, errors.GeometryError)
+
+
+class TestSubpackageAll:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.geometry",
+            "repro.envelope",
+            "repro.persistence",
+            "repro.pram",
+            "repro.terrain",
+            "repro.ordering",
+            "repro.hsr",
+            "repro.render",
+            "repro.bench",
+        ],
+    )
+    def test_all_names_exist(self, module_name):
+        import importlib
+
+        mod = importlib.import_module(module_name)
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module_name}.{name} missing"
+
+    def test_no_private_leaks_in_all(self):
+        import importlib
+
+        for module_name in (
+            "repro.geometry",
+            "repro.envelope",
+            "repro.hsr",
+        ):
+            mod = importlib.import_module(module_name)
+            assert all(not n.startswith("_") for n in mod.__all__)

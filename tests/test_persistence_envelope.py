@@ -1,0 +1,170 @@
+"""Tests for the persistent envelope store (treap-backed profiles)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.envelope.build import build_envelope
+from repro.envelope.chain import Envelope
+from repro.envelope.merge import merge_envelopes
+from repro.geometry.primitives import NEG_INF
+from repro.geometry.segments import ImageSegment
+from repro.persistence import treap
+from repro.persistence.envelope_store import (
+    PersistentEnvelope,
+    penv_from_envelope,
+    penv_range_pieces,
+    penv_splice_merge,
+    penv_value_at,
+    penv_visible_parts,
+)
+from repro.envelope.visibility import visible_parts
+from tests.conftest import random_image_segments
+
+
+def env_of(segs):
+    return build_envelope(segs).envelope
+
+
+class TestRoundtrip:
+    def test_from_to_envelope(self, rng):
+        env = env_of(random_image_segments(rng, 20))
+        pe = PersistentEnvelope.from_envelope(env)
+        back = pe.to_envelope()
+        assert back.approx_equal(env)
+        assert pe.size == env.size
+
+    def test_empty(self):
+        pe = PersistentEnvelope.empty()
+        assert pe.size == 0
+        assert pe.value_at(3.0) == NEG_INF
+        assert pe.to_envelope().size == 0
+
+
+class TestValueAt:
+    def test_matches_array(self, rng):
+        env = env_of(random_image_segments(rng, 30))
+        root = penv_from_envelope(env)
+        for _ in range(200):
+            y = rng.uniform(-10, 110)
+            a = env.value_at(y)
+            b = penv_value_at(root, y)
+            if a == NEG_INF:
+                # Treap value_at uses closed-piece convention; at exact
+                # shared breakpoints the array version may report the
+                # neighbour max — only compare where both are finite or
+                # both gaps away from breakpoints.
+                assert b == NEG_INF or any(
+                    abs(p.ya - y) < 1e-9 or abs(p.yb - y) < 1e-9
+                    for p in env.pieces
+                )
+            else:
+                assert b == NEG_INF or abs(a - b) <= 1e-9
+
+
+class TestRangePieces:
+    def test_includes_straddler(self, rng):
+        env = env_of(random_image_segments(rng, 25))
+        root = penv_from_envelope(env)
+        lo, hi = env.y_span()
+        mid1 = lo + 0.3 * (hi - lo)
+        mid2 = lo + 0.6 * (hi - lo)
+        pieces = penv_range_pieces(root, mid1, mid2)
+        # Every piece overlapping (mid1, mid2) must be present.
+        want = [
+            p for p in env.pieces if p.yb >= mid1 and p.ya < mid2
+        ]
+        assert [p for p in pieces if p.yb > mid1] == [
+            p for p in want if p.yb > mid1
+        ]
+
+    def test_empty_root(self):
+        assert penv_range_pieces(None, 0.0, 1.0) == []
+
+
+class TestSpliceMerge:
+    def test_matches_array_merge(self, rng):
+        for _ in range(20):
+            base = env_of(random_image_segments(rng, rng.randint(1, 20)))
+            other_segs = [
+                ImageSegment(s.y1, s.z1, s.y2, s.z2, 100 + i)
+                for i, s in enumerate(
+                    random_image_segments(rng, rng.randint(1, 10))
+                )
+            ]
+            other = env_of(other_segs)
+            root = penv_from_envelope(base)
+            new_root, _res = penv_splice_merge(root, other)
+            got = Envelope([p for _, p in treap.to_list(new_root)])
+            want = merge_envelopes(base, other).envelope
+            assert got.approx_equal(want, eps=1e-7), (
+                f"splice merge mismatch: {got!r} vs {want!r}"
+            )
+
+    def test_merge_into_empty(self, rng):
+        other = env_of(random_image_segments(rng, 5))
+        new_root, _ = penv_splice_merge(None, other)
+        got = Envelope([p for _, p in treap.to_list(new_root)])
+        assert got.approx_equal(other)
+
+    def test_merge_empty_other(self, rng):
+        base = env_of(random_image_segments(rng, 5))
+        root = penv_from_envelope(base)
+        new_root, res = penv_splice_merge(root, Envelope.empty())
+        assert new_root is root
+        assert res.ops == 0
+
+    def test_old_version_unchanged(self, rng):
+        base = env_of(random_image_segments(rng, 15))
+        root = penv_from_envelope(base)
+        before = treap.to_list(root)
+        other = env_of(
+            [
+                ImageSegment(s.y1, s.z1 + 100, s.y2, s.z2 + 100, 99)
+                for s in random_image_segments(rng, 5)
+            ]
+        )
+        penv_splice_merge(root, other)
+        assert treap.to_list(root) == before
+
+    def test_sharing_outside_range(self, rng):
+        # Merge a narrow envelope: pieces far from its span must be
+        # the same node objects in both versions.
+        segs = random_image_segments(rng, 60, y_range=(0.0, 1000.0))
+        base = env_of(segs)
+        root = penv_from_envelope(base)
+        narrow = Envelope.from_segment(
+            ImageSegment(490.0, 1000.0, 510.0, 1000.0, 777)
+        )
+        new_root, _ = penv_splice_merge(root, narrow)
+        total, shared = treap.count_shared_nodes(root, new_root)
+        assert shared > 0.5 * treap.size(root)
+
+
+class TestPenvVisibility:
+    def test_matches_array_visibility(self, rng):
+        base = env_of(random_image_segments(rng, 25))
+        root = penv_from_envelope(base)
+        for i in range(40):
+            y1 = rng.uniform(0, 80)
+            seg = ImageSegment(
+                y1,
+                rng.uniform(0, 60),
+                y1 + rng.uniform(0.5, 20),
+                rng.uniform(0, 60),
+                500 + i,
+            )
+            a = visible_parts(seg, base)
+            b = penv_visible_parts(root, seg)
+            assert len(a.parts) == len(b.parts)
+            for pa, pb in zip(a.parts, b.parts):
+                assert abs(pa.ya - pb.ya) <= 1e-9
+                assert abs(pa.yb - pb.yb) <= 1e-9
+
+    def test_vertical_query(self, rng):
+        base = env_of([ImageSegment(0.0, 5.0, 10.0, 5.0, 0)])
+        root = penv_from_envelope(base)
+        above = ImageSegment(5.0, 0.0, 5.0, 9.0, 1)
+        below = ImageSegment(5.0, 0.0, 5.0, 4.0, 2)
+        assert not penv_visible_parts(root, above).fully_hidden
+        assert penv_visible_parts(root, below).fully_hidden

@@ -1,0 +1,210 @@
+"""Unit and property tests for the fully persistent treap."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PersistenceError
+from repro.persistence import treap
+
+
+def build(keys):
+    root = None
+    for k in keys:
+        root = treap.insert(root, float(k), f"v{k}")
+    return root
+
+
+class TestBasics:
+    def test_insert_find(self):
+        root = build([3, 1, 2])
+        assert treap.find(root, 1.0) == "v1"
+        assert treap.find(root, 2.0) == "v2"
+        assert treap.find(root, 9.0) is None
+
+    def test_insert_replaces(self):
+        root = build([1])
+        root = treap.insert(root, 1.0, "new")
+        assert treap.size(root) == 1
+        assert treap.find(root, 1.0) == "new"
+
+    def test_to_list_sorted(self):
+        root = build([5, 2, 8, 1, 9, 3])
+        keys = [k for k, _ in treap.to_list(root)]
+        assert keys == sorted(keys)
+
+    def test_delete(self):
+        root = build([1, 2, 3])
+        root = treap.delete(root, 2.0)
+        assert treap.size(root) == 2
+        assert treap.find(root, 2.0) is None
+        # Deleting a missing key is a no-op.
+        assert treap.size(treap.delete(root, 42.0)) == 2
+
+    def test_size_empty(self):
+        assert treap.size(None) == 0
+        assert treap.to_list(None) == []
+
+    def test_kth(self):
+        root = build([5, 2, 8])
+        assert treap.kth(root, 0).key == 2.0
+        assert treap.kth(root, 1).key == 5.0
+        assert treap.kth(root, 2).key == 8.0
+        with pytest.raises(PersistenceError):
+            treap.kth(root, 3)
+        with pytest.raises(PersistenceError):
+            treap.kth(None, 0)
+
+    def test_pred_succ(self):
+        root = build([10, 20, 30])
+        assert treap.pred(root, 25.0).key == 20.0
+        assert treap.pred(root, 10.0) is None
+        assert treap.succ(root, 15.0).key == 20.0
+        assert treap.succ(root, 20.0).key == 20.0
+        assert treap.succ(root, 31.0) is None
+
+    def test_range_query(self):
+        root = build(range(10))
+        got = [k for k, _ in treap.range_query(root, 2.5, 7.0)]
+        assert got == [3.0, 4.0, 5.0, 6.0]
+
+
+class TestSplitJoin:
+    def test_split(self):
+        root = build([1, 2, 3, 4, 5])
+        lo, hi = treap.split(root, 3.0)
+        assert [k for k, _ in treap.to_list(lo)] == [1.0, 2.0]
+        assert [k for k, _ in treap.to_list(hi)] == [3.0, 4.0, 5.0]
+
+    def test_join_roundtrip(self):
+        root = build([1, 2, 3, 4, 5])
+        lo, hi = treap.split(root, 3.0)
+        back = treap.join(lo, hi)
+        assert treap.to_list(back) == treap.to_list(root)
+
+    def test_join_empty(self):
+        root = build([1])
+        assert treap.join(None, root) is root
+        assert treap.join(root, None) is root
+
+
+class TestPersistence:
+    def test_old_version_untouched(self):
+        v1 = build([1, 2, 3])
+        snapshot = treap.to_list(v1)
+        v2 = treap.insert(v1, 4.0, "v4")
+        v3 = treap.delete(v2, 1.0)
+        assert treap.to_list(v1) == snapshot
+        assert treap.size(v2) == 4
+        assert treap.size(v3) == 3
+        assert treap.find(v1, 4.0) is None
+
+    def test_path_copying_is_logarithmic(self):
+        keys = list(range(1024))
+        random.Random(1).shuffle(keys)
+        root = build(keys)
+        before = treap.allocation_count()
+        treap.insert(root, 2048.0, "x")
+        created = treap.allocation_count() - before
+        # Expected O(log n); 64 is a loose bound for n=1024.
+        assert created <= 64
+
+    def test_versions_share_nodes(self):
+        root = build(range(256))
+        v2 = treap.insert(root, 1000.0, "x")
+        total, shared = treap.count_shared_nodes(root, v2)
+        assert shared >= treap.size(root) - 40  # most nodes shared
+        assert total <= treap.count_nodes(root) + 40
+
+    def test_count_nodes(self):
+        root = build(range(50))
+        assert treap.count_nodes(root) == 50
+        assert treap.count_nodes(None) == 0
+
+    def test_deterministic_shape(self):
+        a = build([3, 1, 4, 1, 5, 9, 2, 6])
+        b = build([9, 6, 5, 4, 3, 2, 1])
+        # Same key set (note duplicate 1 collapses) -> same shape.
+        ka = [k for k, _ in treap.to_list(a)]
+        kb = [k for k, _ in treap.to_list(b)]
+        assert ka == kb
+
+        def shape(n):
+            if n is None:
+                return None
+            return (n.key, shape(n.left), shape(n.right))
+
+        # Rebuild b with same values for exact comparison.
+        a2 = build(sorted({3, 1, 4, 5, 9, 2, 6}))
+        assert shape(a)[0] == shape(a2)[0]
+
+
+class TestFromSorted:
+    def test_matches_insertion(self):
+        pairs = [(float(i), str(i)) for i in range(100)]
+        a = treap.from_sorted(pairs)
+        b = build(range(100))
+        # from_sorted must produce the identical (priority-determined)
+        # tree shape as repeated insertion.
+
+        def shape(n):
+            if n is None:
+                return None
+            return (n.key, shape(n.left), shape(n.right))
+
+        assert shape(a) == tuple(
+            (x if not isinstance(x, tuple) else x) for x in shape(b)
+        ) or shape(a) == shape(b)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(PersistenceError):
+            treap.from_sorted([(2.0, "a"), (1.0, "b")])
+        with pytest.raises(PersistenceError):
+            treap.from_sorted([(1.0, "a"), (1.0, "b")])
+
+    def test_empty(self):
+        assert treap.from_sorted([]) is None
+
+
+class TestTreapInvariants:
+    @given(st.lists(st.integers(-1000, 1000), max_size=150))
+    @settings(max_examples=100, deadline=None)
+    def test_bst_and_heap_properties(self, keys):
+        root = build(keys)
+
+        def check(node, lo, hi):
+            if node is None:
+                return
+            assert lo < node.key < hi
+            if node.left is not None:
+                assert node.left.priority <= node.priority
+            if node.right is not None:
+                assert node.right.priority <= node.priority
+            assert node.count == treap.size(node.left) + treap.size(
+                node.right
+            ) + 1
+            check(node.left, lo, node.key)
+            check(node.right, node.key, hi)
+
+        check(root, float("-inf"), float("inf"))
+        assert treap.size(root) == len(set(keys))
+
+    @given(
+        st.lists(st.integers(0, 100), max_size=80),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_split_partition(self, keys, pivot):
+        root = build(keys)
+        lo, hi = treap.split(root, float(pivot))
+        lo_keys = [k for k, _ in treap.to_list(lo)]
+        hi_keys = [k for k, _ in treap.to_list(hi)]
+        assert all(k < pivot for k in lo_keys)
+        assert all(k >= pivot for k in hi_keys)
+        assert sorted(lo_keys + hi_keys) == sorted(
+            float(k) for k in set(keys)
+        )

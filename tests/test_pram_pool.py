@@ -1,0 +1,81 @@
+"""Tests for execution backends (serial + process pool)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.envelope.chain import Envelope, Piece
+from repro.hsr.parallel import ParallelHSR
+from repro.pram.pool import (
+    ProcessBackend,
+    SerialBackend,
+    available_workers,
+    default_backend,
+)
+from repro.terrain.generators import fractal_terrain
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+class TestSerialBackend:
+    def test_map(self):
+        b = SerialBackend()
+        assert b.map(square, [1, 2, 3]) == [1, 4, 9]
+        assert b.workers == 1
+        b.close()
+
+    def test_default_backend(self):
+        assert isinstance(default_backend(), SerialBackend)
+
+
+class TestAvailableWorkers:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert available_workers() == 3
+
+    def test_env_invalid_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "banana")
+        assert available_workers() >= 1
+
+    def test_env_minimum_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert available_workers() == 1
+
+
+class TestProcessBackend:
+    def test_map_functions(self):
+        with ProcessBackend(workers=2) as b:
+            assert b.map(square, list(range(20))) == [
+                x * x for x in range(20)
+            ]
+
+    def test_single_item_stays_inline(self):
+        with ProcessBackend(workers=2) as b:
+            assert b.map(square, [7]) == [49]
+
+    def test_envelope_tasks_pickle(self):
+        from repro.hsr.pct import _merge_task
+
+        a = Envelope([Piece(0, 0, 5, 5, 0)])
+        b_env = Envelope([Piece(0, 5, 5, 0, 1)])
+        with ProcessBackend(workers=2) as backend:
+            results = backend.map(
+                _merge_task, [(a, b_env, 1e-9)] * 8
+            )
+        for env, ops, _nx in results:
+            assert env.size >= 2
+            assert ops >= 1
+
+    def test_pipeline_with_pool_matches_serial(self):
+        t = fractal_terrain(size=9, seed=5)
+        serial = ParallelHSR().run(t)
+        with ProcessBackend(workers=2) as backend:
+            pooled = ParallelHSR(backend=backend).run(t)
+        assert pooled.visibility_map.approx_same(
+            serial.visibility_map, tol=1e-9
+        )
+        assert pooled.k == serial.k

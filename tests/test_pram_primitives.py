@@ -1,0 +1,125 @@
+"""Unit and property tests for the instrumented PRAM primitives."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram.primitives import (
+    parallel_max_index,
+    parallel_merge_positions,
+    parallel_prefix,
+    parallel_reduce,
+    prefix_combine,
+)
+from repro.pram.tracker import PramTracker
+
+
+class TestParallelPrefix:
+    def test_matches_cumsum(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert np.allclose(parallel_prefix(a), np.cumsum(a))
+
+    def test_empty_and_single(self):
+        assert parallel_prefix(np.array([])).shape == (0,)
+        assert parallel_prefix(np.array([7.0]))[0] == 7.0
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_property(self, xs):
+        a = np.array(xs, dtype=np.float64)
+        got = parallel_prefix(a)
+        assert np.allclose(got, np.cumsum(a), atol=1e-6)
+
+    def test_depth_logarithmic(self):
+        for n in (16, 256, 4096):
+            t = PramTracker()
+            parallel_prefix(np.ones(n), t)
+            assert t.depth <= math.ceil(math.log2(n)) + 1
+
+
+class TestPrefixCombine:
+    def test_exclusive_prefix_sums(self):
+        got = prefix_combine([1, 2, 3, 4], lambda a, b: a + b, 0)
+        assert got == [0, 1, 3, 6]
+
+    def test_non_power_of_two(self):
+        got = prefix_combine([1, 2, 3, 4, 5], lambda a, b: a + b, 0)
+        assert got == [0, 1, 3, 6, 10]
+
+    def test_empty(self):
+        assert prefix_combine([], lambda a, b: a + b, 0) == []
+
+    def test_string_concat_order(self):
+        # Non-commutative combine proves left-to-right ordering.
+        got = prefix_combine(list("abcd"), lambda a, b: a + b, "")
+        assert got == ["", "a", "ab", "abc"]
+
+    def test_tracker_depth(self):
+        t = PramTracker()
+        prefix_combine(list(range(64)), lambda a, b: a + b, 0, t)
+        # Up-sweep + down-sweep: ~2 log2(64) = 12 rounds.
+        assert t.depth <= 2 * math.log2(64) + 2
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=100))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_reference(self, xs):
+        got = prefix_combine(xs, lambda a, b: a + b, 0)
+        acc, want = 0, []
+        for x in xs:
+            want.append(acc)
+            acc += x
+        assert got == want
+
+
+class TestReduceAndMax:
+    def test_reduce(self):
+        assert parallel_reduce(np.arange(10.0)) == 45.0
+        assert parallel_reduce(np.array([])) == 0.0
+
+    def test_reduce_depth(self):
+        t = PramTracker()
+        parallel_reduce(np.ones(1024), t)
+        assert t.depth == 10
+
+    def test_max_index(self):
+        a = np.array([3.0, 9.0, 1.0, 9.0, 2.0])
+        idx = parallel_max_index(a)
+        assert a[idx] == 9.0
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_max_index_property(self, xs):
+        a = np.array(xs)
+        assert a[parallel_max_index(a)] == a.max()
+
+
+class TestMergePositions:
+    def test_interleaved(self):
+        a = np.array([1.0, 3.0, 5.0])
+        b = np.array([2.0, 4.0])
+        pos = parallel_merge_positions(a, b)
+        assert list(pos) == [0, 2, 4]
+
+    def test_ties_favour_a(self):
+        a = np.array([2.0])
+        b = np.array([2.0, 2.0])
+        pos = parallel_merge_positions(a, b)
+        assert pos[0] == 0
+
+    @given(
+        st.lists(st.integers(0, 50), max_size=60),
+        st.lists(st.integers(0, 50), max_size=60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_positions_valid(self, xs, ys):
+        a = np.array(sorted(xs), dtype=float)
+        b = np.array(sorted(ys), dtype=float)
+        pos = parallel_merge_positions(a, b)
+        merged = sorted(list(a) + list(b))
+        for i, p in enumerate(pos):
+            assert merged[int(p)] == a[i]

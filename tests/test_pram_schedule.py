@@ -1,0 +1,114 @@
+"""Unit tests for Brent / slow-down scheduling (Lemma 2.1/2.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import PramError
+from repro.pram.schedule import (
+    PhaseCost,
+    allocation_time,
+    brent_time,
+    phases_from_tracker,
+    slowdown_time,
+    speedup_curve,
+)
+from repro.pram.tracker import PramTracker
+
+
+class TestAllocation:
+    def test_formula(self):
+        assert allocation_time(8, 2) == 8 * 3 / 2
+
+    def test_trivial_sizes(self):
+        assert allocation_time(0, 4) == 0.0
+        assert allocation_time(1, 4) == 0.0
+
+    def test_bad_p(self):
+        with pytest.raises(PramError):
+            allocation_time(8, 0)
+
+
+class TestBrent:
+    def test_p1_is_work_plus_depth(self):
+        assert brent_time(100, 10, 1) == 110
+
+    def test_monotone_in_p(self):
+        times = [brent_time(1000, 10, p) for p in (1, 2, 4, 8, 16)]
+        assert times == sorted(times, reverse=True)
+
+    def test_saturates_at_depth(self):
+        assert brent_time(1000, 10, 10**9) == pytest.approx(10, rel=1e-3)
+
+    def test_allocation_term(self):
+        base = brent_time(64, 4, 2)
+        with_alloc = brent_time(64, 4, 2, allocation=True)
+        assert with_alloc == base + allocation_time(64, 2)
+
+    def test_invalid(self):
+        with pytest.raises(PramError):
+            brent_time(10, 1, 0)
+        with pytest.raises(PramError):
+            brent_time(-1, 1, 1)
+
+
+class TestSlowdown:
+    def test_empty(self):
+        assert slowdown_time([], 4) == 0.0
+
+    def test_single_phase(self):
+        # N=8 tasks of time 3: t=3, work=24; p=4 -> 3 + 6 + alloc(8,4)
+        ph = [PhaseCost(tasks=8, task_time=3)]
+        expected = 3 + 24 / 4 + allocation_time(8, 4)
+        assert slowdown_time(ph, 4) == pytest.approx(expected)
+
+    def test_no_allocation(self):
+        ph = [PhaseCost(tasks=8, task_time=3)]
+        assert slowdown_time(ph, 4, allocation=False) == pytest.approx(9.0)
+
+    def test_multiple_phases(self):
+        ph = [PhaseCost(4, 2), PhaseCost(16, 1)]
+        got = slowdown_time(ph, 2, allocation=False)
+        assert got == pytest.approx((2 + 1) + (8 + 16) / 2)
+
+    def test_requirement(self):
+        assert PhaseCost(5, 3).requirement == 15
+
+
+class TestSpeedupCurve:
+    def test_shape(self):
+        rows = speedup_curve(10000, 10, [1, 2, 4])
+        assert [r[0] for r in rows] == [1, 2, 4]
+        # speedup at p=1 is 1 by construction.
+        assert rows[0][2] == pytest.approx(1.0)
+        # speedups increase with p in the linear regime.
+        assert rows[1][2] > rows[0][2]
+        assert rows[2][2] > rows[1][2]
+
+    def test_saturation(self):
+        rows = speedup_curve(1000, 100, [1, 1000000])
+        # Speedup can never exceed work/depth + 1.
+        assert rows[-1][2] <= 1000 / 100 + 1 + 1e-9
+
+
+class TestPhasesFromTracker:
+    def test_roundtrip(self):
+        t = PramTracker()
+        with t.phase("x"):
+            with t.parallel() as par:
+                par.spawn(6, 2)
+                par.spawn(6, 3)
+        phases = phases_from_tracker(t)
+        assert len(phases) == 1
+        assert phases[0].tasks == 2
+        assert phases[0].task_time == 3
+
+    def test_sequential_phase(self):
+        t = PramTracker()
+        with t.phase("seq"):
+            t.charge(10)
+        phases = phases_from_tracker(t)
+        assert phases[0].tasks == 1
+        assert phases[0].task_time == 10

@@ -1,0 +1,118 @@
+"""Unit tests for the PRAM work/depth tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PramError
+from repro.pram.tracker import PramTracker
+
+
+class TestCharges:
+    def test_sequential_charges_add(self):
+        t = PramTracker()
+        t.charge(5)
+        t.charge(3)
+        assert t.work == 8
+        assert t.depth == 8
+
+    def test_explicit_depth(self):
+        t = PramTracker()
+        t.charge(100, 3)
+        assert t.work == 100
+        assert t.depth == 3
+
+    def test_negative_rejected(self):
+        t = PramTracker()
+        with pytest.raises(PramError):
+            t.charge(-1)
+        with pytest.raises(PramError):
+            t.charge(1, -2)
+
+    def test_parallelism(self):
+        t = PramTracker()
+        t.charge(100, 4)
+        assert t.parallelism == 25.0
+        assert PramTracker().parallelism == 0.0
+
+
+class TestParallelRegions:
+    def test_work_sums_depth_maxes(self):
+        t = PramTracker()
+        with t.parallel() as par:
+            with par.branch():
+                t.charge(10, 2)
+            with par.branch():
+                t.charge(5, 7)
+        assert t.work == 15
+        assert t.depth == 7
+
+    def test_spawn_shorthand(self):
+        t = PramTracker()
+        with t.parallel() as par:
+            par.spawn(10, 2)
+            par.spawn(20, 5)
+        assert t.work == 30
+        assert t.depth == 5
+
+    def test_nested_regions(self):
+        t = PramTracker()
+        with t.parallel() as outer:
+            with outer.branch():
+                with t.parallel() as inner:
+                    inner.spawn(4, 1)
+                    inner.spawn(4, 1)
+                t.charge(2, 2)
+            with outer.branch():
+                t.charge(1, 1)
+        # Branch 1: work 8+2, depth max(1)+2 = 3; branch 2: 1/1.
+        assert t.work == 11
+        assert t.depth == 3
+
+    def test_sequential_after_parallel(self):
+        t = PramTracker()
+        with t.parallel() as par:
+            par.spawn(8, 2)
+        t.charge(3)
+        assert t.work == 11
+        assert t.depth == 5
+
+    def test_empty_region(self):
+        t = PramTracker()
+        with t.parallel():
+            pass
+        assert t.work == 0
+        assert t.depth == 0
+
+
+class TestPhases:
+    def test_phase_records(self):
+        t = PramTracker()
+        with t.phase("a"):
+            with t.parallel() as par:
+                par.spawn(10, 2)
+                par.spawn(10, 3)
+        with t.phase("b"):
+            t.charge(5)
+        assert [p.name for p in t.phases] == ["a", "b"]
+        a, b = t.phases
+        assert a.work == 20
+        assert a.depth == 3
+        assert a.tasks == 2
+        assert a.max_task_depth == 3
+        assert b.work == 5 and b.depth == 5
+
+    def test_nested_phase_work_attribution(self):
+        t = PramTracker()
+        with t.phase("outer"):
+            with t.phase("inner"):
+                t.charge(7)
+        inner = next(p for p in t.phases if p.name == "inner")
+        outer = next(p for p in t.phases if p.name == "outer")
+        assert inner.work == 7
+        assert outer.work == 7  # outer phases see nested work
+
+    def test_snapshot(self):
+        t = PramTracker()
+        t.charge(2)
+        assert t.snapshot() == (2, 2)

@@ -1,0 +1,84 @@
+"""Tests for SVG / ASCII rendering backends."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.envelope.chain import Envelope, Piece
+from repro.hsr.result import VisibilityMap, VisibleSegment
+from repro.hsr.sequential import SequentialHSR
+from repro.render.ascii_art import ascii_visibility
+from repro.render.svg import render_envelope_svg, render_visibility_svg
+from repro.terrain.generators import fractal_terrain
+
+
+def small_vmap():
+    vm = VisibilityMap()
+    vm.add_segment(VisibleSegment(0, 0.0, 0.0, 5.0, 3.0))
+    vm.add_segment(VisibleSegment(1, 5.0, 3.0, 9.0, 1.0))
+    vm.add_segment(VisibleSegment(2, 4.0, 4.0, 4.0, 4.0))  # point
+    return vm
+
+
+class TestSvg:
+    def test_valid_xml(self):
+        text = render_visibility_svg(small_vmap())
+        root = ET.fromstring(text)
+        assert root.tag.endswith("svg")
+
+    def test_contains_lines_and_points(self):
+        text = render_visibility_svg(small_vmap())
+        assert text.count("<line") == 2
+        assert text.count("<circle") == 1
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.svg"
+        render_visibility_svg(small_vmap(), path)
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+    def test_empty_map(self):
+        text = render_visibility_svg(VisibilityMap())
+        ET.fromstring(text)
+
+    def test_envelope_svg(self):
+        env = Envelope(
+            [Piece(0, 0, 3, 2, 0), Piece(5, 1, 8, 1, 1)]  # gap at [3,5]
+        )
+        text = render_envelope_svg(env)
+        ET.fromstring(text)
+        # The gap must split the profile into two polylines.
+        assert text.count("<polyline") == 2
+
+    def test_envelope_svg_empty(self):
+        ET.fromstring(render_envelope_svg(Envelope.empty()))
+
+    def test_real_scene(self, tmp_path):
+        t = fractal_terrain(size=9, seed=4)
+        res = SequentialHSR().run(t)
+        text = render_visibility_svg(
+            res.visibility_map, tmp_path / "scene.svg"
+        )
+        assert text.count("<line") >= 10
+
+
+class TestAscii:
+    def test_dimensions(self):
+        art = ascii_visibility(small_vmap(), width=40, height=10)
+        lines = art.split("\n")
+        assert len(lines) == 10
+        assert all(len(l) == 40 for l in lines)
+
+    def test_not_blank(self):
+        art = ascii_visibility(small_vmap())
+        assert any(ch != " " for ch in art)
+
+    def test_empty(self):
+        assert "empty" in ascii_visibility(VisibilityMap())
+
+    def test_real_scene(self):
+        t = fractal_terrain(size=9, seed=4)
+        res = SequentialHSR().run(t)
+        art = ascii_visibility(res.visibility_map)
+        filled = sum(1 for ch in art if ch not in " \n")
+        assert filled > 50

@@ -1,0 +1,129 @@
+"""Tests for DEM parsing and terrain serialisation."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TerrainError
+from repro.terrain.dem import dem_to_terrain, parse_esri_ascii, write_esri_ascii
+from repro.terrain.generators import fractal_terrain
+from repro.terrain.io import (
+    load_terrain_json,
+    load_terrain_obj,
+    save_terrain_json,
+    save_terrain_obj,
+)
+
+ASC = """ncols 3
+nrows 2
+xllcorner 0.0
+yllcorner 0.0
+cellsize 10.0
+NODATA_value -9999
+1 2 3
+4 5 6
+"""
+
+
+class TestEsriAscii:
+    def test_parse(self):
+        h, cell = parse_esri_ascii(io.StringIO(ASC))
+        assert cell == 10.0
+        assert h.shape == (2, 3)
+        # File row 0 is north; we flip so row 0 is south.
+        assert h[0].tolist() == [4.0, 5.0, 6.0]
+        assert h[1].tolist() == [1.0, 2.0, 3.0]
+
+    def test_nodata_filled(self):
+        text = ASC.replace("4 5 6", "-9999 5 6")
+        h, _ = parse_esri_ascii(io.StringIO(text))
+        assert h.min() >= 1.0  # hole filled with grid min
+
+    def test_all_nodata_rejected(self):
+        text = ASC.replace("1 2 3", "-9999 -9999 -9999").replace(
+            "4 5 6", "-9999 -9999 -9999"
+        )
+        with pytest.raises(TerrainError, match="NODATA"):
+            parse_esri_ascii(io.StringIO(text))
+
+    def test_missing_header(self):
+        with pytest.raises(TerrainError, match="missing header"):
+            parse_esri_ascii(io.StringIO("1 2 3\n"))
+
+    def test_wrong_value_count(self):
+        with pytest.raises(TerrainError, match="expected 6"):
+            parse_esri_ascii(
+                io.StringIO(ASC.replace("4 5 6", "4 5"))
+            )
+
+    def test_roundtrip_via_file(self, tmp_path):
+        h = np.arange(12, dtype=float).reshape(3, 4)
+        path = tmp_path / "grid.asc"
+        write_esri_ascii(h, path, cellsize=2.5)
+        back, cell = parse_esri_ascii(path)
+        assert cell == 2.5
+        assert np.array_equal(back, h)
+
+    def test_dem_to_terrain(self, tmp_path):
+        h = np.random.default_rng(0).random((5, 6)) * 10
+        path = tmp_path / "dem.asc"
+        write_esri_ascii(h, path)
+        t = dem_to_terrain(path, z_exaggeration=2.0)
+        assert t.n_vertices == 30
+        assert t.height_range()[1] <= 20.0
+
+    def test_write_rejects_non_2d(self, tmp_path):
+        with pytest.raises(TerrainError):
+            write_esri_ascii(np.zeros(5), tmp_path / "x.asc")
+
+
+class TestJsonIO:
+    def test_roundtrip(self, tmp_path):
+        t = fractal_terrain(size=5, seed=1)
+        path = tmp_path / "t.json"
+        save_terrain_json(t, path)
+        back = load_terrain_json(path)
+        assert back.vertices == t.vertices
+        assert back.faces == t.faces
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(TerrainError):
+            load_terrain_json(path)
+
+
+class TestObjIO:
+    def test_roundtrip(self, tmp_path):
+        t = fractal_terrain(size=5, seed=2)
+        path = tmp_path / "t.obj"
+        save_terrain_obj(t, path)
+        back = load_terrain_obj(path)
+        assert back.n_vertices == t.n_vertices
+        assert back.faces == t.faces
+        for a, b in zip(back.vertices, t.vertices):
+            assert abs(a.x - b.x) < 1e-7
+            assert abs(a.z - b.z) < 1e-7
+
+    def test_comments_and_slashes(self, tmp_path):
+        path = tmp_path / "t.obj"
+        path.write_text(
+            "# comment\nv 0 0 0\nv 1 0 1\nv 0 1 2\nf 1/1 2/2 3/3\n"
+        )
+        t = load_terrain_obj(path)
+        assert t.n_faces == 1
+
+    def test_non_triangle_rejected(self, tmp_path):
+        path = tmp_path / "t.obj"
+        path.write_text("v 0 0 0\nv 1 0 0\nv 0 1 0\nv 1 1 0\nf 1 2 3 4\n")
+        with pytest.raises(TerrainError, match="triangular"):
+            load_terrain_obj(path)
+
+    def test_malformed_vertex(self, tmp_path):
+        path = tmp_path / "t.obj"
+        path.write_text("v 0 0\n")
+        with pytest.raises(TerrainError, match="malformed"):
+            load_terrain_obj(path)

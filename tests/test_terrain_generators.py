@@ -1,0 +1,131 @@
+"""Tests for the synthetic terrain generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TerrainError
+from repro.terrain.generators import (
+    GENERATORS,
+    fractal_terrain,
+    generate_terrain,
+    grid_terrain_from_heights,
+    plateau_terrain,
+    random_terrain,
+    ridge_terrain,
+    shielded_basin_terrain,
+    valley_terrain,
+)
+
+
+class TestGridTerrain:
+    def test_shape(self):
+        h = np.zeros((4, 5))
+        t = grid_terrain_from_heights(h)
+        assert t.n_vertices == 20
+        assert t.n_faces == 2 * 3 * 4
+
+    def test_too_small(self):
+        with pytest.raises(TerrainError):
+            grid_terrain_from_heights(np.zeros((1, 5)))
+        with pytest.raises(TerrainError):
+            grid_terrain_from_heights(np.zeros(5))
+
+    def test_heights_preserved(self):
+        h = np.arange(12, dtype=float).reshape(3, 4)
+        t = grid_terrain_from_heights(h, jitter_seed=None)
+        zs = sorted(v.z for v in t.vertices)
+        assert zs == sorted(h.ravel().tolist())
+
+    def test_rows_advance_along_x(self):
+        h = np.zeros((3, 3))
+        t = grid_terrain_from_heights(h, jitter_seed=None, spacing=2.0)
+        # Vertex (r=2, c=0) must sit at larger x than (r=0, c=0).
+        assert t.vertices[6].x > t.vertices[0].x
+        # Vertex (r=0, c=2) must sit at larger y than (r=0, c=0).
+        assert t.vertices[2].y > t.vertices[0].y
+
+    def test_jitter_determinism(self):
+        a = grid_terrain_from_heights(np.zeros((4, 4)), jitter_seed=7)
+        b = grid_terrain_from_heights(np.zeros((4, 4)), jitter_seed=7)
+        assert a.vertices == b.vertices
+
+    def test_jitter_kills_degenerate_ys(self):
+        t = grid_terrain_from_heights(np.zeros((5, 5)), jitter_seed=1)
+        ys = sorted(v.y for v in t.vertices)
+        assert all(b - a > 1e-9 for a, b in zip(ys, ys[1:]))
+
+    def test_planarity_preserved_under_jitter(self):
+        t = grid_terrain_from_heights(np.zeros((6, 6)), jitter_seed=3)
+        t.check_planarity()
+
+
+class TestFamilies:
+    def test_fractal_size_validation(self):
+        with pytest.raises(TerrainError):
+            fractal_terrain(size=10)
+
+    def test_fractal_determinism(self):
+        a = fractal_terrain(size=9, seed=5)
+        b = fractal_terrain(size=9, seed=5)
+        assert a.vertices == b.vertices
+        c = fractal_terrain(size=9, seed=6)
+        assert a.vertices != c.vertices
+
+    def test_ridge_occludes_more_than_valley(self):
+        from repro.hsr.sequential import SequentialHSR
+
+        ridge = ridge_terrain(rows=12, cols=12, seed=1)
+        valley = valley_terrain(rows=12, cols=12, seed=1)
+        k_ridge = SequentialHSR().run(ridge).k
+        k_valley = SequentialHSR().run(valley).k
+        assert k_ridge < k_valley
+
+    def test_shielded_basin_occlusion_knob(self):
+        from repro.hsr.sequential import SequentialHSR
+
+        open_basin = shielded_basin_terrain(
+            rows=12, cols=12, occlusion=0.0, seed=2
+        )
+        shut_basin = shielded_basin_terrain(
+            rows=12, cols=12, occlusion=1.5, seed=2
+        )
+        assert open_basin.n_edges == shut_basin.n_edges
+        k_open = SequentialHSR().run(open_basin).k
+        k_shut = SequentialHSR().run(shut_basin).k
+        assert k_shut < k_open / 2
+
+    def test_plateau(self):
+        t = plateau_terrain(rows=8, cols=8, steps=3, seed=0)
+        assert t.n_vertices == 64
+
+    def test_random_terrain(self):
+        t = random_terrain(n_points=50, seed=3)
+        assert t.n_vertices == 50
+        assert t.n_faces >= 48  # Delaunay of 50 points in general position
+        t.check_planarity()
+
+    def test_random_terrain_too_small(self):
+        with pytest.raises(TerrainError):
+            random_terrain(n_points=2)
+
+
+class TestDispatcher:
+    def test_known_kinds(self):
+        for kind in GENERATORS:
+            t = generate_terrain(
+                kind,
+                **(
+                    {"n_points": 20}
+                    if kind == "random"
+                    else {"rows": 6, "cols": 6}
+                    if kind != "fractal"
+                    else {"size": 5}
+                ),
+            )
+            assert t.n_edges > 0
+
+    def test_unknown_kind(self):
+        with pytest.raises(TerrainError, match="unknown terrain kind"):
+            generate_terrain("moonscape")

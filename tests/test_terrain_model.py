@@ -1,0 +1,147 @@
+"""Unit tests for the terrain model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import TerrainError
+from repro.geometry.primitives import Point3
+from repro.terrain.model import Terrain
+
+
+def simple_terrain():
+    """Two triangles sharing an edge (a 2x2 grid cell pair)."""
+    verts = [
+        Point3(0, 0, 1),
+        Point3(1, 0, 2),
+        Point3(0, 1, 3),
+        Point3(1, 1, 4),
+    ]
+    faces = [(0, 1, 2), (1, 3, 2)]
+    return Terrain(verts, faces)
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        t = simple_terrain()
+        assert t.n_vertices == 4
+        assert t.n_faces == 2
+        assert t.n_edges == 5  # 4 boundary + 1 diagonal
+
+    def test_duplicate_xy_rejected(self):
+        verts = [Point3(0, 0, 1), Point3(0, 0, 2), Point3(1, 1, 0)]
+        with pytest.raises(TerrainError, match="share xy"):
+            Terrain(verts, [(0, 1, 2)])
+
+    def test_bad_face_index(self):
+        with pytest.raises(TerrainError, match="missing vertex"):
+            Terrain([Point3(0, 0, 0), Point3(1, 0, 0), Point3(0, 1, 0)], [(0, 1, 5)])
+
+    def test_degenerate_face(self):
+        with pytest.raises(TerrainError, match="degenerate"):
+            Terrain(
+                [Point3(0, 0, 0), Point3(1, 0, 0), Point3(0, 1, 0)],
+                [(0, 1, 1)],
+            )
+
+    def test_validate_skippable(self):
+        verts = [Point3(0, 0, 1), Point3(0, 0, 2), Point3(1, 1, 0)]
+        t = Terrain(verts, [(0, 1, 2)], validate=False)
+        assert t.n_vertices == 3
+
+
+class TestEdgesAndProjections:
+    def test_edges_sorted_unique(self):
+        t = simple_terrain()
+        edges = t.edges
+        assert edges == sorted(set(edges))
+        assert all(i < j for i, j in edges)
+
+    def test_map_segment(self):
+        t = simple_terrain()
+        idx = t.edges.index((0, 1))
+        seg = t.map_segment(idx)
+        # Edge (0,0,1)-(1,0,2): xy projection from (0,0) to (1,0).
+        assert seg.y1 == 0.0 and seg.y2 == 0.0  # horizontal in map
+        assert seg.is_horizontal
+
+    def test_image_segment(self):
+        t = simple_terrain()
+        idx = t.edges.index((0, 2))
+        seg = t.image_segment(idx)
+        # Edge (0,0,1)-(0,1,3): image (y,z) from (0,1) to (1,3).
+        assert (seg.y1, seg.z1, seg.y2, seg.z2) == (0.0, 1.0, 1.0, 3.0)
+        assert seg.source == idx
+
+    def test_projection_lists(self):
+        t = simple_terrain()
+        assert len(t.map_segments()) == t.n_edges
+        assert len(t.image_segments()) == t.n_edges
+
+
+class TestTransforms:
+    def test_rotated_preserves_structure(self):
+        t = simple_terrain()
+        r = t.rotated(90.0)
+        assert r.n_edges == t.n_edges
+        v = r.vertices[1]
+        assert math.isclose(v.x, 0.0, abs_tol=1e-12)
+        assert math.isclose(v.y, 1.0)
+        assert v.z == 2.0
+
+    def test_rotation_roundtrip(self):
+        t = simple_terrain()
+        r = t.rotated(37.0).rotated(-37.0)
+        for a, b in zip(t.vertices, r.vertices):
+            assert math.isclose(a.x, b.x, abs_tol=1e-12)
+            assert math.isclose(a.y, b.y, abs_tol=1e-12)
+
+    def test_scaled(self):
+        t = simple_terrain().scaled(xy=2.0, z=0.5)
+        assert t.vertices[3] == Point3(2.0, 2.0, 2.0)
+
+    def test_scaled_invalid(self):
+        with pytest.raises(TerrainError):
+            simple_terrain().scaled(xy=0.0)
+
+    def test_translated(self):
+        t = simple_terrain().translated(1, 2, 3)
+        assert t.vertices[0] == Point3(1, 2, 4)
+
+
+class TestQueries:
+    def test_height_range(self):
+        assert simple_terrain().height_range() == (1.0, 4.0)
+
+    def test_xy_bounds(self):
+        assert simple_terrain().xy_bounds() == (0.0, 0.0, 1.0, 1.0)
+
+    def test_surface_height_at(self):
+        t = simple_terrain()
+        # At vertex 0.
+        assert math.isclose(t.surface_height_at(0.0, 0.0), 1.0)
+        # Outside.
+        assert t.surface_height_at(5.0, 5.0) is None
+        # Interior of face (0,1,2): barycentric mean near centroid.
+        h = t.surface_height_at(1 / 3, 1 / 3)
+        assert h is not None and 1.0 <= h <= 3.0
+
+    def test_check_planarity_passes(self):
+        simple_terrain().check_planarity()
+
+    def test_check_planarity_detects_crossing(self):
+        # Two triangles whose edges cross in xy projection but share
+        # no vertex: vertices placed so edges (0,3) and (1,2) cross.
+        verts = [
+            Point3(0, 0, 0),
+            Point3(2, 0, 0),
+            Point3(0, 2, 0),
+            Point3(2, 2, 0),
+            Point3(3, 1, 0),
+        ]
+        faces = [(0, 3, 4), (1, 2, 4)]
+        t = Terrain(verts, faces, validate=False)
+        with pytest.raises(TerrainError, match="cross"):
+            t.check_planarity()

@@ -1,0 +1,141 @@
+"""Tests for perspective viewing (paper §2: "the algorithm works for
+perspective projection as well")."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TerrainError
+from repro.geometry.primitives import Point3
+from repro.hsr.parallel import ParallelHSR
+from repro.hsr.sequential import SequentialHSR
+from repro.terrain.generators import (
+    fractal_terrain,
+    grid_terrain_from_heights,
+)
+from repro.terrain.model import Terrain
+from repro.terrain.perspective import (
+    Viewpoint,
+    perspective_image_point,
+    perspective_transform,
+)
+
+
+def two_walls(near_height=2.0, far_height=4.0):
+    """A short near wall at x≈9 and a tall far wall at x≈0.
+
+    Each wall is a thin triangle strip; heights as given.
+    """
+    heights = np.zeros((6, 4))
+    heights[0:2, :] = far_height  # far rows (small x)
+    heights[4:6, :] = near_height  # near rows (large x)
+    return grid_terrain_from_heights(heights, spacing=2.0, jitter_seed=2)
+
+
+class TestImagePoint:
+    def test_center_ray(self):
+        view = Viewpoint(10.0, 0.0, 0.0)
+        assert perspective_image_point(Point3(0, 0, 0), view) == (0.0, 0.0)
+
+    def test_scaling_with_depth(self):
+        view = Viewpoint(10.0, 0.0, 0.0)
+        near = perspective_image_point(Point3(9, 1, 1), view)
+        far = perspective_image_point(Point3(0, 1, 1), view)
+        assert near[0] == pytest.approx(1.0)
+        assert far[0] == pytest.approx(0.1)
+
+    def test_behind_camera_rejected(self):
+        view = Viewpoint(10.0, 0.0, 0.0)
+        with pytest.raises(TerrainError):
+            perspective_image_point(Point3(11, 0, 0), view)
+
+
+class TestTransform:
+    def test_depth_order_preserved(self):
+        t = fractal_terrain(size=9, seed=1)
+        xmax = max(v.x for v in t.vertices)
+        view = Viewpoint(xmax + 5.0, 0.0, 100.0)
+        pt = perspective_transform(t, view)
+        # x' = -1/(vx - x) is increasing in x: order preserved.
+        orig = sorted(range(t.n_vertices), key=lambda i: t.vertices[i].x)
+        new = sorted(range(t.n_vertices), key=lambda i: pt.vertices[i].x)
+        assert orig == new
+
+    def test_structure_preserved(self):
+        t = fractal_terrain(size=9, seed=2)
+        view = Viewpoint(max(v.x for v in t.vertices) + 10.0, 5.0, 50.0)
+        pt = perspective_transform(t, view)
+        assert pt.faces == t.faces
+        assert pt.n_edges == t.n_edges
+
+    def test_too_close_rejected(self):
+        t = fractal_terrain(size=5, seed=3)
+        xmax = max(v.x for v in t.vertices)
+        with pytest.raises(TerrainError, match="too close"):
+            perspective_transform(t, Viewpoint(xmax, 0.0, 10.0))
+
+    def test_projective_image_matches_pointwise(self):
+        t = fractal_terrain(size=5, seed=4)
+        view = Viewpoint(max(v.x for v in t.vertices) + 3.0, 1.0, 20.0)
+        pt = perspective_transform(t, view)
+        for orig, moved in zip(t.vertices, pt.vertices):
+            yz = perspective_image_point(orig, view)
+            assert moved.y == pytest.approx(yz[0])
+            assert moved.z == pytest.approx(yz[1])
+
+
+class TestPerspectiveVisibility:
+    def test_algorithms_agree_on_perspective_scene(self):
+        t = fractal_terrain(size=9, seed=5)
+        view = Viewpoint(
+            max(v.x for v in t.vertices) + 8.0,
+            0.0,
+            t.height_range()[1] + 5.0,
+        )
+        pt = perspective_transform(t, view)
+        seq = SequentialHSR().run(pt)
+        par = ParallelHSR().run(pt)
+        assert par.visibility_map.approx_same(seq.visibility_map, tol=1e-6)
+
+    def test_near_wall_hides_far_wall_only_in_perspective(self):
+        t = two_walls()
+        xmax = max(v.x for v in t.vertices)
+
+        # Orthographic: the far wall's top (z=4) rises above the near
+        # wall (z=2), so far-wall edges are partially visible.
+        ortho = SequentialHSR().run(t)
+        far_top_edges = _edges_at_height(t, 4.0)
+        assert any(
+            e in ortho.visibility_map.visible_edges()
+            for e in far_top_edges
+        )
+
+        # Perspective from a low viewpoint just behind the near wall:
+        # the near wall subtends a large angle and hides the far wall.
+        view = Viewpoint(xmax + 1.0, 2.0, 0.0)
+        pt = perspective_transform(t, view)
+        persp = SequentialHSR().run(pt)
+        visible = persp.visibility_map.visible_edges()
+        assert not any(e in visible for e in far_top_edges)
+
+        # From high above, the far wall becomes visible again.
+        view_hi = Viewpoint(xmax + 1.0, 2.0, 50.0)
+        pt_hi = perspective_transform(t, view_hi)
+        persp_hi = SequentialHSR().run(pt_hi)
+        assert any(
+            e in persp_hi.visibility_map.visible_edges()
+            for e in far_top_edges
+        )
+
+
+def _edges_at_height(t: Terrain, z: float, tol: float = 0.5) -> list[int]:
+    """Edges whose both endpoints sit near height ``z``."""
+    out = []
+    for e in range(t.n_edges):
+        a, b = t.edge_endpoints(e)
+        if abs(a.z - z) < tol and abs(b.z - z) < tol:
+            out.append(e)
+    return out
