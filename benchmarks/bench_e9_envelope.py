@@ -31,9 +31,12 @@ def segments():
 
 
 def test_e9_build_envelope(benchmark, segments):
+    from repro.envelope.engine import DEFAULT_ENGINE
+
     res = benchmark(lambda: build_envelope(segments))
     benchmark.extra_info["m"] = len(segments)
     benchmark.extra_info["envelope_size"] = res.envelope.size
+    benchmark.extra_info["engine"] = DEFAULT_ENGINE
     table = run_experiment("E9", quick=True)
     attach_table(benchmark, table)
     assert max(table.column("depth/log2")) <= 2.0

@@ -2,9 +2,11 @@
 
 Usage::
 
-    python -m repro.bench            # quick sweeps, all experiments
-    python -m repro.bench --full     # full sweeps
-    python -m repro.bench E3 E5      # selected experiments
+    python -m repro.bench              # quick sweeps, all experiments
+    python -m repro.bench --full       # full sweeps
+    python -m repro.bench E3 E5        # selected experiments
+    python -m repro.bench envelope     # python-vs-numpy kernel timings
+                                       # (writes BENCH_envelope.json)
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.harness import run_experiment
@@ -26,18 +29,42 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         default=[],
-        help="experiment ids (default: all of %s)" % (ALL_EXPERIMENTS,),
+        help=(
+            "experiment ids (default: all of %s); the special name"
+            " 'envelope' runs the python-vs-numpy kernel comparison"
+            % (ALL_EXPERIMENTS,)
+        ),
     )
     parser.add_argument(
         "--full",
         action="store_true",
         help="full-size sweeps (several minutes) instead of quick ones",
     )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=(
+            "JSON output path for the 'envelope' comparison"
+            " (default: BENCH_envelope.json in the current directory)"
+        ),
+    )
     args = parser.parse_args(argv)
     names = args.experiments or list(ALL_EXPERIMENTS)
     for name in names:
         t0 = time.perf_counter()
-        table = run_experiment(name, quick=not args.full)
+        if name == "envelope":
+            from repro.bench.envelope_bench import (
+                DEFAULT_OUTPUT,
+                run_envelope_bench,
+            )
+
+            table = run_envelope_bench(
+                quick=not args.full,
+                output=args.output or DEFAULT_OUTPUT,
+            )
+        else:
+            table = run_experiment(name, quick=not args.full)
         dt = time.perf_counter() - t0
         print(table.format())
         print(f"[{name} completed in {dt:.1f}s]")

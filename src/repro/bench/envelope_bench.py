@@ -1,0 +1,165 @@
+"""``bench envelope`` — python-vs-numpy kernel comparison.
+
+Times both envelope engines on E9-style workloads (random segment
+sets, the Lemma 3.1 construction) plus a large pairwise merge, and
+writes the rows to ``BENCH_envelope.json`` so later PRs have a perf
+trajectory to compare against.
+
+Engines are timed interleaved (python, numpy, python, ...) and the
+per-engine minimum is reported, which keeps the ratio honest on
+machines with frequency scaling.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.bench.harness import Table
+from repro.envelope.build import build_envelope
+from repro.envelope.engine import HAVE_NUMPY
+from repro.envelope.merge import merge_envelopes
+from repro.geometry.segments import ImageSegment
+
+__all__ = ["run_envelope_bench", "DEFAULT_OUTPUT"]
+
+DEFAULT_OUTPUT = Path("BENCH_envelope.json")
+
+
+def _e9_segments(m: int, seed: int = 17) -> list[ImageSegment]:
+    """The E9 workload family: random segments over a wide strip."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(m):
+        y1 = rng.uniform(0, 1000)
+        out.append(
+            ImageSegment(
+                y1,
+                rng.uniform(0, 100),
+                y1 + rng.uniform(1, 60),
+                rng.uniform(0, 100),
+                i,
+            )
+        )
+    return out
+
+
+def _time_interleaved(fns: dict[str, "object"], repeats: int) -> dict[str, float]:
+    """Best-of-``repeats`` seconds per labelled callable, interleaved."""
+    best: dict[str, float] = {label: float("inf") for label in fns}
+    for _ in range(repeats):
+        for label, fn in fns.items():
+            t0 = time.perf_counter()
+            fn()
+            dt = time.perf_counter() - t0
+            if dt < best[label]:
+                best[label] = dt
+    return best
+
+
+def run_envelope_bench(
+    *,
+    quick: bool = True,
+    repeats: Optional[int] = None,
+    ms: Optional[Sequence[int]] = None,
+    output: Optional[Path] = DEFAULT_OUTPUT,
+) -> Table:
+    """Compare the envelope kernels; optionally record JSON.
+
+    Pass ``output=None`` to skip writing ``BENCH_envelope.json``.
+    """
+    if ms is None:
+        ms = (256, 1024, 2048) if quick else (256, 1024, 2048, 4096, 8192)
+    if repeats is None:
+        repeats = 5 if quick else 9
+
+    t = Table(
+        "envelope",
+        "build_envelope kernel comparison (E9 workload family)",
+        ["workload", "m", "env_size", "python_ms", "numpy_ms", "speedup"],
+    )
+    rows: list[dict] = []
+
+    for m in ms:
+        segs = _e9_segments(m)
+        env_size = build_envelope(segs, engine="python").envelope.size
+        if HAVE_NUMPY:
+            best = _time_interleaved(
+                {
+                    "python": lambda: build_envelope(segs, engine="python"),
+                    "numpy": lambda: build_envelope(segs, engine="numpy"),
+                },
+                repeats,
+            )
+            speedup = best["python"] / best["numpy"]
+            numpy_ms: Optional[float] = best["numpy"] * 1e3
+        else:  # pragma: no cover - numpy ships in the toolchain
+            best = _time_interleaved(
+                {"python": lambda: build_envelope(segs, engine="python")},
+                repeats,
+            )
+            numpy_ms = None
+            speedup = float("nan")
+        row = dict(
+            workload="build",
+            m=m,
+            env_size=env_size,
+            python_ms=best["python"] * 1e3,
+            numpy_ms=numpy_ms,
+            speedup=speedup,
+        )
+        rows.append(row)
+        t.add(**row)
+
+    # One large pairwise merge: the kernel in isolation, no recursion.
+    m_pair = max(ms)
+    segs = _e9_segments(m_pair)
+    a = build_envelope(segs[: m_pair // 2], engine="python").envelope
+    b = build_envelope(segs[m_pair // 2 :], engine="python").envelope
+    if HAVE_NUMPY:
+        from repro.envelope.flat import FlatEnvelope, merge_envelopes_flat
+
+        fa, fb = FlatEnvelope.from_envelope(a), FlatEnvelope.from_envelope(b)
+        best = _time_interleaved(
+            {
+                "python": lambda: merge_envelopes(a, b),
+                "numpy": lambda: merge_envelopes_flat(fa, fb),
+            },
+            repeats,
+        )
+        row = dict(
+            workload="pairwise-merge",
+            m=a.size + b.size,
+            env_size=merge_envelopes(a, b).envelope.size,
+            python_ms=best["python"] * 1e3,
+            numpy_ms=best["numpy"] * 1e3,
+            speedup=best["python"] / best["numpy"],
+        )
+        rows.append(row)
+        t.add(**row)
+
+    t.notes.append(
+        "engines produce identical pieces/crossings/ops (enforced by"
+        " tests/test_envelope_flat.py); choose on wall clock alone"
+    )
+    t.notes.append(
+        "timings are best-of-%d, engines interleaved" % repeats
+    )
+
+    if output is not None:
+        payload = {
+            "suite": "envelope-kernel",
+            "workload": "E9-style random segments (seed 17)",
+            "repeats": repeats,
+            "python_version": platform.python_version(),
+            "have_numpy": HAVE_NUMPY,
+            "rows": rows,
+        }
+        Path(output).write_text(json.dumps(payload, indent=2) + "\n")
+        t.notes.append(f"recorded to {output}")
+
+    return t

@@ -61,6 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="persistent",
         help="phase-2 engine (parallel algorithm only)",
     )
+    run.add_argument(
+        "--engine",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help=(
+            "envelope merge kernel: 'numpy' for batched array sweeps,"
+            " 'python' for the pure reference sweep, 'auto' (default)"
+            " picks numpy when available; results are identical"
+        ),
+    )
     run.add_argument("--azimuth", type=float, default=0.0)
     run.add_argument("--json", action="store_true", help="machine output")
     run.add_argument("--svg", type=Path, default=None)
@@ -133,12 +143,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.azimuth:
         terrain = terrain.rotated(args.azimuth)
 
+    engine = None if args.engine == "auto" else args.engine
     tracker: Optional[PramTracker] = None
     if args.algorithm == "parallel":
         tracker = PramTracker()
-        result = ParallelHSR(mode=args.mode).run(terrain, tracker=tracker)
+        result = ParallelHSR(mode=args.mode, engine=engine).run(
+            terrain, tracker=tracker
+        )
     elif args.algorithm == "sequential":
-        result = SequentialHSR().run(terrain)
+        result = SequentialHSR(engine=engine).run(terrain)
     elif args.algorithm == "naive":
         result = NaiveHSR().run(terrain)
     else:

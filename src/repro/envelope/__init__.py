@@ -1,14 +1,54 @@
 """Envelope (upper-profile) algebra.
 
 * :mod:`repro.envelope.chain` — representation (:class:`Envelope`).
-* :mod:`repro.envelope.merge` — point-wise max with crossing detection.
+* :mod:`repro.envelope.merge` — point-wise max with crossing detection
+  (the pure-Python reference kernel).
+* :mod:`repro.envelope.flat` — vectorized NumPy kernel:
+  :class:`FlatEnvelope` structure-of-arrays, batched merge sweeps,
+  level-batched construction.
+* :mod:`repro.envelope.engine` — kernel selection.
 * :mod:`repro.envelope.build` — divide-and-conquer construction (Lemma 3.1).
 * :mod:`repro.envelope.visibility` — visible parts of a segment.
 * :mod:`repro.envelope.splice` — localised single-segment insertion.
+
+Engine selection
+----------------
+
+Algorithms that merge envelopes accept an ``engine`` keyword (and the
+CLI a ``--engine`` flag):
+
+``"python"``
+    The reference sweep: walks elementary intervals one at a time.
+    Semantic ground truth, zero dependencies.
+``"numpy"``
+    The flat kernel: union breakpoints by sorted events, covering
+    pieces by segmented running maxima, all interval evaluations as
+    single array expressions, crossings and output pieces by boolean
+    masks.  Independent merges (a divide-and-conquer level, a PCT
+    layer) batch into *one* sweep.  Default when NumPy is available.
+``None`` / ``"auto"``
+    :data:`repro.envelope.engine.DEFAULT_ENGINE`.
+
+The two kernels are exact replicas of each other: same pieces, same
+sources, same crossings, same ``ops`` (elementary-interval counts, so
+PRAM work/depth accounting is engine-independent).  The property suite
+in ``tests/test_envelope_flat.py`` enforces this equivalence on
+adversarial inputs; pick an engine purely on wall-clock grounds.
+
+NumPy is an optional dependency: everything except
+:mod:`repro.envelope.flat` works without it, and ``engine=None``
+degrades to the Python kernel.
 """
 
 from repro.envelope.build import build_envelope, build_envelope_sequential
 from repro.envelope.chain import Envelope, EnvelopeBuilder, Piece
+from repro.envelope.engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    HAVE_NUMPY,
+    merge_dispatch,
+    resolve_engine,
+)
 from repro.envelope.merge import (
     Crossing,
     MergeResult,
@@ -25,8 +65,11 @@ from repro.envelope.visibility import (
 
 __all__ = [
     "Crossing",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "Envelope",
     "EnvelopeBuilder",
+    "HAVE_NUMPY",
     "InsertResult",
     "MergeResult",
     "Piece",
@@ -36,7 +79,24 @@ __all__ = [
     "build_envelope_sequential",
     "envelope_breakpoints",
     "insert_segment",
+    "merge_dispatch",
     "merge_envelopes",
     "merge_many",
+    "resolve_engine",
     "visible_parts",
 ]
+
+if HAVE_NUMPY:  # pragma: no branch - numpy ships in the toolchain
+    from repro.envelope.flat import (  # noqa: F401
+        FlatEnvelope,
+        FlatMergeResult,
+        build_envelope_flat,
+        merge_envelopes_flat,
+    )
+
+    __all__ += [
+        "FlatEnvelope",
+        "FlatMergeResult",
+        "build_envelope_flat",
+        "merge_envelopes_flat",
+    ]

@@ -12,15 +12,27 @@ PRAM costs: at each recursion level, the two recursive calls are
 branches of a parallel region, and each merge charges work equal to
 its elementary-interval count with depth ``log2`` of that count.
 Experiment E9 verifies the measured depth is Θ(log^2 m).
+
+Two kernels compute the merges (``engine`` parameter, see
+:mod:`repro.envelope.engine`): the reference per-interval Python sweep
+runs the recursion as written, while the NumPy kernel executes every
+recursion *level* as one batched array sweep
+(:func:`repro.envelope.flat.build_envelope_flat`) and then replays the
+recursion's exact PRAM charge sequence from the per-node
+elementary-interval counts — identical envelope, crossings, ``ops``,
+work and depth, at a fraction of the wall clock.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Optional, Sequence
 
 from repro.envelope.chain import Envelope
+from repro.envelope.engine import resolve_engine
 from repro.envelope.merge import Crossing, MergeResult, merge_envelopes
+from repro.errors import EnvelopeError
 from repro.geometry.primitives import EPS
 from repro.geometry.segments import ImageSegment
 from repro.pram.tracker import PramTracker
@@ -38,14 +50,19 @@ def build_envelope(
     *,
     tracker: Optional[PramTracker] = None,
     eps: float = EPS,
+    engine: Optional[str] = None,
 ) -> MergeResult:
     """Upper envelope of ``segments`` by parallel divide and conquer.
 
     Vertical projections are skipped (they have measure-zero image;
     see :meth:`Envelope.from_segment`).  Returns the envelope together
     with every crossing discovered on the way up and the total merge
-    work performed.
+    work performed.  ``engine`` selects the merge kernel; both engines
+    return identical results and tracker charges.
     """
+    if resolve_engine(engine) == "numpy":
+        return _build_envelope_numpy(segments, tracker=tracker, eps=eps)
+
     segs = [s for s in segments if not s.is_vertical]
     crossings: list[Crossing] = []
     total_ops = 0
@@ -80,15 +97,87 @@ def build_envelope(
     return MergeResult(env, crossings, total_ops)
 
 
+def _build_envelope_numpy(
+    segments: Sequence[ImageSegment],
+    *,
+    tracker: Optional[PramTracker],
+    eps: float,
+) -> MergeResult:
+    """Level-batched construction + exact replay of the reference
+    recursion's crossing order and PRAM charge sequence."""
+    from repro.envelope.flat import build_envelope_flat
+
+    fb = build_envelope_flat(segments, eps=eps)
+    m = fb.n_segments
+    if m == 0:
+        return MergeResult(Envelope.empty(), [], 0)
+
+    # Post-order (children of ``(lo, hi)`` before it, left subtree
+    # first) is the exact crossing collection order of the reference
+    # recursion; every leaf charges 1 op exactly as the recursion does.
+    # Only the (sparse) crossing-bearing nodes need ordering.
+    from repro.envelope.flat import _postorder_index
+
+    total_ops = m + fb.total_merge_ops
+    order = _postorder_index(m)
+    crossings = fb.collect_crossings(
+        sorted(fb.node_crossings, key=order.__getitem__)
+    )
+
+    if tracker is not None:
+        node_ops = fb.node_ops
+
+        def replay(lo: int, hi: int) -> None:
+            if hi - lo == 1:
+                tracker.charge(1)
+                return
+            mid = (lo + hi) // 2
+            with tracker.parallel() as par:
+                with par.branch():
+                    replay(lo, mid)
+                with par.branch():
+                    replay(mid, hi)
+            ops = node_ops[(lo, hi)]
+            tracker.charge(ops, _merge_depth(ops))
+
+        replay(0, m)
+
+    return MergeResult(fb.envelope.to_envelope(), crossings, total_ops)
+
+
 def build_envelope_sequential(
-    segments: Sequence[ImageSegment], *, eps: float = EPS
+    segments: Sequence[ImageSegment],
+    *,
+    eps: float = EPS,
+    max_segments: Optional[int] = 4096,
+    on_exceed: str = "warn",
 ) -> MergeResult:
     """Incremental (insert-one-at-a-time) envelope construction.
 
     Used as a cross-check for :func:`build_envelope` in tests: the
     divide-and-conquer and the incremental construction must agree
-    point-wise.  Worst-case Θ(m^2) work — do not use on large inputs.
+    point-wise.  Worst-case Θ(m^2) work, so inputs larger than
+    ``max_segments`` trigger the ``on_exceed`` policy: ``"warn"``
+    (default) emits a :class:`RuntimeWarning`, ``"raise"`` raises
+    :class:`EnvelopeError`, ``"ignore"`` proceeds silently.  Pass
+    ``max_segments=None`` to disable the guard.
     """
+    if on_exceed not in ("warn", "raise", "ignore"):
+        raise EnvelopeError(
+            f"unknown on_exceed policy {on_exceed!r};"
+            " choose from ('warn', 'raise', 'ignore')"
+        )
+    if max_segments is not None and len(segments) > max_segments:
+        message = (
+            f"build_envelope_sequential on {len(segments)} segments:"
+            f" worst-case Θ(m²) work above the"
+            f" {max_segments}-segment threshold — use build_envelope"
+            " (divide and conquer) for large inputs"
+        )
+        if on_exceed == "raise":
+            raise EnvelopeError(message)
+        if on_exceed == "warn":
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
     acc = Envelope.empty()
     crossings: list[Crossing] = []
     ops = 0

@@ -296,11 +296,16 @@ class EnvelopeBuilder:
     profile vertices.
     """
 
-    __slots__ = ("_pieces", "eps")
+    __slots__ = ("_pieces", "eps", "_last_slope")
 
     def __init__(self, eps: float = EPS):
         self._pieces: list[Piece] = []
         self.eps = eps
+        # Slope of the current last piece, when already known.  Merge
+        # sweeps repeatedly clip the same synthetic (source -1) piece
+        # into adjacent sub-pieces; caching avoids re-deriving the
+        # slope of the accumulated piece on every ``add``.
+        self._last_slope: Optional[float] = None
 
     def add(self, piece: Piece) -> None:
         if piece.ya >= piece.yb:
@@ -311,16 +316,28 @@ class EnvelopeBuilder:
                 last.source == piece.source
                 and last.yb == piece.ya
                 and abs(last.zb - piece.za) <= self.eps
-                and (
-                    last.source >= 0
-                    or abs(last.slope - piece.slope) <= self.eps
-                )
             ):
-                self._pieces[-1] = Piece(
-                    last.ya, last.za, piece.yb, piece.zb, last.source
-                )
+                if last.source >= 0:
+                    self._pieces[-1] = Piece(
+                        last.ya, last.za, piece.yb, piece.zb, last.source
+                    )
+                    self._last_slope = None
+                    return
+                piece_slope = piece.slope
+                last_slope = self._last_slope
+                if last_slope is None:
+                    last_slope = last.slope
+                if abs(last_slope - piece_slope) <= self.eps:
+                    self._pieces[-1] = Piece(
+                        last.ya, last.za, piece.yb, piece.zb, last.source
+                    )
+                    self._last_slope = None
+                    return
+                self._pieces.append(piece)
+                self._last_slope = piece_slope
                 return
         self._pieces.append(piece)
+        self._last_slope = None
 
     def add_clipped(self, piece: Piece, u: float, v: float) -> None:
         """Add the restriction of ``piece`` to ``[u, v]``."""

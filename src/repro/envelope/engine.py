@@ -1,0 +1,108 @@
+"""Envelope kernel selection.
+
+Two interchangeable merge kernels produce bit-identical results (the
+property suite in ``tests/test_envelope_flat.py`` enforces it):
+
+``"python"``
+    The reference per-interval sweep in :mod:`repro.envelope.merge` —
+    pure Python, no dependencies, the semantic ground truth.
+``"numpy"``
+    The vectorized kernel in :mod:`repro.envelope.flat` — batched
+    array sweeps, dramatically faster on large envelopes and on
+    level-batched divide-and-conquer builds.
+
+``engine=None`` (or ``"auto"``) resolves to :data:`DEFAULT_ENGINE` —
+``"numpy"`` when NumPy is importable, else ``"python"``.  The NumPy
+dependency is gated here so the rest of the library never imports it
+directly.
+
+:func:`merge_dispatch` additionally applies a size cutoff
+(:data:`FLAT_MERGE_CUTOFF`): below it the Python sweep is faster than
+the array pipeline's fixed launch overhead, so small merges run on the
+reference kernel even under ``engine="numpy"``.  Because the kernels
+agree exactly, the dispatch point is unobservable in results — only in
+wall clock.  PRAM ``ops`` charges are engine-independent by
+construction (elementary-interval counts), so cost accounting is
+unaffected by kernel choice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.envelope.chain import Envelope
+from repro.envelope.merge import MergeResult, merge_envelopes
+from repro.errors import EnvelopeError
+from repro.geometry.primitives import EPS
+
+__all__ = [
+    "HAVE_NUMPY",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "resolve_engine",
+    "merge_dispatch",
+    "FLAT_MERGE_CUTOFF",
+]
+
+try:  # pragma: no cover - exercised implicitly on import
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy ships in the toolchain
+    HAVE_NUMPY = False
+
+ENGINES = ("python", "numpy")
+
+#: Engine used when callers pass ``engine=None`` / ``"auto"``.
+DEFAULT_ENGINE: str = "numpy" if HAVE_NUMPY else "python"
+
+#: Total input pieces below which :func:`merge_dispatch` prefers the
+#: Python sweep even under ``engine="numpy"`` — the array pipeline's
+#: per-call overhead dominates on tiny merges.
+FLAT_MERGE_CUTOFF: int = 64
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Normalise an engine spec to ``"python"`` or ``"numpy"``.
+
+    ``None`` and ``"auto"`` resolve to :data:`DEFAULT_ENGINE`;
+    requesting ``"numpy"`` without NumPy installed raises.
+    """
+    if engine is None or engine == "auto":
+        return DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise EnvelopeError(
+            f"unknown envelope engine {engine!r}; choose from {ENGINES}"
+        )
+    if engine == "numpy" and not HAVE_NUMPY:
+        raise EnvelopeError(
+            "engine='numpy' requested but numpy is not installed"
+        )
+    return engine
+
+
+def merge_dispatch(
+    a: Envelope,
+    b: Envelope,
+    *,
+    eps: float = EPS,
+    record_crossings: bool = True,
+    engine: Optional[str] = None,
+) -> MergeResult:
+    """Merge two envelopes on the selected kernel (same result either
+    way); see the module docstring for the cutoff rule."""
+    if (
+        resolve_engine(engine) == "numpy"
+        and a.size + b.size >= FLAT_MERGE_CUTOFF
+    ):
+        from repro.envelope.flat import merge_envelopes_flat
+
+        res = merge_envelopes_flat(
+            a, b, eps=eps, record_crossings=record_crossings
+        )
+        return MergeResult(
+            res.envelope.to_envelope(), res.crossings, res.ops
+        )
+    return merge_envelopes(
+        a, b, eps=eps, record_crossings=record_crossings
+    )

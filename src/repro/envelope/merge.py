@@ -13,12 +13,19 @@ the output size ``k``.
 
 from __future__ import annotations
 
+import heapq
 from typing import NamedTuple, Optional, Sequence
 
 from repro.envelope.chain import Envelope, EnvelopeBuilder, Piece
 from repro.geometry.primitives import EPS
 
-__all__ = ["Crossing", "MergeResult", "merge_envelopes", "envelope_breakpoints"]
+__all__ = [
+    "Crossing",
+    "MergeResult",
+    "merge_envelopes",
+    "merge_many",
+    "envelope_breakpoints",
+]
 
 
 class Crossing(NamedTuple):
@@ -55,14 +62,58 @@ class MergeResult(NamedTuple):
     ops: int
 
 
+def _endpoint_stream(env: Envelope) -> list[float]:
+    """All piece endpoints of ``env`` in y-order.
+
+    Within one envelope pieces are y-sorted and non-overlapping, so
+    the interleaved ``[ya0, yb0, ya1, yb1, ...]`` sequence is already
+    sorted — no per-envelope sort is needed.
+    """
+    out: list[float] = []
+    for p in env.pieces:
+        out.append(p.ya)
+        out.append(p.yb)
+    return out
+
+
 def envelope_breakpoints(*envs: Envelope) -> list[float]:
-    """Sorted unique piece endpoints of the given envelopes."""
-    ys: set[float] = set()
-    for env in envs:
-        for p in env.pieces:
-            ys.add(p.ya)
-            ys.add(p.yb)
-    return sorted(ys)
+    """Sorted unique piece endpoints of the given envelopes.
+
+    Each envelope's endpoint stream is already sorted (see
+    :func:`_endpoint_stream`), so the union is a linear merge — a
+    two-pointer pass for the common two-envelope case, a heap merge
+    for more — rather than a hash-set plus full sort.
+    """
+    if len(envs) == 2:
+        xs = _endpoint_stream(envs[0])
+        ys = _endpoint_stream(envs[1])
+        out: list[float] = []
+        i = j = 0
+        nx, ny = len(xs), len(ys)
+        while i < nx and j < ny:
+            x, y = xs[i], ys[j]
+            if x <= y:
+                if not out or out[-1] != x:
+                    out.append(x)
+                i += 1
+                if x == y:
+                    j += 1
+            else:
+                if not out or out[-1] != y:
+                    out.append(y)
+                j += 1
+        for k in range(i, nx):
+            if not out or out[-1] != xs[k]:
+                out.append(xs[k])
+        for k in range(j, ny):
+            if not out or out[-1] != ys[k]:
+                out.append(ys[k])
+        return out
+    merged: list[float] = []
+    for y in heapq.merge(*(_endpoint_stream(e) for e in envs)):
+        if not merged or merged[-1] != y:
+            merged.append(y)
+    return merged
 
 
 def _piece_at(env: Envelope, idx: int, u: float, v: float) -> Optional[Piece]:
@@ -111,38 +162,49 @@ def merge_envelopes(
         pb = _piece_at(b, ib, u, v)
         if pa is None and pb is None:
             continue
+        # Endpoint heights are evaluated once here and passed through
+        # to the emitted pieces — ``Piece.clipped`` would recompute
+        # the exact same ``z_at`` values.
         if pb is None:
-            out.add_clipped(pa, u, v)  # type: ignore[arg-type]
+            out.add(Piece(u, pa.z_at(u), v, pa.z_at(v), pa.source))  # type: ignore[union-attr]
             continue
         if pa is None:
-            out.add_clipped(pb, u, v)
+            out.add(Piece(u, pb.z_at(u), v, pb.z_at(v), pb.source))
             continue
 
-        du = pa.z_at(u) - pb.z_at(u)
-        dv = pa.z_at(v) - pb.z_at(v)
+        pa_u = pa.z_at(u)
+        pa_v = pa.z_at(v)
+        pb_u = pb.z_at(u)
+        pb_v = pb.z_at(v)
+        du = pa_u - pb_u
+        dv = pa_v - pb_v
         su = 0 if abs(du) <= eps else (1 if du > 0 else -1)
         sv = 0 if abs(dv) <= eps else (1 if dv > 0 else -1)
 
         if su >= 0 and sv >= 0:
-            out.add_clipped(pa, u, v)
+            out.add(Piece(u, pa_u, v, pa_v, pa.source))
         elif su <= 0 and sv <= 0:
             # Coincident pieces (su == sv == 0) were taken by the
             # branch above — the front envelope wins ties.
-            out.add_clipped(pb, u, v)
+            out.add(Piece(u, pb_u, v, pb_v, pb.source))
         else:
             # True transversal flip inside (u, v).
             t = du / (du - dv)
             w = u + t * (v - u)
             if w <= u or w >= v:  # numeric clamp: treat as one-sided
                 if su > 0 or sv < 0:
-                    out.add_clipped(pa, u, v)
+                    out.add(Piece(u, pa_u, v, pa_v, pa.source))
                 else:
-                    out.add_clipped(pb, u, v)
+                    out.add(Piece(u, pb_u, v, pb_v, pb.source))
                 continue
             zw = pa.z_at(w)
-            first, second = (pa, pb) if su > 0 else (pb, pa)
-            out.add_clipped(first, u, w)
-            out.add_clipped(second, w, v)
+            zw_b = pb.z_at(w)
+            if su > 0:
+                out.add(Piece(u, pa_u, w, zw, pa.source))
+                out.add(Piece(w, zw_b, v, pb_v, pb.source))
+            else:
+                out.add(Piece(u, pb_u, w, zw_b, pb.source))
+                out.add(Piece(w, zw, v, pa_v, pa.source))
             if record_crossings:
                 left_src = pa.source if su > 0 else pb.source
                 right_src = pb.source if su > 0 else pa.source
@@ -152,17 +214,63 @@ def merge_envelopes(
 
 
 def merge_many(
-    envs: Sequence[Envelope], *, eps: float = EPS
+    envs: Sequence[Envelope],
+    *,
+    eps: float = EPS,
+    engine: Optional[str] = None,
 ) -> MergeResult:
-    """Left-fold merge of several envelopes (helper for tests and for
-    the sequential construction baseline; the parallel construction
-    lives in :mod:`repro.envelope.build`)."""
-    acc = Envelope.empty()
+    """k-way merge of several envelopes by balanced tournament
+    reduction.
+
+    Adjacent pairs merge in rounds (a balanced, heap-shaped reduction
+    tree), so total work is ``O(S log k)`` for total piece count ``S``
+    instead of the ``O(S·k)`` of a left fold.  Pairing stays adjacent
+    — never size-reordered — so earlier envelopes keep tie-breaking
+    precedence over later ones.  This matches the former left fold on
+    exact ties, but not bit-for-bit on *eps-chained* near-ties
+    (eps-tie resolution is not associative) and the ``ops`` total
+    differs (the fold's initial empty-accumulator merge is gone); the
+    result is the same envelope up to eps everywhere.
+
+    ``engine`` selects the merge kernel (see
+    :mod:`repro.envelope.engine`); with ``"numpy"`` the reduction runs
+    entirely on :class:`repro.envelope.flat.FlatEnvelope` arrays and
+    converts back once at the end.
+    """
+    if not envs:
+        return MergeResult(Envelope.empty(), [], 0)
     crossings: list[Crossing] = []
     ops = 0
-    for env in envs:
-        res = merge_envelopes(acc, env, eps=eps)
-        acc = res.envelope
-        crossings.extend(res.crossings)
-        ops += res.ops
-    return MergeResult(acc, crossings, ops)
+
+    def reduce(level: list, pair_merge) -> "object":
+        # Adjacent pairing with odd-tail passthrough: earlier
+        # envelopes keep tie-breaking precedence over later ones —
+        # the invariant both engines must share.
+        nonlocal ops
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                res = pair_merge(level[i], level[i + 1])
+                nxt.append(res.envelope)
+                crossings.extend(res.crossings)
+                ops += res.ops
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    from repro.envelope.engine import resolve_engine
+
+    if resolve_engine(engine) == "numpy":
+        from repro.envelope.flat import FlatEnvelope, merge_envelopes_flat
+
+        flat = reduce(
+            [FlatEnvelope.from_envelope(e) for e in envs],
+            lambda a, b: merge_envelopes_flat(a, b, eps=eps),
+        )
+        return MergeResult(flat.to_envelope(), crossings, ops)
+
+    env = reduce(
+        list(envs), lambda a, b: merge_envelopes(a, b, eps=eps)
+    )
+    return MergeResult(env, crossings, ops)

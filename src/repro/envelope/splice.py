@@ -11,10 +11,10 @@ what makes the sequential algorithm output-sensitive in aggregate.
 
 from __future__ import annotations
 
-from typing import NamedTuple
+from typing import NamedTuple, Optional
 
 from repro.envelope.chain import Envelope
-from repro.envelope.merge import merge_envelopes
+from repro.envelope.engine import merge_dispatch
 from repro.envelope.visibility import VisibilityResult, visible_parts
 from repro.geometry.primitives import EPS
 from repro.geometry.segments import ImageSegment
@@ -41,12 +41,19 @@ class InsertResult(NamedTuple):
 
 
 def insert_segment(
-    env: Envelope, seg: ImageSegment, *, eps: float = EPS
+    env: Envelope,
+    seg: ImageSegment,
+    *,
+    eps: float = EPS,
+    engine: Optional[str] = None,
 ) -> InsertResult:
     """Insert ``seg`` into profile ``env``; see module docstring.
 
     Vertical projections never alter the profile (measure-zero image)
-    but still get a visibility verdict via point query.
+    but still get a visibility verdict via point query.  ``engine``
+    selects the kernel for the local merge (the overlapped window can
+    span many pieces on churny profiles; see
+    :mod:`repro.envelope.engine`).
     """
     vis = visible_parts(seg, env, eps=eps)
     if seg.is_vertical:
@@ -56,8 +63,12 @@ def insert_segment(
 
     lo, hi = env.pieces_overlapping(seg.y1, seg.y2)
     local = Envelope(env.pieces[lo:hi])
-    merged = merge_envelopes(
-        local, Envelope.from_segment(seg), eps=eps, record_crossings=False
+    merged = merge_dispatch(
+        local,
+        Envelope.from_segment(seg),
+        eps=eps,
+        record_crossings=False,
+        engine=engine,
     )
     new_pieces = (
         env.pieces[:lo] + merged.envelope.pieces + env.pieces[hi:]

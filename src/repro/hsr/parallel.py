@@ -54,6 +54,11 @@ class ParallelHSR:
     measure_sharing:
         Record the Fig.-1/Fig.-3 sharing statistics (adds a full-tree
         traversal per layer; off by default).
+    engine:
+        Envelope merge kernel for Phase 1 (and the ``direct`` Phase-2
+        mode); see :mod:`repro.envelope.engine`.  ``None`` selects the
+        default (NumPy when available) — Phase-1 layers then execute
+        as single batched array sweeps.
     """
 
     def __init__(
@@ -63,6 +68,7 @@ class ParallelHSR:
         eps: float = EPS,
         backend: Optional[ExecutionBackend] = None,
         measure_sharing: bool = False,
+        engine: Optional[str] = None,
     ):
         if mode not in PHASE2_MODES:
             raise ValueError(
@@ -72,6 +78,7 @@ class ParallelHSR:
         self.eps = eps
         self.backend = backend
         self.measure_sharing = measure_sharing
+        self.engine = engine
 
     def run(
         self,
@@ -116,6 +123,7 @@ class ParallelHSR:
                     tracker=tracker,
                     backend=self.backend,
                     measure_sharing=self.measure_sharing,
+                    engine=self.engine,
                 )
             with tracker.phase("phase2"):
                 ph2 = run_phase2(
@@ -125,6 +133,7 @@ class ParallelHSR:
                     eps=self.eps,
                     tracker=tracker,
                     measure_sharing=self.measure_sharing,
+                    engine=self.engine,
                 )
         else:
             pct = build_pct(
@@ -133,6 +142,7 @@ class ParallelHSR:
                 eps=self.eps,
                 backend=self.backend,
                 measure_sharing=self.measure_sharing,
+                engine=self.engine,
             )
             ph2 = run_phase2(
                 pct,
@@ -140,6 +150,7 @@ class ParallelHSR:
                 mode=self.mode,
                 eps=self.eps,
                 measure_sharing=self.measure_sharing,
+                engine=self.engine,
             )
 
         vmap = VisibilityMap()

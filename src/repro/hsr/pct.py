@@ -11,6 +11,17 @@ Lemma 3.1 gives the construction O(log² n) depth; the tracker
 measures it (experiment E9 on the construction in isolation, E1 on
 the full pipeline).
 
+Because a layer's merges are independent, the NumPy engine
+(``engine="numpy"``, the default when NumPy is present) executes each
+layer as *one* batched array sweep over all of its merges
+(:func:`repro.envelope.flat.batch_merge`) instead of per-node Python
+sweeps, holding profiles as :class:`~repro.envelope.flat.FlatEnvelope`
+arrays and materialising :class:`Envelope` objects lazily on access.
+Results and PRAM charges are identical between engines.  A real
+process-pool ``backend`` executes per-node tasks instead (arrays
+would be pickled per task, wasting the batch), using the kernel
+dispatch per merge.
+
 The PCT also exposes the Fig. 1 statistic: how many pieces of each
 intermediate profile are *shared* (geometrically identical) with a
 child's profile — the redundancy that motivates the paper's persistent
@@ -23,7 +34,7 @@ import math
 from typing import Optional, Sequence
 
 from repro.envelope.chain import Envelope
-from repro.envelope.merge import merge_envelopes
+from repro.envelope.engine import merge_dispatch, resolve_engine
 from repro.geometry.primitives import EPS
 from repro.geometry.segments import ImageSegment
 from repro.ordering.separator import SeparatorNode, SeparatorTree
@@ -34,22 +45,37 @@ __all__ = ["PCT", "build_pct"]
 
 
 def _merge_task(
-    args: tuple[Envelope, Envelope, float]
+    args: "tuple[Envelope, Envelope, float] | tuple[Envelope, Envelope, float, Optional[str]]",
 ) -> tuple[Envelope, int, int]:
-    """Worker task for process-pool layers (module-level: picklable)."""
-    a, b, eps = args
-    res = merge_envelopes(a, b, eps=eps, record_crossings=False)
+    """Worker task for process-pool layers (module-level: picklable).
+
+    The trailing engine element is optional for compatibility with
+    3-tuple callers (``None`` selects the default kernel).
+    """
+    a, b, eps, *rest = args
+    engine = rest[0] if rest else None
+    res = merge_dispatch(
+        a, b, eps=eps, record_crossings=False, engine=engine
+    )
     return (res.envelope, res.ops, len(res.crossings))
 
 
 class PCT:
     """The profile computation tree: separator-tree shape + per-node
-    intermediate profiles."""
+    intermediate profiles.
+
+    Profiles built by the NumPy engine are held as flat arrays and
+    converted to :class:`Envelope` lazily by :meth:`envelope_of`
+    (conversion is cached) — Phase 2 only ever touches the left-child
+    profiles, so half the tree typically never materialises.
+    """
 
     def __init__(self, tree: SeparatorTree):
         self.tree = tree
-        #: node.index -> intermediate profile (Phase-1 envelope).
+        #: node.index -> materialised intermediate profile.
         self.envelopes: dict[int, Envelope] = {}
+        #: node.index -> flat (array) profile, NumPy engine only.
+        self.flat_envelopes: dict[int, "object"] = {}
         #: total elementary merge operations performed in Phase 1.
         self.ops: int = 0
         #: per-layer (depth) sharing fraction: pieces of the layer's
@@ -57,12 +83,22 @@ class PCT:
         self.layer_sharing: list[tuple[int, float]] = []
 
     def envelope_of(self, node: SeparatorNode) -> Envelope:
-        return self.envelopes[node.index]
+        env = self.envelopes.get(node.index)
+        if env is None:
+            env = self.flat_envelopes[node.index].to_envelope()
+            self.envelopes[node.index] = env
+        return env
 
     def total_profile_pieces(self) -> int:
         """Σ over nodes of intermediate-profile size — the storage a
         non-persistent representation must copy."""
-        return sum(env.size for env in self.envelopes.values())
+        total = sum(env.size for env in self.flat_envelopes.values())
+        total += sum(
+            env.size
+            for idx, env in self.envelopes.items()
+            if idx not in self.flat_envelopes
+        )
+        return total
 
 
 def build_pct(
@@ -73,6 +109,7 @@ def build_pct(
     tracker: Optional[PramTracker] = None,
     backend: Optional[ExecutionBackend] = None,
     measure_sharing: bool = False,
+    engine: Optional[str] = None,
 ) -> PCT:
     """Run Phase 1 over ``tree``.
 
@@ -82,10 +119,21 @@ def build_pct(
 
     ``backend`` executes each layer's merges concurrently when
     provided (Phase-1 layers are embarrassingly parallel); the cost
-    model is charged identically either way.
+    model is charged identically either way.  ``engine`` selects the
+    merge kernel (see :mod:`repro.envelope.engine`); without a
+    process-pool backend the NumPy engine batches each layer into one
+    array sweep.
     """
+    use_batch = resolve_engine(engine) == "numpy" and backend is None
     backend = backend or SerialBackend()
     pct = PCT(tree)
+
+    if use_batch:
+        from repro.envelope.flat import (
+            FlatEnvelope,
+            batch_merge,
+            stack_envelopes,
+        )
 
     for level in tree.levels_bottom_up():
         leaves = [node for node in level if node.is_leaf]
@@ -94,7 +142,12 @@ def build_pct(
         if leaves:
             for node in leaves:
                 seg = image_segments[tree.order[node.lo]]
-                pct.envelopes[node.index] = Envelope.from_segment(seg)
+                if use_batch:
+                    pct.flat_envelopes[node.index] = (
+                        FlatEnvelope.from_segment(seg)
+                    )
+                else:
+                    pct.envelopes[node.index] = Envelope.from_segment(seg)
                 pct.ops += 1
             if tracker is not None:
                 # All leaf initialisations of a layer run concurrently.
@@ -103,22 +156,48 @@ def build_pct(
                         par.spawn(1, 1)
 
         if internals:
-            tasks = [
-                (
-                    pct.envelopes[node.left.index],  # type: ignore[union-attr]
-                    pct.envelopes[node.right.index],  # type: ignore[union-attr]
-                    eps,
+            if use_batch:
+                lefts = stack_envelopes(
+                    [
+                        pct.flat_envelopes[node.left.index]  # type: ignore[union-attr]
+                        for node in internals
+                    ]
                 )
-                for node in internals
-            ]
-            results = backend.map(_merge_task, tasks)
-            if tracker is not None:
-                with tracker.parallel() as par:
-                    for (_env, ops, _nx) in results:
-                        par.spawn(ops, max(1.0, math.log2(ops + 1)))
-            for node, (env, ops, _nx) in zip(internals, results):
-                pct.envelopes[node.index] = env
-                pct.ops += ops
+                rights = stack_envelopes(
+                    [
+                        pct.flat_envelopes[node.right.index]  # type: ignore[union-attr]
+                        for node in internals
+                    ]
+                )
+                res = batch_merge(
+                    lefts, rights, eps=eps, record_crossings=False
+                )
+                ops_list = res.ops.tolist()
+                for g, node in enumerate(internals):
+                    pct.flat_envelopes[node.index] = res.merged.group(g)
+                    pct.ops += ops_list[g]
+                if tracker is not None:
+                    with tracker.parallel() as par:
+                        for ops in ops_list:
+                            par.spawn(ops, max(1.0, math.log2(ops + 1)))
+            else:
+                tasks = [
+                    (
+                        pct.envelopes[node.left.index],  # type: ignore[union-attr]
+                        pct.envelopes[node.right.index],  # type: ignore[union-attr]
+                        eps,
+                        engine,
+                    )
+                    for node in internals
+                ]
+                results = backend.map(_merge_task, tasks)
+                if tracker is not None:
+                    with tracker.parallel() as par:
+                        for (_env, ops, _nx) in results:
+                            par.spawn(ops, max(1.0, math.log2(ops + 1)))
+                for node, (env, ops, _nx) in zip(internals, results):
+                    pct.envelopes[node.index] = env
+                    pct.ops += ops
 
         if measure_sharing and internals:
             shared = 0
@@ -127,8 +206,8 @@ def build_pct(
                 child_pieces = set()
                 for child in (node.left, node.right):
                     assert child is not None
-                    child_pieces.update(pct.envelopes[child.index].pieces)
-                env = pct.envelopes[node.index]
+                    child_pieces.update(pct.envelope_of(child).pieces)
+                env = pct.envelope_of(node)
                 total += env.size
                 shared += sum(1 for p in env.pieces if p in child_pieces)
             depth = internals[0].depth

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.envelope.chain import Envelope
+from repro.envelope.engine import resolve_engine
 from repro.envelope.merge import merge_envelopes
 from repro.envelope.visibility import VisibilityResult, visible_parts
 from repro.errors import HsrError
@@ -93,14 +94,21 @@ def run_phase2(
     eps: float = EPS,
     tracker: Optional[PramTracker] = None,
     measure_sharing: bool = False,
+    engine: Optional[str] = None,
 ) -> Phase2Result:
-    """Run Phase 2 over a built PCT (see module docstring)."""
+    """Run Phase 2 over a built PCT (see module docstring).
+
+    ``engine`` selects the envelope merge kernel for the ``direct``
+    mode's array merges (see :mod:`repro.envelope.engine`); the
+    persistent/ACG modes splice treap versions and take no kernel
+    choice.
+    """
     if mode not in PHASE2_MODES:
         raise HsrError(
             f"unknown phase-2 mode {mode!r}; choose from {PHASE2_MODES}"
         )
     if mode == "direct":
-        return _phase2_direct(pct, image_segments, eps, tracker)
+        return _phase2_direct(pct, image_segments, eps, tracker, engine)
     return _phase2_persistent(
         pct,
         image_segments,
@@ -115,12 +123,36 @@ def _merge_depth(ops: int) -> float:
     return max(1.0, math.log2(ops + 1))
 
 
+class _FlatProfile:
+    """An inherited profile held as flat arrays, materialised to an
+    :class:`Envelope` at most once (left children share their parent's
+    profile object, so the cache is shared too)."""
+
+    __slots__ = ("flat", "_env")
+
+    def __init__(self, flat: "object"):
+        self.flat = flat
+        self._env: Optional[Envelope] = None
+
+    @property
+    def size(self) -> int:
+        return self.flat.size  # type: ignore[attr-defined]
+
+    def envelope(self) -> Envelope:
+        if self._env is None:
+            self._env = self.flat.to_envelope()  # type: ignore[attr-defined]
+        return self._env
+
+
 def _phase2_direct(
     pct: PCT,
     image_segments: Sequence[ImageSegment],
     eps: float,
     tracker: Optional[PramTracker],
+    engine: Optional[str] = None,
 ) -> Phase2Result:
+    if resolve_engine(engine) == "numpy":
+        return _phase2_direct_flat(pct, image_segments, eps, tracker)
     tree = pct.tree
     out = Phase2Result()
     inherited: dict[int, Envelope] = {tree.root.index: Envelope.empty()}
@@ -155,6 +187,101 @@ def _phase2_direct(
                 stats.crossings += len(res.crossings)
                 if par is not None:
                     par.spawn(res.ops, _merge_depth(res.ops))
+        if par_ctx is not None:
+            par_ctx.__exit__(None, None, None)
+        out.layers.append(stats)
+    return out
+
+
+def _phase2_direct_flat(
+    pct: PCT,
+    image_segments: Sequence[ImageSegment],
+    eps: float,
+    tracker: Optional[PramTracker],
+) -> Phase2Result:
+    """``direct`` mode on the NumPy kernel.
+
+    Inherited profiles stay as
+    :class:`~repro.envelope.flat.FlatEnvelope` arrays through the
+    merge cascade, and — since a layer's merges are independent, just
+    like Phase 1's — every layer runs as *one*
+    :func:`~repro.envelope.flat.batch_merge` sweep.  Pieces
+    materialise only where a leaf runs the (scalar) visibility scan,
+    with the materialisation shared between a parent's left child and
+    its own leaf uses.
+    """
+    import numpy as np
+
+    from repro.envelope.flat import (
+        FlatEnvelope,
+        batch_merge,
+        stack_envelopes,
+    )
+
+    tree = pct.tree
+    out = Phase2Result()
+    inherited: dict[int, _FlatProfile] = {
+        tree.root.index: _FlatProfile(FlatEnvelope.empty())
+    }
+
+    def intermediate_flat(node) -> "object":
+        flat = pct.flat_envelopes.get(node.index)
+        if flat is None:  # PCT built by the Python engine
+            flat = FlatEnvelope.from_envelope(pct.envelope_of(node))
+        return flat
+
+    for level in tree.levels():
+        stats = LayerStats(depth=level[0].depth)
+        par_ctx = tracker.parallel() if tracker is not None else None
+        par = par_ctx.__enter__() if par_ctx is not None else None
+
+        internals = [node for node in level if not node.is_leaf]
+        if internals:
+            profiles = [inherited[node.index] for node in internals]
+            lefts = stack_envelopes([p.flat for p in profiles])
+            rights = stack_envelopes(
+                [intermediate_flat(node.left) for node in internals]
+            )
+            res = batch_merge(lefts, rights, eps=eps)
+            ops_list = res.ops.tolist()
+            cross_counts = np.diff(
+                np.searchsorted(
+                    res.cross_group, np.arange(len(internals) + 1)
+                )
+            ).tolist()
+            sizes = np.diff(res.merged.offsets).tolist()
+
+        mi = 0
+        for node in level:
+            P = inherited.pop(node.index)
+            stats.inherited_pieces += P.size
+            if node.is_leaf:
+                edge = tree.order[node.lo]
+                vis = visible_parts(
+                    image_segments[edge], P.envelope(), eps=eps
+                )
+                out.visibility[edge] = vis
+                out.ops += vis.ops
+                stats.ops += vis.ops
+                if par is not None:
+                    par.spawn(vis.ops, _merge_depth(vis.ops))
+            else:
+                assert node.left is not None and node.right is not None
+                inherited[node.left.index] = P
+                ops = ops_list[mi]
+                n_cross = cross_counts[mi]
+                inherited[node.right.index] = _FlatProfile(
+                    res.merged.group(mi)
+                )
+                out.ops += ops
+                out.crossings += n_cross
+                out.pieces_materialised += sizes[mi]
+                stats.merges += 1
+                stats.ops += ops
+                stats.crossings += n_cross
+                if par is not None:
+                    par.spawn(ops, _merge_depth(ops))
+                mi += 1
         if par_ctx is not None:
             par_ctx.__exit__(None, None, None)
         out.layers.append(stats)

@@ -38,10 +38,16 @@ class SequentialHSR:
     eps:
         Geometric tolerance (see :mod:`repro.envelope.visibility` for
         the visibility conventions).
+    engine:
+        Envelope merge kernel for the per-edge splices (see
+        :mod:`repro.envelope.engine`); ``None`` selects the default.
     """
 
-    def __init__(self, *, eps: float = EPS):
+    def __init__(
+        self, *, eps: float = EPS, engine: Optional[str] = None
+    ):
         self.eps = eps
+        self.engine = engine
 
     def run(
         self,
@@ -64,7 +70,9 @@ class SequentialHSR:
         max_profile = 0
         for edge in order:
             seg = terrain.image_segment(edge)
-            res = insert_segment(env, seg, eps=self.eps)
+            res = insert_segment(
+                env, seg, eps=self.eps, engine=self.engine
+            )
             env = res.envelope
             ops += res.ops
             if env.size > max_profile:
@@ -88,6 +96,9 @@ class SequentialHSR:
         env = Envelope.empty()
         for edge in order:
             env = insert_segment(
-                env, terrain.image_segment(edge), eps=self.eps
+                env,
+                terrain.image_segment(edge),
+                eps=self.eps,
+                engine=self.engine,
             ).envelope
         return env

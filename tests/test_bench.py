@@ -150,3 +150,34 @@ class TestExperimentShapes:
     def test_e14_ordering_linear(self):
         t = run_experiment("E14")
         assert max(t.column("constraints/n")) <= 3.5
+
+
+class TestEnvelopeBench:
+    def test_quick_comparison_writes_json(self, tmp_path):
+        import json
+
+        from repro.bench.envelope_bench import run_envelope_bench
+        from repro.envelope.engine import HAVE_NUMPY
+
+        out = tmp_path / "BENCH_envelope.json"
+        t = run_envelope_bench(
+            quick=True, repeats=1, ms=(64, 128), output=out
+        )
+        assert [r["m"] for r in t.rows if r["workload"] == "build"] == [
+            64,
+            128,
+        ]
+        payload = json.loads(out.read_text())
+        assert payload["suite"] == "envelope-kernel"
+        assert len(payload["rows"]) == len(t.rows)
+        if HAVE_NUMPY:
+            for row in t.rows:
+                assert row["numpy_ms"] > 0
+                assert row["speedup"] > 0
+
+    def test_no_output_file(self, tmp_path, monkeypatch):
+        from repro.bench.envelope_bench import run_envelope_bench
+
+        monkeypatch.chdir(tmp_path)
+        run_envelope_bench(quick=True, repeats=1, ms=(32,), output=None)
+        assert not (tmp_path / "BENCH_envelope.json").exists()

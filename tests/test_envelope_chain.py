@@ -181,3 +181,23 @@ class TestEnvelopeBuilder:
         b.add(Piece(0.0, 0.0, 1.0, 1.0, -1))
         b.add(Piece(1.0, 1.0, 2.0, 0.0, -1))  # kink: different slope
         assert b.build().size == 2
+
+    def test_synthetic_sources_coalesce_collinear(self):
+        b = EnvelopeBuilder()
+        b.add(Piece(0.0, 0.0, 1.0, 1.0, -1))
+        b.add(Piece(1.0, 1.0, 2.0, 2.0, -1))  # same slope: joins
+        b.add(Piece(2.0, 2.0, 3.0, 3.0, -1))  # slope of merged piece
+        env = b.build()
+        assert env.size == 1
+        assert env.pieces[0] == Piece(0.0, 0.0, 3.0, 3.0, -1)
+
+    def test_add_clipped_restricts_and_coalesces(self):
+        # add_clipped evaluates the sub-piece exactly like the merge
+        # sweep's direct Piece construction does.
+        b = EnvelopeBuilder()
+        p = Piece(0.0, 0.0, 4.0, 4.0, 7)
+        b.add_clipped(p, 1.0, 2.0)
+        b.add_clipped(p, 2.0, 3.0)  # contiguous, same source: joins
+        b.add_clipped(p, 3.5, 3.5)  # empty span: dropped
+        env = b.build()
+        assert env.pieces == [Piece(1.0, 1.0, 3.0, 3.0, 7)]
