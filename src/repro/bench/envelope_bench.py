@@ -1,9 +1,28 @@
 """``bench envelope`` — python-vs-numpy kernel comparison.
 
 Times both envelope engines on E9-style workloads (random segment
-sets, the Lemma 3.1 construction) plus a large pairwise merge, and
-writes the rows to ``BENCH_envelope.json`` so later PRs have a perf
-trajectory to compare against.
+sets, the Lemma 3.1 construction, a large pairwise merge, batched
+``visible_parts`` queries, and the stream-merge ablation inside the
+batched build) and writes the rows to ``BENCH_envelope.json`` so
+later PRs have a perf trajectory to compare against.
+
+Row kinds (all share the six columns; ``python_ms``/``numpy_ms`` name
+the two timed variants):
+
+``build``
+    ``build_envelope`` python engine vs numpy engine.
+``pairwise-merge``
+    One large envelope merge, kernel only.
+``visibility``
+    ``visible_parts`` of ``m`` query segments against the profile of
+    ``m`` segments: scalar per-query loop (``python_ms``) vs one
+    batched :func:`~repro.envelope.flat_visibility.batch_visible_parts`
+    sweep *including* materialisation back to scalar-API results
+    (``numpy_ms``).
+``build-stream-merge-ablation``
+    The numpy build with the segmented stream merge disabled
+    (``python_ms`` column = composite-argsort ordering, PR 1's path)
+    vs enabled (``numpy_ms`` column).
 
 Engines are timed interleaved (python, numpy, python, ...) and the
 per-engine minimum is reported, which keeps the ratio honest on
@@ -23,6 +42,7 @@ from repro.bench.harness import Table
 from repro.envelope.build import build_envelope
 from repro.envelope.engine import HAVE_NUMPY
 from repro.envelope.merge import merge_envelopes
+from repro.envelope.visibility import visible_parts
 from repro.geometry.segments import ImageSegment
 
 __all__ = ["run_envelope_bench", "DEFAULT_OUTPUT"]
@@ -103,7 +123,7 @@ def run_envelope_bench(
                 repeats,
             )
             numpy_ms = None
-            speedup = float("nan")
+            speedup = None  # keep the JSON strict-parseable
         row = dict(
             workload="build",
             m=m,
@@ -142,9 +162,99 @@ def run_envelope_bench(
         rows.append(row)
         t.add(**row)
 
+    # Batched visibility: m queries against the profile of m segments.
+    for m in ms:
+        segs = _e9_segments(m)
+        env = build_envelope(segs, engine="python").envelope
+        queries = _e9_segments(m, seed=101)
+
+        def scalar_vis(env=env, queries=queries):
+            for q in queries:
+                visible_parts(q, env)
+
+        if HAVE_NUMPY:
+            from repro.envelope.flat import FlatEnvelope
+            from repro.envelope.flat_visibility import (
+                batch_visible_parts,
+            )
+
+            fenv = FlatEnvelope.from_envelope(env)
+
+            def batched_vis(fenv=fenv, queries=queries):
+                batch_visible_parts(fenv, queries).results()
+
+            best = _time_interleaved(
+                {"python": scalar_vis, "numpy": batched_vis}, repeats
+            )
+            numpy_ms = best["numpy"] * 1e3
+            speedup = best["python"] / best["numpy"]
+        else:  # pragma: no cover - numpy ships in the toolchain
+            best = _time_interleaved({"python": scalar_vis}, repeats)
+            numpy_ms = None
+            speedup = None  # keep the JSON strict-parseable
+        row = dict(
+            workload="visibility",
+            m=m,
+            env_size=env.size,
+            python_ms=best["python"] * 1e3,
+            numpy_ms=numpy_ms,
+            speedup=speedup,
+        )
+        rows.append(row)
+        t.add(**row)
+
+    # Stream-merge ablation inside the batched build (largest size):
+    # python_ms column = composite argsort (PR 1), numpy_ms = merge.
+    if HAVE_NUMPY:
+        import repro.envelope.flat as flat_mod
+
+        m_abl = max(ms)
+        segs = _e9_segments(m_abl)
+        env_size = build_envelope(segs, engine="numpy").envelope.size
+
+        def build_with(toggle, segs=segs):
+            def run():
+                old = flat_mod.USE_STREAM_MERGE
+                flat_mod.USE_STREAM_MERGE = toggle
+                try:
+                    build_envelope(segs, engine="numpy")
+                finally:
+                    flat_mod.USE_STREAM_MERGE = old
+
+            return run
+
+        best = _time_interleaved(
+            {
+                "argsort": build_with(False),
+                "merge": build_with(True),
+            },
+            repeats,
+        )
+        row = dict(
+            workload="build-stream-merge-ablation",
+            m=m_abl,
+            env_size=env_size,
+            python_ms=best["argsort"] * 1e3,
+            numpy_ms=best["merge"] * 1e3,
+            speedup=best["argsort"] / best["merge"],
+        )
+        rows.append(row)
+        t.add(**row)
+
     t.notes.append(
         "engines produce identical pieces/crossings/ops (enforced by"
-        " tests/test_envelope_flat.py); choose on wall clock alone"
+        " tests/test_envelope_flat.py and"
+        " tests/test_envelope_flat_visibility.py); choose on wall"
+        " clock alone"
+    )
+    t.notes.append(
+        "visibility numpy_ms includes materialising scalar-API"
+        " results; the raw array sweep is faster still"
+    )
+    t.notes.append(
+        "build-stream-merge-ablation compares the numpy build with"
+        " the segmented stream merge off (python_ms column, composite"
+        " argsort) vs on (numpy_ms column)"
     )
     t.notes.append(
         "timings are best-of-%d, engines interleaved" % repeats

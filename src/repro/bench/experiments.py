@@ -27,7 +27,6 @@ from repro.hsr.sequential import SequentialHSR
 from repro.hsr.zbuffer import ZBufferHSR
 from repro.geometry.segments import ImageSegment
 from repro.pram.schedule import (
-    brent_time,
     phases_from_tracker,
     slowdown_time,
     speedup_curve,

@@ -9,7 +9,7 @@ records a captured run).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable
 
 from repro.errors import BenchmarkError
 

@@ -86,6 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="run the experiment suite")
     bench.add_argument("experiments", nargs="*", default=[])
     bench.add_argument("--full", action="store_true")
+    bench.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=(
+            "JSON output path for the 'envelope' comparison (default:"
+            " BENCH_envelope.json in the current directory)"
+        ),
+    )
 
     sub.add_parser("info", help="version + experiment inventory")
     return parser
@@ -107,9 +116,15 @@ def _load_terrain(spec: str, seed: int):
     if spec in GENERATORS:
         kwargs = {"seed": seed}
         return generate_terrain(spec, **kwargs)
+    hint = (
+        " — synthetic generators need numpy (install the 'numpy'"
+        " extra) or pass a terrain file"
+        if not GENERATORS
+        else ""
+    )
     raise SystemExit(
         f"error: {spec!r} is neither an existing terrain file nor a"
-        f" generator kind (known: {sorted(GENERATORS)})"
+        f" generator kind (known: {sorted(GENERATORS)}){hint}"
     )
 
 
@@ -135,7 +150,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.hsr import NaiveHSR, ParallelHSR, SequentialHSR, ZBufferHSR
+    from repro.hsr import NaiveHSR, ParallelHSR, SequentialHSR
     from repro.pram import PramTracker
     from repro.render import render_visibility_svg
 
@@ -144,6 +159,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         terrain = terrain.rotated(args.azimuth)
 
     engine = None if args.engine == "auto" else args.engine
+    from repro.envelope.engine import resolve_engine
+    from repro.errors import EnvelopeError
+
+    try:
+        resolve_engine(engine)
+    except EnvelopeError as exc:  # e.g. --engine numpy without numpy
+        raise SystemExit(f"error: {exc}") from None
     tracker: Optional[PramTracker] = None
     if args.algorithm == "parallel":
         tracker = PramTracker()
@@ -155,6 +177,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     elif args.algorithm == "naive":
         result = NaiveHSR().run(terrain)
     else:
+        # Imported lazily: the z-buffer baseline is the one algorithm
+        # that hard-requires numpy.
+        from repro.hsr.zbuffer import ZBufferHSR
+
         result = ZBufferHSR().run(terrain)
 
     if args.svg is not None:
@@ -227,8 +253,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "bench":
         from repro.bench.__main__ import main as bench_main
 
+        argv_out = (
+            ["--output", str(args.output)]
+            if args.output is not None
+            else []
+        )
         return bench_main(
-            list(args.experiments) + (["--full"] if args.full else [])
+            list(args.experiments)
+            + (["--full"] if args.full else [])
+            + argv_out
         )
     if args.command == "info":
         return _cmd_info(args)

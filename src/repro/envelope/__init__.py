@@ -5,7 +5,9 @@
   (the pure-Python reference kernel).
 * :mod:`repro.envelope.flat` — vectorized NumPy kernel:
   :class:`FlatEnvelope` structure-of-arrays, batched merge sweeps,
-  level-batched construction.
+  segmented stream merge, level-batched construction.
+* :mod:`repro.envelope.flat_visibility` — batched NumPy visibility
+  kernel (many segment-vs-profile queries in one sweep).
 * :mod:`repro.envelope.engine` — kernel selection.
 * :mod:`repro.envelope.build` — divide-and-conquer construction (Lemma 3.1).
 * :mod:`repro.envelope.visibility` — visible parts of a segment.
@@ -48,6 +50,7 @@ from repro.envelope.engine import (
     HAVE_NUMPY,
     merge_dispatch,
     resolve_engine,
+    visibility_dispatch,
 )
 from repro.envelope.merge import (
     Crossing,
@@ -83,6 +86,7 @@ __all__ = [
     "merge_envelopes",
     "merge_many",
     "resolve_engine",
+    "visibility_dispatch",
     "visible_parts",
 ]
 
@@ -92,11 +96,21 @@ if HAVE_NUMPY:  # pragma: no branch - numpy ships in the toolchain
         FlatMergeResult,
         build_envelope_flat,
         merge_envelopes_flat,
+        merge_sorted_streams,
+    )
+    from repro.envelope.flat_visibility import (  # noqa: F401
+        FlatVisibility,
+        batch_visible_parts,
+        visible_parts_flat,
     )
 
     __all__ += [
         "FlatEnvelope",
         "FlatMergeResult",
+        "FlatVisibility",
+        "batch_visible_parts",
         "build_envelope_flat",
         "merge_envelopes_flat",
+        "merge_sorted_streams",
+        "visible_parts_flat",
     ]

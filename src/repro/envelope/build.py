@@ -172,7 +172,10 @@ def build_envelope_sequential(
             f"build_envelope_sequential on {len(segments)} segments:"
             f" worst-case Θ(m²) work above the"
             f" {max_segments}-segment threshold — use build_envelope"
-            " (divide and conquer) for large inputs"
+            " (divide and conquer) for large inputs, or, when the"
+            " goal is bulk segment-vs-profile queries, the batched"
+            " visibility kernel"
+            " (repro.envelope.flat_visibility.batch_visible_parts)"
         )
         if on_exceed == "raise":
             raise EnvelopeError(message)

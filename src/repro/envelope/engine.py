@@ -24,6 +24,12 @@ agree exactly, the dispatch point is unobservable in results — only in
 wall clock.  PRAM ``ops`` charges are engine-independent by
 construction (elementary-interval counts), so cost accounting is
 unaffected by kernel choice.
+
+:func:`visibility_dispatch` applies the same policy to segment-vs-
+profile visibility queries: scalar scan below
+:data:`FLAT_VISIBILITY_CUTOFF` overlapped pieces, the batched kernel
+of :mod:`repro.envelope.flat_visibility` above it (vertical queries
+always take the scalar point query — they are O(log m) either way).
 """
 
 from __future__ import annotations
@@ -32,8 +38,10 @@ from typing import Optional
 
 from repro.envelope.chain import Envelope
 from repro.envelope.merge import MergeResult, merge_envelopes
+from repro.envelope.visibility import VisibilityResult, visible_parts
 from repro.errors import EnvelopeError
 from repro.geometry.primitives import EPS
+from repro.geometry.segments import ImageSegment
 
 __all__ = [
     "HAVE_NUMPY",
@@ -41,7 +49,9 @@ __all__ = [
     "ENGINES",
     "resolve_engine",
     "merge_dispatch",
+    "visibility_dispatch",
     "FLAT_MERGE_CUTOFF",
+    "FLAT_VISIBILITY_CUTOFF",
 ]
 
 try:  # pragma: no cover - exercised implicitly on import
@@ -60,6 +70,12 @@ DEFAULT_ENGINE: str = "numpy" if HAVE_NUMPY else "python"
 #: Python sweep even under ``engine="numpy"`` — the array pipeline's
 #: per-call overhead dominates on tiny merges.
 FLAT_MERGE_CUTOFF: int = 64
+
+#: Overlapped-piece count below which :func:`visibility_dispatch`
+#: prefers the scalar scan even under ``engine="numpy"`` — the batched
+#: kernel's fixed launch overhead (~a few dozen array ops) beats the
+#: ~µs/piece scalar walk only on windows of this order.
+FLAT_VISIBILITY_CUTOFF: int = 96
 
 
 def resolve_engine(engine: Optional[str]) -> str:
@@ -106,3 +122,32 @@ def merge_dispatch(
     return merge_envelopes(
         a, b, eps=eps, record_crossings=record_crossings
     )
+
+
+def visibility_dispatch(
+    seg: ImageSegment,
+    env: Envelope,
+    *,
+    eps: float = EPS,
+    engine: Optional[str] = None,
+) -> VisibilityResult:
+    """Visible parts of ``seg`` against ``env`` on the selected kernel
+    (same result either way).
+
+    The scalar scan only ever touches the pieces overlapping the
+    segment's y-span, so the batched kernel runs on exactly that
+    window — converted to flat arrays in one pass — and only when the
+    window clears :data:`FLAT_VISIBILITY_CUTOFF`.  Vertical queries
+    are an O(log m) point query and always take the scalar path.
+    """
+    if resolve_engine(engine) == "numpy" and not seg.is_vertical:
+        lo, hi = env.pieces_overlapping(seg.y1, seg.y2)
+        if hi - lo >= FLAT_VISIBILITY_CUTOFF:
+            from repro.envelope.flat import FlatEnvelope
+            from repro.envelope.flat_visibility import (
+                visible_parts_flat,
+            )
+
+            window = FlatEnvelope.from_pieces(env.pieces[lo:hi])
+            return visible_parts_flat(seg, window, eps=eps)
+    return visible_parts(seg, env, eps=eps)

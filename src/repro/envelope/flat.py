@@ -35,6 +35,7 @@ this on adversarial inputs.
 
 from __future__ import annotations
 
+import itertools
 from functools import lru_cache
 from typing import NamedTuple, Optional, Sequence
 
@@ -50,6 +51,7 @@ __all__ = [
     "FlatEnvelope",
     "FlatMergeResult",
     "merge_envelopes_flat",
+    "merge_sorted_streams",
     "batch_merge",
     "stack_envelopes",
     "build_envelope_flat",
@@ -58,6 +60,32 @@ __all__ = [
 
 _F = np.float64
 _I = np.int64
+_U = np.uint64
+
+
+def _tuples_to_matrix(rows: Sequence) -> np.ndarray:
+    """(n, 5) float64 matrix from a sequence of 5-field flat tuples
+    (``Piece`` / ``ImageSegment``), via a single chained ``fromiter``
+    pass — several times faster than ``np.asarray`` on tuple rows."""
+    return np.fromiter(
+        itertools.chain.from_iterable(rows), _F, count=5 * len(rows)
+    ).reshape(-1, 5)
+
+
+#: Sign bit of an IEEE-754 double, as the uint64 bit pattern.
+_SIGN_BIT = np.uint64(0x8000000000000000)
+
+#: Ablation switch for the segmented stream merge in :func:`_sweep`
+#: (the bench toggles it to measure the argsort-vs-merge delta; both
+#: paths produce identical results).
+USE_STREAM_MERGE = True
+
+#: Event count below which :func:`_sweep` prefers the composite
+#: argsort even when :data:`USE_STREAM_MERGE` is on: the merge path
+#: runs more (cheaper) array ops, so per-call overhead dominates on
+#: small levels while the argsort's O(E log E) comparison cost is
+#: still negligible there.
+STREAM_MERGE_MIN_EVENTS = 4096
 
 
 class FlatEnvelope:
@@ -93,11 +121,19 @@ class FlatEnvelope:
 
     @staticmethod
     def from_envelope(env: Envelope) -> "FlatEnvelope":
-        if not env.pieces:
+        return FlatEnvelope.from_pieces(env.pieces)
+
+    @staticmethod
+    def from_pieces(pieces: Sequence[Piece]) -> "FlatEnvelope":
+        """Flatten a ``(ya, za, yb, zb, source)`` tuple sequence.
+
+        ``fromiter`` over the chained fields is several times faster
+        than ``np.asarray`` on the tuple sequence (it skips the
+        per-row sequence protocol).
+        """
+        if not len(pieces):
             return FlatEnvelope.empty()
-        # Piece is a flat NamedTuple: one C-level pass builds the
-        # (n, 5) matrix, column slices give the arrays.
-        mat = np.asarray(env.pieces, dtype=_F)
+        mat = _tuples_to_matrix(pieces)
         return FlatEnvelope(
             np.ascontiguousarray(mat[:, 0]),
             np.ascontiguousarray(mat[:, 1]),
@@ -439,6 +475,220 @@ def _endpoint_stream(
     return ev[keep], gv[keep], mk[keep]
 
 
+def _order_keys(vals: np.ndarray) -> np.ndarray:
+    """Map float64 values to uint64 keys with the same total order.
+
+    The IEEE-754 bit pattern is order-preserving for non-negative
+    doubles; setting the sign bit lifts them above the negatives, whose
+    sign-magnitude encoding is order-*reversed* and is fixed by a full
+    bit flip.  ``-0.0`` and ``+0.0`` map to adjacent keys — callers
+    only rely on the key order being *consistent with* float order, so
+    equal floats may order either way.  NaNs are not handled (envelope
+    coordinates are always comparable).
+    """
+    u = np.ascontiguousarray(vals).view(_U)
+    return np.where(u & _SIGN_BIT, ~u, u | _SIGN_BIT)
+
+
+def _group_offsets(groups: np.ndarray, n_groups: int) -> np.ndarray:
+    """Segment boundaries (length ``n_groups + 1``) of a sorted
+    group-id array."""
+    return np.searchsorted(groups, np.arange(n_groups + 1))
+
+
+def _pack_group_keys(
+    n_groups: int,
+    streams: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
+) -> Optional[list[np.ndarray]]:
+    """Shift each group's keys into disjoint consecutive uint64 ranges.
+
+    ``streams`` is a sequence of ``(keys, groups, offsets)`` triples —
+    uint64 key arrays sorted within each group, the per-element group
+    ids, and group segment ``offsets`` of length ``n_groups + 1``.  All
+    streams share one group numbering; the per-group key range is taken
+    over the union of the streams.  Returns the shifted key arrays,
+    whose *global* numeric order equals the lexicographic
+    ``(group, key)`` order — so a single flat ``searchsorted`` performs
+    a segmented per-group search — or ``None`` when the combined
+    per-group spans exceed 64 bits of key space (common once groups are
+    numerous: each group's span covers its coordinates' exponent
+    range).
+    """
+    mn = np.full(n_groups, np.uint64(0xFFFFFFFFFFFFFFFF), _U)
+    mx = np.zeros(n_groups, _U)
+    for keys, _groups, offs in streams:
+        ne = offs[1:] > offs[:-1]
+        mn[ne] = np.minimum(mn[ne], keys[offs[:-1][ne]])
+        mx[ne] = np.maximum(mx[ne], keys[offs[1:][ne] - 1])
+    adj = _pack_range_adjust(mn, mx, n_groups)
+    if adj is None:
+        return None
+    return [keys + adj[groups] for keys, groups, _offs in streams]
+
+
+def _pack_range_adjust(
+    mn: np.ndarray, mx: np.ndarray, n_groups: int
+) -> Optional[np.ndarray]:
+    """Per-group additive shifts that pack key ranges ``[mn_g, mx_g]``
+    into disjoint consecutive uint64 intervals: ``key + adj[g]`` is
+    globally ordered by ``(group, key)``.  Mutates ``mn``/``mx`` for
+    empty groups (``mn > mx``).  Returns ``None`` when the combined
+    spans overflow 64 bits — detected by a zero span size (a
+    full-range group wraps ``span + 1`` to 0) or a non-increasing
+    cumulative sum (a wrapping step strictly decreases, since every
+    size is below 2**64)."""
+    empty = mn > mx
+    if empty.any():
+        mn[empty] = 0
+        mx[empty] = 0
+    sizes = (mx - mn) + np.uint64(1)  # wraps to 0 on a full-range span
+    cs = np.cumsum(sizes)
+    if n_groups > 1 and (
+        bool((sizes == 0).any()) or not bool(np.all(cs[1:] > cs[:-1]))
+    ):
+        return None  # packed ranges overflow 64 bits
+    # ``key - mn[g] + base[g]``: the result is always in range, so
+    # wrapping uint64 arithmetic on the folded constant is exact.
+    return (cs - sizes) - mn
+
+
+def _composite_argsort(
+    ys: np.ndarray, gs: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """Composite (group, y) ordering as two argsort passes — the
+    reference ordering for :func:`merge_sorted_streams` and its
+    fallback.  Equivalent to ``np.lexsort((ys, gs))`` but faster: the
+    group pass radix-sorts narrow integers.  Only the *second* pass
+    must be stable (it preserves the y-order within each group); the
+    y pass may reorder exact ties freely."""
+    o1 = np.argsort(ys)
+    gdt = np.int16 if n_groups < 2**15 else np.int32
+    o2 = np.argsort(gs[o1].astype(gdt), kind="stable")
+    return o1[o2]
+
+
+def _segmented_searchsorted(
+    b_vals: np.ndarray,
+    b_off: np.ndarray,
+    a_vals: np.ndarray,
+    a_groups: np.ndarray,
+    side: str = "left",
+) -> np.ndarray:
+    """For each ``a_vals[i]`` (group ``a_groups[i]``), the global index
+    in ``b_vals`` where it would insert within its group segment — a
+    segmented ``searchsorted`` as a vectorized branch-free binary
+    search with per-element bounds.  Values may be any comparable
+    dtype (raw floats are fine: comparisons never cross group
+    boundaries).  Runs ``ceil(log2(max segment size))`` cheap array
+    passes, so it is the fast path exactly when segments are small —
+    deep build levels, and the regime where key packing overflows."""
+    lo = b_off[a_groups]
+    size = b_off[a_groups + 1] - lo
+    if len(b_vals) == 0 or len(a_vals) == 0:
+        return lo
+    bp = np.append(b_vals, b_vals[:1])  # pad: converged lanes read past
+    for _ in range(int(size.max()).bit_length()):
+        half = size >> 1
+        mid = lo + half
+        if side == "left":
+            cond = (bp[mid] < a_vals) & (size > 0)
+        else:
+            cond = (bp[mid] <= a_vals) & (size > 0)
+        lo = np.where(cond, mid + 1, lo)
+        size = np.where(cond, size - half - 1, half)
+    return lo
+
+
+#: Largest per-group segment for which the raw-float bounded binary
+#: search beats the key-packed flat ``searchsorted`` (the search runs
+#: ``ceil(log2(size))`` array passes, so small segments need few).
+_BINSEARCH_MAX_SEGMENT = 16
+
+
+def _merge_stream_positions(
+    a_vals: np.ndarray,
+    a_groups: np.ndarray,
+    b_vals: np.ndarray,
+    b_groups: np.ndarray,
+    n_groups: int,
+    a_off: Optional[np.ndarray] = None,
+    b_off: Optional[np.ndarray] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merged positions of two (group, value)-sorted streams.
+
+    Returns ``(pos_a, pos_b)`` — for each element of either stream,
+    its index in the (group, value)-sorted union.  This is the
+    segmented two-way merge that replaces the per-level composite
+    argsort in :func:`_sweep`: each side's breakpoint stream is already
+    sorted within every group, so ordering their union is a merge, not
+    a sort.  Elements of ``a`` precede equal elements of ``b``; the
+    relative order of exact ties is otherwise unspecified (the merge
+    sweep is insensitive to intra-``(group, value)`` event order).
+
+    Only one side is actually searched, and ``pos_b`` is the
+    complement — ``b`` fills the free slots in stream order.  The rank
+    search of ``a`` into ``b`` picks its strategy by segment size:
+    small ``b`` segments (deep build levels — the expensive ones) use
+    the bounded raw-float binary search of
+    :func:`_segmented_searchsorted` directly; large segments use
+    one flat ``searchsorted`` over range-packed uint64 keys, falling
+    back to the bounded search when the packing overflows.
+    """
+    na, nb = len(a_vals), len(b_vals)
+    if a_off is None:
+        a_off = _group_offsets(a_groups, n_groups)
+    if b_off is None:
+        b_off = _group_offsets(b_groups, n_groups)
+    max_seg = int(np.max(np.diff(b_off))) if nb else 0
+    if max_seg <= _BINSEARCH_MAX_SEGMENT:
+        # Raw float comparisons are valid here: the search never
+        # compares across group boundaries.
+        pa = _segmented_searchsorted(
+            b_vals, b_off, a_vals, a_groups
+        )
+    else:
+        ka = _order_keys(a_vals)
+        kb = _order_keys(b_vals)
+        packed = _pack_group_keys(
+            n_groups, ((ka, a_groups, a_off), (kb, b_groups, b_off))
+        )
+        if packed is not None:
+            pa = np.searchsorted(packed[1], packed[0], side="left")
+        else:
+            pa = _segmented_searchsorted(kb, b_off, ka, a_groups)
+    pos_a = np.arange(na, dtype=np.intp) + pa
+    free = np.ones(na + nb, bool)
+    free[pos_a] = False
+    pos_b = np.flatnonzero(free)
+    return pos_a, pos_b
+
+
+def merge_sorted_streams(
+    a_vals: np.ndarray,
+    a_groups: np.ndarray,
+    b_vals: np.ndarray,
+    b_groups: np.ndarray,
+    n_groups: int,
+) -> np.ndarray:
+    """Merge permutation of two (group, value)-sorted float streams.
+
+    Both streams must already be sorted by ``(group, value)``
+    lexicographically (group ids in ``[0, n_groups)``).  Returns
+    ``order`` such that ``np.concatenate([a_vals, b_vals])[order]`` is
+    (group, value)-sorted.  See :func:`_merge_stream_positions` for
+    the mechanics and tie conventions; this wrapper materialises the
+    permutation for callers that want ``argsort``-shaped output.
+    """
+    pos_a, pos_b = _merge_stream_positions(
+        a_vals, a_groups, b_vals, b_groups, n_groups
+    )
+    na, nb = len(a_vals), len(b_vals)
+    order = np.empty(na + nb, np.intp)
+    order[pos_a] = np.arange(na, dtype=np.intp)
+    order[pos_b] = np.arange(na, na + nb, dtype=np.intp)
+    return order
+
+
 def _sweep(
     a: _Stacked,
     b: _Stacked,
@@ -537,39 +787,71 @@ def _sweep(
         # the kept event.
         ea, ga_s, ma = _endpoint_stream(a_live.ya, a_live.yb, ag, na)
         eb, gb_s, mb = _endpoint_stream(b_live.ya, b_live.yb, bg, nb)
-        ys = np.concatenate([ea, eb])
-        gs = np.concatenate([ga_s, gb_s])
-        neg_a = np.full(len(eb), -1, _I)
-        neg_b = np.full(len(ea), -1, _I)
-        mark_a = np.concatenate([ma, neg_a])
-        mark_b = np.concatenate([neg_b, mb])
-        # Composite (group, y) order as two passes — equivalent to
-        # ``np.lexsort((ys, gs))`` but faster: the group pass
-        # radix-sorts narrow integers.  Only the *second* pass must be
-        # stable (it preserves the y-order within each group); the
-        # y pass may reorder exact ties freely, since the sweep is
-        # insensitive to intra-(group, y) event order.
-        o1 = np.argsort(ys)
-        gdt = np.int16 if n_live < 2**15 else np.int32
-        o2 = np.argsort(gs[o1].astype(gdt), kind="stable")
-        order = o1[o2]
-        ys_s = ys[order]
-        gs_s = gs[order]
-        n_ev = len(ys_s)
-        keep = np.empty(n_ev, bool)
-        keep[0] = True
-        keep[1:] = (ys_s[1:] != ys_s[:-1]) | (gs_s[1:] != gs_s[:-1])
-        starts = np.flatnonzero(keep)
-        ends = np.concatenate([starts[1:], [n_ev]]) - 1
-        ysu = ys_s[starts]
-        gsu = gs_s[starts]
+        n_ev = len(ea) + len(eb)
+        # Each side's stream is (group, y)-sorted, so the composite
+        # order is a segmented two-way *merge* rather than a sort, the
+        # merged event arrays assemble by scatter stores (no
+        # permutation gathers), and merged group boundaries come from
+        # stream-offset arithmetic — no per-event group array is ever
+        # materialised.  The ablation toggle keeps the composite
+        # argsort path of PR 1 measurable.
+        if USE_STREAM_MERGE and n_ev >= STREAM_MERGE_MIN_EVENTS:
+            a_off = _group_offsets(ga_s, n_live)
+            b_off = _group_offsets(gb_s, n_live)
+            pos_a, pos_b = _merge_stream_positions(
+                ea, ga_s, eb, gb_s, n_live, a_off, b_off
+            )
+            ys_s = np.empty(n_ev, _F)
+            ys_s[pos_a] = ea
+            ys_s[pos_b] = eb
+            mark_a = np.full(n_ev, -1, _I)
+            mark_a[pos_a] = ma
+            mark_b = np.full(n_ev, -1, _I)
+            mark_b[pos_b] = mb
+            # Merged group segment g is [a_off[g]+b_off[g], ...); every
+            # live group has events, so all boundaries are in range.
+            ev_off = a_off + b_off
+            keep = np.empty(n_ev, bool)
+            keep[0] = True
+            keep[1:] = ys_s[1:] != ys_s[:-1]
+            keep[ev_off[:-1]] = True  # group starts always survive
+            starts = np.flatnonzero(keep)
+            ends = np.concatenate([starts[1:], [n_ev]]) - 1
+            ysu = ys_s[starts]
+            # Group of each unique bound, from the (exact) positions
+            # of the group boundaries among the kept events.
+            ub_off = np.searchsorted(starts, ev_off)
+            gsu = np.repeat(
+                np.arange(n_live, dtype=_I), np.diff(ub_off)
+            )
+        else:
+            ys = np.concatenate([ea, eb])
+            gs = np.concatenate([ga_s, gb_s])
+            order = _composite_argsort(ys, gs, n_live)
+            ys_s = ys[order]
+            gs_s = gs[order]
+            mark_a = np.full(n_ev, -1, _I)
+            mark_a[: len(ea)] = ma
+            mark_a = mark_a[order]
+            mark_b = np.full(n_ev, -1, _I)
+            mark_b[len(ea) :] = mb
+            mark_b = mark_b[order]
+            keep = np.empty(n_ev, bool)
+            keep[0] = True
+            keep[1:] = (ys_s[1:] != ys_s[:-1]) | (
+                gs_s[1:] != gs_s[:-1]
+            )
+            starts = np.flatnonzero(keep)
+            ends = np.concatenate([starts[1:], [n_ev]]) - 1
+            ysu = ys_s[starts]
+            gsu = gs_s[starts]
         # Piece indices increase along the sorted order within a group
         # (stacks are (group, ya)-sorted), so the running max is "the
         # most recent"; taking it at the *end* of each equal-(g, y)
         # run makes a piece starting exactly at ``u`` cover ``u``
         # (``p.ya <= u`` inclusive).
-        cum_a = np.maximum.accumulate(mark_a[order])
-        cum_b = np.maximum.accumulate(mark_b[order])
+        cum_a = np.maximum.accumulate(mark_a)
+        cum_b = np.maximum.accumulate(mark_b)
         bound_cand_a = cum_a[ends]
         bound_cand_b = cum_b[ends]
 
@@ -1016,9 +1298,11 @@ def _split_children(st: _Stacked) -> tuple[_Stacked, _Stacked]:
     batch are the even/odd groups of the level below.
     """
     gids = st.group_ids()
-    even = (gids & 1) == 0
-    odd = ~even
     counts = st.counts()
+    # Integer index gathers: one mask scan total instead of one
+    # per field.
+    even = np.flatnonzero((gids & 1) == 0)
+    odd = np.flatnonzero(gids & 1)
     a_off = np.concatenate([[0], np.cumsum(counts[0::2])]).astype(_I)
     b_off = np.concatenate([[0], np.cumsum(counts[1::2])]).astype(_I)
     return (
@@ -1061,7 +1345,7 @@ def build_envelope_flat(
     # (ImageSegment is a flat NamedTuple); vertical projections drop
     # out with a vectorized filter.
     all_mat = (
-        np.asarray(segments, dtype=_F)
+        _tuples_to_matrix(segments)
         if len(segments)
         else np.empty((0, 5), _F)
     )

@@ -1,0 +1,509 @@
+"""Batched (NumPy) segment-vs-profile visibility kernel.
+
+The scalar scan in :mod:`repro.envelope.visibility` walks the pieces
+overlapping a query segment one at a time behind a moving cursor.  The
+envelope invariants make that cursor redundant: every piece in the
+overlap range ``[lo, hi)`` satisfies ``ya < y2`` and ``yb > y1``
+(:meth:`Envelope.pieces_overlapping` semantics) and pieces do not
+overlap, so for *every* piece of the range
+
+* the examined sub-interval is ``u = max(ya, y1) < v = min(yb, y2)``,
+* the cursor entering piece ``j`` equals ``y1`` for the first piece
+  and ``yb`` of piece ``j - 1`` otherwise (only the last piece of the
+  range can clip at ``y2``).
+
+The whole scan therefore vectorizes with no sequential state: one
+(query, piece) pair table, ``z_at_many``-style batched line evaluation
+on its endpoints, dominance signs, and boolean-mask emission of gap /
+visible / crossing candidates — for *many* query segments against one
+:class:`~repro.envelope.flat.FlatEnvelope`, or one query per group of
+a stacked envelope set (the Phase-2 leaf layout), in a single sweep.
+
+Parity contract: identical ``parts`` (after the same eps-merge and
+``width > eps`` filtering), ``crossings`` and ``ops`` as
+:func:`repro.envelope.visibility.visible_parts` for every query,
+including the :func:`_visible_vertical` point-query degeneracies.
+``tests/test_envelope_flat_visibility.py`` enforces this on
+adversarial inputs.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.envelope.chain import Envelope
+from repro.envelope.flat import (
+    FlatEnvelope,
+    _group_offsets,
+    _order_keys,
+    _pack_range_adjust,
+    _segmented_searchsorted,
+    _tuples_to_matrix,
+    _z_eval,
+)
+from repro.envelope.visibility import VisibilityResult, VisiblePart
+from repro.errors import EnvelopeError
+from repro.geometry.primitives import EPS, NEG_INF
+from repro.geometry.segments import ImageSegment
+
+__all__ = [
+    "FlatVisibility",
+    "batch_visible_parts",
+    "visible_parts_flat",
+]
+
+_F = np.float64
+_I = np.int64
+
+
+class FlatVisibility(NamedTuple):
+    """Batched visibility results, held as flat arrays.
+
+    ``part_*`` rows are the maximal visible sub-intervals of every
+    query, sorted by ``(query, y)``; ``cross_*`` rows are the
+    visibility-change points, likewise sorted.  ``ops`` is the
+    per-query elementary-interval count (the PRAM work charge of the
+    scan, identical to the scalar kernel's).  Use :meth:`result_of` /
+    :meth:`results` to materialise scalar-API
+    :class:`~repro.envelope.visibility.VisibilityResult` records.
+    """
+
+    part_query: np.ndarray
+    part_ya: np.ndarray
+    part_yb: np.ndarray
+    cross_query: np.ndarray
+    cross_y: np.ndarray
+    cross_z: np.ndarray
+    ops: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.ops)
+
+    def result_of(self, q: int) -> VisibilityResult:
+        """The scalar-API result of query ``q``."""
+        plo = int(np.searchsorted(self.part_query, q, side="left"))
+        phi = int(np.searchsorted(self.part_query, q, side="right"))
+        clo = int(np.searchsorted(self.cross_query, q, side="left"))
+        chi = int(np.searchsorted(self.cross_query, q, side="right"))
+        parts = list(
+            map(
+                VisiblePart._make,
+                zip(
+                    self.part_ya[plo:phi].tolist(),
+                    self.part_yb[plo:phi].tolist(),
+                ),
+            )
+        )
+        crossings = list(
+            zip(
+                self.cross_y[clo:chi].tolist(),
+                self.cross_z[clo:chi].tolist(),
+            )
+        )
+        return VisibilityResult(parts, crossings, int(self.ops[q]))
+
+    def results(self) -> list[VisibilityResult]:
+        """All queries' results, materialised in one pass."""
+        q = len(self.ops)
+        pq = self.part_query
+        cq = self.cross_query
+        p_bounds = np.searchsorted(pq, np.arange(q + 1))
+        c_bounds = np.searchsorted(cq, np.arange(q + 1))
+        pya = self.part_ya.tolist()
+        pyb = self.part_yb.tolist()
+        cy = self.cross_y.tolist()
+        cz = self.cross_z.tolist()
+        ops = self.ops.tolist()
+        out = []
+        for i in range(q):
+            plo, phi = int(p_bounds[i]), int(p_bounds[i + 1])
+            clo, chi = int(c_bounds[i]), int(c_bounds[i + 1])
+            out.append(
+                VisibilityResult(
+                    [
+                        VisiblePart(pya[j], pyb[j])
+                        for j in range(plo, phi)
+                    ],
+                    [(cy[j], cz[j]) for j in range(clo, chi)],
+                    ops[i],
+                )
+            )
+        return out
+
+
+def _locate(
+    p_ya: np.ndarray,
+    p_yb: np.ndarray,
+    p_off: np.ndarray,
+    q_y1: np.ndarray,
+    q_y2: np.ndarray,
+    q_groups: np.ndarray,
+    n_groups: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-query piece range, replicating ``pieces_overlapping`` (and
+    the raw ``bisect_right - 1`` index that ``value_at`` needs).
+
+    Returns global piece indices ``(i_raw, lo, hi)``:
+
+    * ``i_raw`` — last piece of the query's group with ``ya <= y1``,
+      or ``group_start - 1`` when none;
+    * ``lo``/``hi`` — half-open overlap range of the query's
+      ``(y1, y2)`` span, empty when ``y1 == y2`` is outside any piece.
+    """
+    n = len(p_ya)
+    if n_groups == 1:
+        # One envelope: its ``ya`` array is globally sorted.
+        count_le = np.searchsorted(p_ya, q_y1, side="right")
+        hi = np.searchsorted(p_ya, q_y2, side="left")
+    else:
+        q_off = _group_offsets(q_groups, n_groups)
+        # ``+ 0.0`` collapses -0.0 to +0.0 before keying: bisect
+        # treats the zeros as equal, and distinct keys would shift the
+        # piece counts (every other value is unchanged by the add).
+        kp = _order_keys(p_ya + 0.0)
+        k1 = _order_keys(q_y1 + 0.0)
+        k2 = _order_keys(q_y2 + 0.0)
+        # Packed-key group ranges must cover the queries too; the
+        # query streams need not be y-sorted within a group, so their
+        # per-group extremes come from segmented reductions
+        # (``y1 <= y2`` per query, so min(k1)/max(k2) suffice).
+        mn = np.full(n_groups, np.uint64(0xFFFFFFFFFFFFFFFF), np.uint64)
+        mx = np.zeros(n_groups, np.uint64)
+        pne = p_off[1:] > p_off[:-1]
+        mn[pne] = kp[p_off[:-1][pne]]
+        mx[pne] = kp[p_off[1:][pne] - 1]
+        qne = q_off[1:] > q_off[:-1]
+        if qne.any():
+            starts = q_off[:-1][qne]
+            mn[qne] = np.minimum(
+                mn[qne], np.minimum.reduceat(k1, starts)
+            )
+            mx[qne] = np.maximum(
+                mx[qne], np.maximum.reduceat(k2, starts)
+            )
+        adj = _pack_range_adjust(mn, mx, n_groups)
+        if adj is not None:
+            sp = kp + adj[_piece_groups(p_off, n)]
+            count_le = np.searchsorted(
+                sp, k1 + adj[q_groups], side="right"
+            )
+            hi = np.searchsorted(sp, k2 + adj[q_groups], side="left")
+        else:  # pragma: no cover - needs ~1e19 coordinate spread
+            count_le = _segmented_searchsorted(
+                kp, p_off, k1, q_groups, side="right"
+            )
+            hi = _segmented_searchsorted(kp, p_off, k2, q_groups)
+    i_raw = count_le - 1
+    # ``pieces_overlapping`` adjustment: step past a piece ending at or
+    # before ``y1`` (and past the start when the group has no piece
+    # at or before ``y1``).
+    if n_groups == 1:
+        group_start = np.zeros(len(q_y1), _I)
+    else:
+        group_start = p_off[q_groups]
+    valid = i_raw >= group_start
+    if n:
+        ends = p_yb[np.clip(i_raw, 0, n - 1)]
+        lo = np.where(valid & (ends > q_y1), i_raw, i_raw + 1)
+    else:
+        lo = i_raw + 1
+    return i_raw, lo, hi
+
+
+def _piece_groups(p_off: np.ndarray, n: int) -> np.ndarray:
+    """Group id per piece from group offsets."""
+    return np.repeat(
+        np.arange(len(p_off) - 1, dtype=_I), np.diff(p_off)
+    )
+
+
+def batch_visible_parts(
+    env: Union[FlatEnvelope, Envelope, tuple],
+    segments: Union[Sequence[ImageSegment], np.ndarray],
+    groups: Optional[np.ndarray] = None,
+    *,
+    eps: float = EPS,
+) -> FlatVisibility:
+    """Visible parts of many query segments, in one batched sweep.
+
+    ``env`` is a single envelope (:class:`FlatEnvelope` or
+    :class:`Envelope`) that every query is tested against, or a
+    stacked envelope set (``repro.envelope.flat.stack_envelopes``
+    output) with ``groups`` giving each query's group id — the
+    Phase-2 leaf layout, one inherited profile per leaf.  ``groups``
+    must be sorted ascending (queries grouped by envelope).
+
+    ``segments`` is a sequence of :class:`ImageSegment` or a prebuilt
+    ``(Q, 5)`` float64 matrix.  Vertical queries (``y1 == y2``) take
+    the point-query path of ``_visible_vertical``.
+
+    Every query's parts, crossings and ops are exactly those of the
+    scalar :func:`~repro.envelope.visibility.visible_parts`.
+    """
+    if isinstance(env, Envelope):
+        env = FlatEnvelope.from_envelope(env)
+    if isinstance(env, FlatEnvelope):
+        p_ya, p_za = env.ya, env.za
+        p_yb, p_zb = env.yb, env.zb
+        p_off = np.array([0, len(p_ya)], _I)
+        n_groups = 1
+    else:  # a stacked envelope set
+        p_ya, p_za, p_yb, p_zb = env.ya, env.za, env.yb, env.zb
+        p_off = np.asarray(env.offsets, _I)
+        n_groups = len(p_off) - 1
+
+    if isinstance(segments, np.ndarray):
+        seg_mat = segments
+    else:
+        seg_mat = (
+            _tuples_to_matrix(segments)
+            if len(segments)
+            else np.empty((0, 5), _F)
+        )
+    nq = len(seg_mat)
+    q_y1 = np.ascontiguousarray(seg_mat[:, 0])
+    q_z1 = np.ascontiguousarray(seg_mat[:, 1])
+    q_y2 = np.ascontiguousarray(seg_mat[:, 2])
+    q_z2 = np.ascontiguousarray(seg_mat[:, 3])
+
+    if groups is None:
+        q_groups = np.zeros(nq, _I)
+    else:
+        q_groups = np.asarray(groups, _I)
+        if len(q_groups) != nq:
+            raise EnvelopeError(
+                f"groups length {len(q_groups)} != {nq} queries"
+            )
+        if nq and bool(np.any(q_groups[1:] < q_groups[:-1])):
+            raise EnvelopeError(
+                "batch_visible_parts requires group-sorted queries"
+            )
+
+    e_f = np.empty(0, _F)
+    e_i = np.empty(0, _I)
+    if nq == 0:
+        return FlatVisibility(
+            e_i, e_f, e_f, e_i, e_f, e_f, np.empty(0, _I)
+        )
+
+    i_raw, lo, hi = _locate(
+        p_ya, p_yb, p_off, q_y1, q_y2, q_groups, n_groups
+    )
+    ops = np.ones(nq, _I)
+
+    vertical = q_y1 == q_y2
+    nonvert = ~vertical
+
+    # ---- non-vertical queries: the vectorized interval scan --------
+    nv = np.flatnonzero(nonvert)
+    if len(nv):
+        counts = (hi[nv] - lo[nv]).astype(_I)
+        np.maximum(counts, 0, out=counts)  # defensive; cannot go < 0
+        n_pairs = int(counts.sum())
+        pair_off = np.concatenate([[0], np.cumsum(counts)])
+
+        # (query, piece) pair table; ``qi`` is the ordinal among the
+        # non-vertical queries, in input order.
+        qi = np.repeat(np.arange(len(nv), dtype=_I), counts)
+        piece = (
+            np.arange(n_pairs, dtype=_I)
+            - np.repeat(pair_off[:-1], counts)
+            + np.repeat(lo[nv], counts)
+        )
+        y1q = q_y1[nv][qi]
+        y2q = q_y2[nv][qi]
+        u = np.maximum(p_ya[piece], y1q)
+        v = np.minimum(p_yb[piece], y2q)
+
+        first = np.zeros(n_pairs, bool)
+        first[pair_off[:-1][counts > 0]] = True
+        # Cursor entering pair j: y1 for the query's first piece, the
+        # previous piece's end otherwise (see module docstring).
+        prev_yb = p_yb[np.maximum(piece - 1, 0)]
+        gap_start = np.where(first, y1q, prev_yb)
+        gap_end = p_ya[piece]  # == min(ya, y2): ya < y2 in range
+        has_gap = gap_start < gap_end
+
+        # z_at_many-style evaluation: query line and covering piece at
+        # both interval endpoints, two stacked calls.
+        uv = np.concatenate([u, v])
+        qq = np.concatenate([qi, qi])
+        pp = np.concatenate([piece, piece])
+        z_seg = _z_eval(
+            q_y1[nv][qq], q_z1[nv][qq], q_y2[nv][qq], q_z2[nv][qq], uv
+        )
+        z_env = _z_eval(p_ya[pp], p_za[pp], p_yb[pp], p_zb[pp], uv)
+        d = z_seg - z_env
+        du, dv = d[:n_pairs], d[n_pairs:]
+        su = (du > eps).astype(np.int8)
+        su -= du < -eps
+        sv = (dv > eps).astype(np.int8)
+        sv -= dv < -eps
+
+        visible_full = (su >= 0) & (sv >= 0) & ((su > 0) | (sv > 0))
+        hidden = ~visible_full & (su <= 0) & (sv <= 0)
+        tr = np.flatnonzero(~visible_full & ~hidden)
+
+        # Transversal pairs: crossing point, clamped like the scalar.
+        dut = du[tr]
+        dvt = dv[tr]
+        t = dut / (dut - dvt)
+        w = u[tr] + t * (v[tr] - u[tr])
+        w = np.minimum(np.maximum(w, u[tr]), v[tr])
+        tr_rising = su[tr] < 0  # hidden then visible: part (w, v)
+
+        vis_ya = u.copy()
+        vis_yb = v.copy()
+        vis_ya[tr[tr_rising]] = w[tr_rising]
+        vis_yb[tr[~tr_rising]] = w[~tr_rising]
+
+        # Crossings: strictly interior flips only, z on the query line.
+        interior = (u[tr] < w) & (w < v[tr])
+        cross_pair = tr[interior]
+        cross_y = w[interior]
+        cross_z = _z_eval(
+            q_y1[nv][qi[cross_pair]],
+            q_z1[nv][qi[cross_pair]],
+            q_y2[nv][qi[cross_pair]],
+            q_z2[nv][qi[cross_pair]],
+            cross_y,
+        )
+
+        # Candidate slots, (query, y)-ordered by construction:
+        # [gap_0, vis_0, gap_1, vis_1, ..., trailing] per query.
+        n_nv = len(nv)
+        n_slots = 2 * n_pairs + n_nv
+        slot_gap = 2 * np.arange(n_pairs, dtype=_I) + qi
+        slot_trail = 2 * pair_off[1:] + np.arange(n_nv, dtype=_I)
+
+        cand_ya = np.empty(n_slots, _F)
+        cand_yb = np.empty(n_slots, _F)
+        cand_q = np.empty(n_slots, _I)
+        valid = np.zeros(n_slots, bool)
+
+        valid[slot_gap] = has_gap
+        cand_ya[slot_gap] = gap_start
+        cand_yb[slot_gap] = gap_end
+        cand_q[slot_gap] = qi
+        valid[slot_gap + 1] = ~hidden
+        cand_ya[slot_gap + 1] = vis_ya
+        cand_yb[slot_gap + 1] = vis_yb
+        cand_q[slot_gap + 1] = qi
+
+        if n_pairs:
+            last_v = v[np.maximum(pair_off[1:] - 1, 0)]
+            cursor_end = np.where(counts > 0, last_v, q_y1[nv])
+        else:
+            cursor_end = q_y1[nv]
+        valid[slot_trail] = cursor_end < q_y2[nv]
+        cand_ya[slot_trail] = cursor_end
+        cand_yb[slot_trail] = q_y2[nv]
+        cand_q[slot_trail] = np.arange(n_nv, dtype=_I)
+
+        ops_nv = (
+            counts
+            + np.bincount(qi[has_gap], minlength=n_nv)
+            + valid[slot_trail]
+        )
+        ops[nv] = np.maximum(ops_nv, 1)
+
+        # Merge adjacent candidates (the _PartAccumulator rule): within
+        # a query, candidates are disjoint with non-decreasing ends, so
+        # the accumulated last end *is* the previous candidate's end.
+        sel = np.flatnonzero(valid)
+        cya = cand_ya[sel]
+        cyb = cand_yb[sel]
+        cq = cand_q[sel]
+        n_sel = len(sel)
+        if n_sel:
+            new = np.empty(n_sel, bool)
+            new[0] = True
+            new[1:] = (cq[1:] != cq[:-1]) | (
+                cya[1:] > cyb[:-1] + eps
+            )
+            pstarts = np.flatnonzero(new)
+            pends = np.concatenate([pstarts[1:], [n_sel]]) - 1
+            m_ya = cya[pstarts]
+            m_yb = cyb[pends]
+            m_q = cq[pstarts]
+            wide = (m_yb - m_ya) > eps
+            part_q_nv = nv[m_q[wide]]
+            part_ya_nv = m_ya[wide]
+            part_yb_nv = m_yb[wide]
+        else:
+            part_q_nv, part_ya_nv, part_yb_nv = e_i, e_f, e_f
+        cross_q_nv = nv[qi[cross_pair]]
+    else:
+        part_q_nv, part_ya_nv, part_yb_nv = e_i, e_f, e_f
+        cross_q_nv, cross_y, cross_z = e_i, e_f, e_f
+
+    # ---- vertical queries: batched point query (value_at) ----------
+    vt = np.flatnonzero(vertical)
+    if len(vt):
+        n = len(p_ya)
+        y = q_y1[vt]
+        i = i_raw[vt]
+        if n_groups == 1:
+            g_lo = np.zeros(len(vt), _I)
+            g_hi = np.full(len(vt), n, _I)
+        else:
+            g_lo = p_off[q_groups[vt]]
+            g_hi = p_off[q_groups[vt] + 1]
+        if n:
+            ic = np.clip(i, 0, n - 1)
+            inside = (i >= g_lo) & (p_ya[ic] <= y) & (y <= p_yb[ic])
+            best = np.where(
+                inside,
+                _z_eval(p_ya[ic], p_za[ic], p_yb[ic], p_zb[ic], y),
+                NEG_INF,
+            )
+            ip = np.clip(i - 1, 0, n - 1)
+            prev_ok = (i - 1 >= g_lo) & (p_yb[ip] == y)
+            best = np.maximum(
+                best, np.where(prev_ok, p_zb[ip], NEG_INF)
+            )
+            inx = np.clip(i + 1, 0, n - 1)
+            next_ok = (i + 1 < g_hi) & (p_ya[inx] == y)
+            best = np.maximum(
+                best, np.where(next_ok, p_za[inx], NEG_INF)
+            )
+        else:
+            best = np.full(len(vt), NEG_INF, _F)
+        top = np.maximum(q_z1[vt], q_z2[vt])
+        vis_v = (best == NEG_INF) | (top > best + eps)
+        part_q_vt = vt[vis_v]
+        part_y_vt = y[vis_v]
+    else:
+        part_q_vt = e_i
+        part_y_vt = e_f
+
+    # ---- combine, (query, y)-ordered --------------------------------
+    if len(part_q_vt):
+        pq = np.concatenate([part_q_nv, part_q_vt])
+        pya = np.concatenate([part_ya_nv, part_y_vt])
+        pyb = np.concatenate([part_yb_nv, part_y_vt])
+        order = np.argsort(pq, kind="stable")
+        part_query = pq[order]
+        part_ya = pya[order]
+        part_yb = pyb[order]
+    else:
+        part_query, part_ya, part_yb = part_q_nv, part_ya_nv, part_yb_nv
+
+    return FlatVisibility(
+        part_query, part_ya, part_yb, cross_q_nv, cross_y, cross_z, ops
+    )
+
+
+def visible_parts_flat(
+    seg: ImageSegment,
+    env: Union[FlatEnvelope, Envelope],
+    *,
+    eps: float = EPS,
+) -> VisibilityResult:
+    """Single-query convenience wrapper over
+    :func:`batch_visible_parts` (exact
+    :func:`~repro.envelope.visibility.visible_parts` semantics)."""
+    return batch_visible_parts(env, (seg,), eps=eps).result_of(0)

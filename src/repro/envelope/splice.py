@@ -14,8 +14,8 @@ from __future__ import annotations
 from typing import NamedTuple, Optional
 
 from repro.envelope.chain import Envelope
-from repro.envelope.engine import merge_dispatch
-from repro.envelope.visibility import VisibilityResult, visible_parts
+from repro.envelope.engine import merge_dispatch, visibility_dispatch
+from repro.envelope.visibility import VisibilityResult
 from repro.geometry.primitives import EPS
 from repro.geometry.segments import ImageSegment
 
@@ -51,11 +51,11 @@ def insert_segment(
 
     Vertical projections never alter the profile (measure-zero image)
     but still get a visibility verdict via point query.  ``engine``
-    selects the kernel for the local merge (the overlapped window can
-    span many pieces on churny profiles; see
-    :mod:`repro.envelope.engine`).
+    selects the kernel for both the visibility scan and the local
+    merge (the overlapped window can span many pieces on churny
+    profiles; see :mod:`repro.envelope.engine`).
     """
-    vis = visible_parts(seg, env, eps=eps)
+    vis = visibility_dispatch(seg, env, eps=eps, engine=engine)
     if seg.is_vertical:
         return InsertResult(env, vis, vis.ops)
     if vis.fully_hidden:

@@ -16,7 +16,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Sequence
 
-from repro.geometry.primitives import EPS, Point2
+from repro.geometry.primitives import Point2
 
 __all__ = [
     "orient2d_exact",

@@ -29,7 +29,6 @@ from repro.hsr.result import (
     VisibleSegment,
 )
 from repro.hsr.sequential import SequentialHSR
-from repro.hsr.zbuffer import ZBufferHSR, ZBufferImage
 
 __all__ = [
     "CGNode",
@@ -45,8 +44,6 @@ __all__ = [
     "VisibilityMap",
     "VisibilityOracle",
     "VisibleSegment",
-    "ZBufferHSR",
-    "ZBufferImage",
     "acg_splice_merge",
     "all_intersections_lemma32",
     "build_pct",
@@ -59,3 +56,10 @@ __all__ = [
     "visibility_graph",
     "winner_regions",
 ]
+
+try:  # the image-space baseline is array-based; optional without numpy
+    from repro.hsr.zbuffer import ZBufferHSR, ZBufferImage  # noqa: F401
+
+    __all__ += ["ZBufferHSR", "ZBufferImage"]
+except ImportError:  # pragma: no cover - numpy ships in the toolchain
+    pass

@@ -30,7 +30,6 @@ subtrees are opened, giving the output-sensitive search of Lemma 3.6.
 
 from __future__ import annotations
 
-import math
 from typing import NamedTuple, Optional
 
 from repro.envelope.chain import Envelope, Piece

@@ -25,7 +25,7 @@ from typing import Optional, Sequence
 
 from repro.geometry.primitives import EPS
 from repro.hsr.pct import build_pct
-from repro.hsr.phase2 import PHASE2_MODES, Phase2Result, run_phase2
+from repro.hsr.phase2 import PHASE2_MODES, run_phase2
 from repro.hsr.result import HsrResult, HsrStats, VisibilityMap
 from repro.ordering.separator import SeparatorTree
 from repro.ordering.sweep import front_to_back_order

@@ -123,27 +123,6 @@ def _merge_depth(ops: int) -> float:
     return max(1.0, math.log2(ops + 1))
 
 
-class _FlatProfile:
-    """An inherited profile held as flat arrays, materialised to an
-    :class:`Envelope` at most once (left children share their parent's
-    profile object, so the cache is shared too)."""
-
-    __slots__ = ("flat", "_env")
-
-    def __init__(self, flat: "object"):
-        self.flat = flat
-        self._env: Optional[Envelope] = None
-
-    @property
-    def size(self) -> int:
-        return self.flat.size  # type: ignore[attr-defined]
-
-    def envelope(self) -> Envelope:
-        if self._env is None:
-            self._env = self.flat.to_envelope()  # type: ignore[attr-defined]
-        return self._env
-
-
 def _phase2_direct(
     pct: PCT,
     image_segments: Sequence[ImageSegment],
@@ -205,10 +184,11 @@ def _phase2_direct_flat(
     :class:`~repro.envelope.flat.FlatEnvelope` arrays through the
     merge cascade, and — since a layer's merges are independent, just
     like Phase 1's — every layer runs as *one*
-    :func:`~repro.envelope.flat.batch_merge` sweep.  Pieces
-    materialise only where a leaf runs the (scalar) visibility scan,
-    with the materialisation shared between a parent's left child and
-    its own leaf uses.
+    :func:`~repro.envelope.flat.batch_merge` sweep.  A layer's leaf
+    visibility queries are independent too, so they run as one
+    :func:`~repro.envelope.flat_visibility.batch_visible_parts` call
+    over the stacked inherited profiles (one group per leaf); no
+    profile is ever materialised back to piece tuples.
     """
     import numpy as np
 
@@ -217,11 +197,12 @@ def _phase2_direct_flat(
         batch_merge,
         stack_envelopes,
     )
+    from repro.envelope.flat_visibility import batch_visible_parts
 
     tree = pct.tree
     out = Phase2Result()
-    inherited: dict[int, _FlatProfile] = {
-        tree.root.index: _FlatProfile(FlatEnvelope.empty())
+    inherited: dict[int, FlatEnvelope] = {
+        tree.root.index: FlatEnvelope.empty()
     }
 
     def intermediate_flat(node) -> "object":
@@ -237,8 +218,9 @@ def _phase2_direct_flat(
 
         internals = [node for node in level if not node.is_leaf]
         if internals:
-            profiles = [inherited[node.index] for node in internals]
-            lefts = stack_envelopes([p.flat for p in profiles])
+            lefts = stack_envelopes(
+                [inherited[node.index] for node in internals]
+            )
             rights = stack_envelopes(
                 [intermediate_flat(node.left) for node in internals]
             )
@@ -251,15 +233,29 @@ def _phase2_direct_flat(
             ).tolist()
             sizes = np.diff(res.merged.offsets).tolist()
 
-        mi = 0
+        leaves = [node for node in level if node.is_leaf]
+        if leaves:
+            lstack = stack_envelopes(
+                [inherited[node.index] for node in leaves]
+            )
+            lsegs = [
+                image_segments[tree.order[node.lo]] for node in leaves
+            ]
+            leaf_vis = batch_visible_parts(
+                lstack,
+                lsegs,
+                groups=np.arange(len(leaves)),
+                eps=eps,
+            ).results()
+
+        mi = li = 0
         for node in level:
             P = inherited.pop(node.index)
             stats.inherited_pieces += P.size
             if node.is_leaf:
                 edge = tree.order[node.lo]
-                vis = visible_parts(
-                    image_segments[edge], P.envelope(), eps=eps
-                )
+                vis = leaf_vis[li]
+                li += 1
                 out.visibility[edge] = vis
                 out.ops += vis.ops
                 stats.ops += vis.ops
@@ -270,9 +266,7 @@ def _phase2_direct_flat(
                 inherited[node.left.index] = P
                 ops = ops_list[mi]
                 n_cross = cross_counts[mi]
-                inherited[node.right.index] = _FlatProfile(
-                    res.merged.group(mi)
-                )
+                inherited[node.right.index] = res.merged.group(mi)
                 out.ops += ops
                 out.crossings += n_cross
                 out.pieces_materialised += sizes[mi]

@@ -12,7 +12,7 @@ Theorem 3.1's bound is sensitive to.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, NamedTuple, Optional
+from typing import Iterable, NamedTuple, Optional
 
 from repro.envelope.visibility import VisibilityResult
 from repro.geometry.segments import ImageSegment

@@ -39,8 +39,13 @@ class SequentialHSR:
         Geometric tolerance (see :mod:`repro.envelope.visibility` for
         the visibility conventions).
     engine:
-        Envelope merge kernel for the per-edge splices (see
+        Envelope kernel for the per-edge work (see
         :mod:`repro.envelope.engine`); ``None`` selects the default.
+        Under ``"numpy"`` each edge's visibility scan *and* local
+        merge dispatch to the batched kernels once the overlapped
+        window clears the size cutoffs — on churny profiles (wide
+        windows) this takes the per-edge cost from a Python walk to a
+        handful of array ops; results are bit-identical either way.
     """
 
     def __init__(

@@ -20,7 +20,7 @@ from repro.envelope.chain import Envelope, Piece
 from repro.envelope.merge import MergeResult, merge_envelopes
 from repro.geometry.primitives import EPS, NEG_INF
 from repro.persistence import treap
-from repro.persistence.treap import Root, TreapNode
+from repro.persistence.treap import Root
 
 __all__ = [
     "PersistentEnvelope",

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import Any, Callable, Iterator, Optional, TypeVar
+from typing import Any, Iterator, Optional, TypeVar
 
 from repro.errors import PersistenceError
 

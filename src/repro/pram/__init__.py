@@ -13,13 +13,6 @@ from repro.pram.pool import (
     available_workers,
     default_backend,
 )
-from repro.pram.primitives import (
-    parallel_max_index,
-    parallel_merge_positions,
-    parallel_prefix,
-    parallel_reduce,
-    prefix_combine,
-)
 from repro.pram.schedule import (
     PhaseCost,
     allocation_time,
@@ -41,12 +34,26 @@ __all__ = [
     "available_workers",
     "brent_time",
     "default_backend",
-    "parallel_max_index",
-    "parallel_merge_positions",
-    "parallel_prefix",
-    "parallel_reduce",
     "phases_from_tracker",
-    "prefix_combine",
     "slowdown_time",
     "speedup_curve",
 ]
+
+try:  # array-backed PRAM primitives are optional without numpy
+    from repro.pram.primitives import (  # noqa: F401
+        parallel_max_index,
+        parallel_merge_positions,
+        parallel_prefix,
+        parallel_reduce,
+        prefix_combine,
+    )
+
+    __all__ += [
+        "parallel_max_index",
+        "parallel_merge_positions",
+        "parallel_prefix",
+        "parallel_reduce",
+        "prefix_combine",
+    ]
+except ImportError:  # pragma: no cover - numpy ships in the toolchain
+    pass

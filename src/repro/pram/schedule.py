@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import PramError
-from repro.pram.tracker import PhaseRecord, PramTracker
+from repro.pram.tracker import PramTracker
 
 __all__ = [
     "allocation_time",

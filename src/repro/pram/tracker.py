@@ -27,7 +27,7 @@ Regions nest arbitrarily.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.errors import PramError

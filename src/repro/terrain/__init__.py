@@ -1,17 +1,12 @@
-"""Terrain substrate: TIN model, generators, triangulation, DEM, I/O."""
+"""Terrain substrate: TIN model, generators, triangulation, DEM, I/O.
 
-from repro.terrain.dem import dem_to_terrain, parse_esri_ascii, write_esri_ascii
-from repro.terrain.generators import (
-    GENERATORS,
-    fractal_terrain,
-    generate_terrain,
-    grid_terrain_from_heights,
-    plateau_terrain,
-    random_terrain,
-    ridge_terrain,
-    shielded_basin_terrain,
-    valley_terrain,
-)
+The synthetic generators and the DEM grid pipeline are array-based and
+need NumPy; the TIN model, file I/O, perspective and triangulation are
+pure Python.  Without NumPy the package still imports — the missing
+names are absent and :data:`GENERATORS` is empty, so terrain *files*
+remain fully usable.
+"""
+
 from repro.terrain.io import (
     load_terrain_json,
     load_terrain_obj,
@@ -39,21 +34,51 @@ __all__ = [
     "perspective_image_point",
     "perspective_transform",
     "delaunay_faces",
-    "dem_to_terrain",
-    "fractal_terrain",
     "generate_terrain",
     "grid_faces",
-    "grid_terrain_from_heights",
     "load_terrain_json",
     "load_terrain_obj",
-    "parse_esri_ascii",
-    "plateau_terrain",
-    "random_terrain",
-    "ridge_terrain",
     "save_terrain_json",
     "save_terrain_obj",
-    "shielded_basin_terrain",
     "triangulate_monotone_polygon",
-    "valley_terrain",
-    "write_esri_ascii",
 ]
+
+try:  # generators + DEM grids are array-based; optional without numpy
+    from repro.terrain.dem import (  # noqa: F401
+        dem_to_terrain,
+        parse_esri_ascii,
+        write_esri_ascii,
+    )
+    from repro.terrain.generators import (  # noqa: F401
+        GENERATORS,
+        fractal_terrain,
+        generate_terrain,
+        grid_terrain_from_heights,
+        plateau_terrain,
+        random_terrain,
+        ridge_terrain,
+        shielded_basin_terrain,
+        valley_terrain,
+    )
+
+    __all__ += [
+        "dem_to_terrain",
+        "fractal_terrain",
+        "grid_terrain_from_heights",
+        "parse_esri_ascii",
+        "plateau_terrain",
+        "random_terrain",
+        "ridge_terrain",
+        "shielded_basin_terrain",
+        "valley_terrain",
+        "write_esri_ascii",
+    ]
+except ImportError:  # pragma: no cover - numpy ships in the toolchain
+    GENERATORS: dict = {}
+
+    def generate_terrain(kind: str, **kwargs):
+        """Stub: synthetic terrain generation requires NumPy."""
+        raise ImportError(
+            "terrain generators require numpy; install the 'numpy'"
+            " extra or load a terrain file instead"
+        )

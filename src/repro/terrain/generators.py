@@ -168,7 +168,6 @@ def ridge_terrain(
     """
     rng = np.random.default_rng(seed)
     r_idx = np.arange(rows, dtype=np.float64)[:, None]
-    c_idx = np.arange(cols, dtype=np.float64)[None, :]
     phase = 2.0 * math.pi * n_ridges * r_idx / rows
     # Decay with distance from the viewer (viewer side is high r).
     decay = (r_idx + 1) / rows

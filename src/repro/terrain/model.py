@@ -15,7 +15,7 @@ camera, which keeps the algorithm's coordinate conventions fixed.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.errors import TerrainError
 from repro.geometry.predicates import segments_intersect_exact

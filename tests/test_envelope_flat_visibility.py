@@ -1,0 +1,293 @@
+"""Engine-equivalence suite for the batched visibility kernel.
+
+Same contract as ``tests/test_envelope_flat.py``: the NumPy kernel
+must be an *exact* replica of the scalar reference — identical parts
+(bit-for-bit floats), crossings and ``ops`` for every query, on
+adversarial inputs with eps-scale jitters, verticals, gaps and
+near-parallel crossings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.envelope.engine as engine_mod
+from repro.envelope.build import build_envelope
+from repro.envelope.chain import Envelope
+from repro.envelope.engine import visibility_dispatch
+from repro.envelope.flat import FlatEnvelope, stack_envelopes
+from repro.envelope.flat_visibility import (
+    batch_visible_parts,
+    visible_parts_flat,
+)
+from repro.envelope.visibility import visible_parts
+from repro.errors import EnvelopeError
+from repro.geometry.segments import ImageSegment
+from tests.conftest import random_image_segments
+
+_JITTERS = (0.0, 0.0, 1e-9, -1e-9, 5e-10, 1e-12, 2e-9)
+
+
+@st.composite
+def adversarial_queries(draw, max_queries=6, allow_vertical=True):
+    n = draw(st.integers(1, max_queries))
+    out = []
+    for i in range(n):
+        y1 = draw(st.integers(0, 12)) * 0.5 + draw(
+            st.sampled_from(_JITTERS)
+        )
+        if allow_vertical and draw(st.booleans()) and i % 3 == 0:
+            width = 0.0
+        else:
+            width = abs(
+                draw(st.integers(0, 8)) * 0.5
+                + draw(st.sampled_from(_JITTERS))
+            )
+        z1 = draw(st.integers(0, 8)) * 0.5 + draw(
+            st.sampled_from(_JITTERS)
+        )
+        z2 = draw(
+            st.one_of(
+                st.integers(0, 8).map(lambda k: k * 0.5),
+                st.just(z1),
+                st.sampled_from(_JITTERS).map(lambda j: z1 + j),
+            )
+        )
+        out.append(ImageSegment(y1, z1, y1 + width, z2, 100 + i))
+    return out
+
+
+@st.composite
+def adversarial_envelope(draw, max_segments=8):
+    n = draw(st.integers(0, max_segments))
+    segs = []
+    for i in range(n):
+        y1 = draw(st.integers(0, 12)) * 0.5 + draw(
+            st.sampled_from(_JITTERS)
+        )
+        width = draw(st.integers(1, 8)) * 0.5 + draw(
+            st.sampled_from(_JITTERS)
+        )
+        z1 = draw(st.integers(0, 8)) * 0.5 + draw(
+            st.sampled_from(_JITTERS)
+        )
+        z2 = draw(st.integers(0, 8)) * 0.5
+        segs.append(ImageSegment(y1, z1, y1 + abs(width), z2, i))
+    return build_envelope(segs, engine="python").envelope
+
+
+def assert_query_identical(got, ref) -> None:
+    assert got.parts == ref.parts
+    assert got.crossings == ref.crossings
+    assert got.ops == ref.ops
+
+
+class TestBatchParity:
+    @given(adversarial_envelope(), adversarial_queries())
+    @settings(max_examples=200, deadline=None)
+    def test_adversarial(self, env, queries):
+        res = batch_visible_parts(env, queries)
+        for k, q in enumerate(queries):
+            assert_query_identical(
+                res.result_of(k), visible_parts(q, env)
+            )
+
+    @given(adversarial_envelope(), adversarial_queries())
+    @settings(max_examples=50, deadline=None)
+    def test_results_matches_result_of(self, env, queries):
+        res = batch_visible_parts(env, queries)
+        all_res = res.results()
+        assert len(all_res) == len(queries)
+        for k in range(len(queries)):
+            assert all_res[k] == res.result_of(k)
+
+    @pytest.mark.slow
+    @given(
+        adversarial_envelope(max_segments=24),
+        adversarial_queries(max_queries=12),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_adversarial_deep(self, env, queries):
+        res = batch_visible_parts(env, queries)
+        for k, q in enumerate(queries):
+            assert_query_identical(
+                res.result_of(k), visible_parts(q, env)
+            )
+
+    def test_random_large(self, rng):
+        segs = random_image_segments(rng, 300)
+        env = build_envelope(segs, engine="python").envelope
+        queries = [
+            ImageSegment(q.y1, q.z1, q.y2, q.z2, 1000 + i)
+            for i, q in enumerate(random_image_segments(rng, 100))
+        ]
+        res = batch_visible_parts(
+            FlatEnvelope.from_envelope(env), queries
+        )
+        for k, q in enumerate(queries):
+            assert_query_identical(
+                res.result_of(k), visible_parts(q, env)
+            )
+
+    def test_empty_envelope(self):
+        res = batch_visible_parts(
+            Envelope.empty(),
+            [
+                ImageSegment(0.0, 1.0, 4.0, 2.0, 0),
+                ImageSegment(1.0, 0.0, 1.0, 3.0, 1),  # vertical
+            ],
+        )
+        a = res.result_of(0)
+        assert a.fully_visible and a.parts == [(0.0, 4.0)]
+        assert a.ops == 1
+        b = res.result_of(1)
+        assert b.parts == [(1.0, 1.0)] and b.ops == 1
+
+    def test_empty_queries(self):
+        res = batch_visible_parts(Envelope.empty(), [])
+        assert res.n_queries == 0 and len(res.part_query) == 0
+
+    def test_single_query_wrapper(self, rng):
+        segs = random_image_segments(rng, 40)
+        env = build_envelope(segs, engine="python").envelope
+        q = ImageSegment(10.0, 20.0, 80.0, 21.0, 999)
+        assert_query_identical(
+            visible_parts_flat(q, env), visible_parts(q, env)
+        )
+
+
+class TestGroupedParity:
+    def test_stacked_groups(self, rng):
+        envs, queries = [], []
+        for g in range(40):
+            n = rng.randint(0, 10)
+            env = build_envelope(
+                random_image_segments(rng, n), engine="python"
+            ).envelope
+            envs.append(FlatEnvelope.from_envelope(env))
+            q = random_image_segments(rng, 1)[0]
+            if g % 5 == 0:  # vertical point queries too
+                q = ImageSegment(q.y1, q.z1, q.y1, q.z1 + 2.0, 900 + g)
+            queries.append(q)
+        res = batch_visible_parts(
+            stack_envelopes(envs), queries, groups=np.arange(40)
+        )
+        for g in range(40):
+            assert_query_identical(
+                res.result_of(g),
+                visible_parts(queries[g], envs[g].to_envelope()),
+            )
+
+    def test_negative_zero_boundary(self):
+        # A piece starting at -0.0 queried up to +0.0: bisect treats
+        # the zeros as equal, so the packed-key locate must too —
+        # distinct order keys would shift the overlap range and break
+        # exact ops parity (regression: multi-group path only).
+        envs = [
+            FlatEnvelope.from_envelope(
+                build_envelope(
+                    [ImageSegment(-0.0, 1.0, 5.0, 1.0, 0)],
+                    engine="python",
+                ).envelope
+            ),
+            FlatEnvelope.from_envelope(
+                build_envelope(
+                    [ImageSegment(0.0, 2.0, 3.0, 2.0, 1)],
+                    engine="python",
+                ).envelope
+            ),
+        ]
+        queries = [
+            ImageSegment(-3.0, 9.0, 0.0, 9.0, 100),
+            ImageSegment(-1.0, 9.0, -0.0, 9.0, 101),
+        ]
+        res = batch_visible_parts(
+            stack_envelopes(envs), queries, groups=np.array([0, 1])
+        )
+        for g in range(2):
+            assert_query_identical(
+                res.result_of(g),
+                visible_parts(queries[g], envs[g].to_envelope()),
+            )
+
+    def test_group_validation(self):
+        env = stack_envelopes([FlatEnvelope.empty()])
+        seg = ImageSegment(0.0, 0.0, 1.0, 1.0, 0)
+        with pytest.raises(EnvelopeError, match="length"):
+            batch_visible_parts(env, [seg], groups=np.array([0, 0]))
+        with pytest.raises(EnvelopeError, match="group-sorted"):
+            batch_visible_parts(
+                env, [seg, seg], groups=np.array([1, 0])
+            )
+
+
+class TestDispatch:
+    def test_matches_both_sides_of_cutoff(self, rng, monkeypatch):
+        segs = random_image_segments(rng, 200)
+        env = build_envelope(segs, engine="python").envelope
+        queries = random_image_segments(rng, 30) + [
+            ImageSegment(50.0, 0.0, 50.0, 99.0, 998)  # vertical
+        ]
+        for cutoff in (1, 10**9):
+            monkeypatch.setattr(
+                engine_mod, "FLAT_VISIBILITY_CUTOFF", cutoff
+            )
+            for q in queries:
+                ref = visible_parts(q, env)
+                for engine in ("python", "numpy", None):
+                    got = visibility_dispatch(q, env, engine=engine)
+                    assert_query_identical(got, ref)
+
+
+class TestSequentialThreading:
+    def test_sequential_hsr_engine_parity(self, monkeypatch):
+        from repro.hsr.sequential import SequentialHSR
+        from repro.terrain.generators import fractal_terrain
+
+        monkeypatch.setattr(engine_mod, "FLAT_VISIBILITY_CUTOFF", 1)
+        terrain = fractal_terrain(size=9, seed=11)
+        rp = SequentialHSR(engine="python").run(terrain)
+        rn = SequentialHSR(engine="numpy").run(terrain)
+        assert rp.stats.ops == rn.stats.ops
+        assert rp.stats.k == rn.stats.k
+        assert rp.visibility_map.segments == rn.visibility_map.segments
+        assert rp.stats.extra == rn.stats.extra
+
+
+class TestPhase2Threading:
+    def test_direct_mode_engine_parity(self):
+        from repro.hsr.pct import build_pct
+        from repro.hsr.phase2 import run_phase2
+        from repro.ordering.separator import SeparatorTree
+        from repro.ordering.sweep import front_to_back_order
+        from repro.terrain.generators import fractal_terrain
+
+        terrain = fractal_terrain(size=9, seed=19)
+        order = front_to_back_order(terrain)
+        tree = SeparatorTree(order)
+        segs = terrain.image_segments()
+        pcts = {
+            e: build_pct(tree, segs, engine=e)
+            for e in ("python", "numpy")
+        }
+        rp = run_phase2(
+            pcts["python"], segs, mode="direct", engine="python"
+        )
+        rn = run_phase2(
+            pcts["numpy"], segs, mode="direct", engine="numpy"
+        )
+        assert rp.ops == rn.ops
+        assert rp.crossings == rn.crossings
+        assert set(rp.visibility) == set(rn.visibility)
+        for e in rp.visibility:
+            assert_query_identical(rn.visibility[e], rp.visibility[e])
+        for la, lb in zip(rp.layers, rn.layers):
+            assert (
+                la.ops,
+                la.crossings,
+                la.merges,
+                la.inherited_pieces,
+            ) == (lb.ops, lb.crossings, lb.merges, lb.inherited_pieces)

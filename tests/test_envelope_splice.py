@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from repro.envelope.build import build_envelope
 from repro.envelope.chain import Envelope
-from repro.envelope.merge import merge_envelopes
 from repro.envelope.splice import insert_segment
 from repro.geometry.segments import ImageSegment
 from tests.conftest import random_image_segments

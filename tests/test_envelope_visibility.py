@@ -4,12 +4,15 @@ from __future__ import annotations
 
 import math
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.envelope.build import build_envelope
 from repro.envelope.chain import Envelope, Piece
+from repro.envelope.engine import HAVE_NUMPY
 from repro.envelope.visibility import visible_parts
+from repro.geometry.primitives import EPS
 from repro.geometry.segments import ImageSegment
 from tests.conftest import brute_force_envelope_value, random_image_segments
 
@@ -20,6 +23,133 @@ def seg(y1, z1, y2, z2, src=99):
 
 def flat(z, y1=0.0, y2=10.0, src=0):
     return Envelope([Piece(y1, float(z), y2, float(z), src)])
+
+
+@pytest.fixture(
+    params=[
+        "python",
+        pytest.param(
+            "numpy",
+            marks=pytest.mark.skipif(
+                not HAVE_NUMPY, reason="numpy not installed"
+            ),
+        ),
+    ]
+)
+def vis(request):
+    """``visible_parts`` on the selected engine.
+
+    Both engines must return identical parts, crossings and ops —
+    the vertical/eps edge-case classes below run under each.
+    """
+    if request.param == "python":
+        return visible_parts
+
+    from repro.envelope.flat_visibility import visible_parts_flat
+
+    def flat_vis(s, env, *, eps=EPS):
+        return visible_parts_flat(s, env, eps=eps)
+
+    return flat_vis
+
+
+class TestVerticalSharedEngines:
+    """``_visible_vertical`` degeneracies, on both engines."""
+
+    def test_above_profile(self, vis):
+        res = vis(seg(5, 0, 5, 2), flat(1))
+        assert res.parts == [(5.0, 5.0)]
+        assert res.ops == 1 and res.crossings == []
+
+    def test_below_profile(self, vis):
+        res = vis(seg(5, 0, 5, 0.5), flat(1))
+        assert res.fully_hidden and res.ops == 1
+
+    def test_exactly_at_profile_is_hidden(self, vis):
+        # Coincident top endpoint: the profile owns shared geometry.
+        assert vis(seg(5, 0, 5, 1.0), flat(1)).fully_hidden
+
+    def test_eps_above_profile_is_hidden(self, vis):
+        assert vis(seg(5, 0, 5, 1.0 + 1e-10), flat(1)).fully_hidden
+
+    def test_just_past_eps_is_visible(self, vis):
+        res = vis(seg(5, 0, 5, 1.0 + 1e-8), flat(1))
+        assert res.parts == [(5.0, 5.0)]
+
+    def test_in_gap(self, vis):
+        env = Envelope(
+            [Piece(0, 1, 3, 1, 0), Piece(7, 1, 9, 1, 1)]
+        )
+        res = vis(seg(5, -9, 5, -8), env)
+        assert res.parts == [(5.0, 5.0)]
+
+    def test_at_jump_breakpoint_takes_max_limit(self, vis):
+        # Two pieces meet at y=5 with a jump: the profile value is the
+        # max of the one-sided limits (upper semi-continuity).
+        env = Envelope(
+            [Piece(0, 1, 5, 1, 0), Piece(5, 3, 10, 3, 1)]
+        )
+        assert vis(seg(5, 0, 5, 2), env).fully_hidden
+        res = vis(seg(5, 0, 5, 4), env)
+        assert res.parts == [(5.0, 5.0)]
+
+    def test_at_support_boundary(self, vis):
+        # Exactly at the profile's last breakpoint; beyond it, a gap.
+        assert vis(seg(10, 0, 10, 0.5), flat(1)).fully_hidden
+        res = vis(seg(10 + 1e-6, 0, 10 + 1e-6, 0.5), flat(1))
+        assert res.parts == [(res.parts[0].ya, res.parts[0].ya)]
+
+
+class TestEpsBoundariesSharedEngines:
+    """Touching endpoints and zero-width slivers, on both engines."""
+
+    def test_touching_endpoint_keeps_closure(self, vis):
+        # Rising from exactly the profile height: the visible part
+        # reaches back to the shared endpoint.
+        res = vis(seg(0, 1, 10, 3), flat(1))
+        assert len(res.parts) == 1
+        assert res.parts[0].ya <= 1e-9
+
+    def test_zero_width_sliver_is_dropped(self, vis):
+        # The segment pokes above the profile over a sub-eps interval:
+        # the degenerate sliver is reported hidden.
+        env = flat(1.0)
+        res = vis(seg(4.0, 1.0 - 1e-12, 4.0 + 5e-10, 1.0 + 5e-13), env)
+        assert res.fully_hidden
+
+    def test_sub_eps_gap_between_parts_merges(self, vis):
+        # Two profile pieces separated by a sub-eps gap: the two
+        # visible slivers of a crossing segment coalesce.
+        env = Envelope(
+            [
+                Piece(0.0, 5.0, 4.0, 5.0, 0),
+                Piece(4.0 + 5e-10, 5.0, 8.0, 5.0, 1),
+            ]
+        )
+        res = vis(seg(-2, 8, 10, 8), env)
+        assert res.parts == [(-2.0, 10.0)]
+
+    def test_eps_touching_profile_is_hidden(self, vis):
+        res = vis(seg(0, 1.0 + 5e-10, 10, 1.0 - 5e-10), flat(1))
+        assert res.fully_hidden
+
+    def test_coincident_with_sliver_above(self, vis):
+        # Coincident almost everywhere, rising just past eps at the
+        # right end: one part, no spurious crossings at the eps edge.
+        res = vis(seg(0, 1.0, 10, 1.0 + 3e-9), flat(1))
+        ref = visible_parts(seg(0, 1.0, 10, 1.0 + 3e-9), flat(1))
+        assert res.parts == ref.parts
+        assert res.crossings == ref.crossings
+        assert res.ops == ref.ops
+
+    def test_endpoint_touch_at_piece_boundary(self, vis):
+        env = Envelope(
+            [Piece(0, 0, 5, 5, 0), Piece(5, 5, 10, 0, 0)]
+        )
+        # Touches the apex exactly; visible on neither side beyond it.
+        res = vis(seg(0, 5, 10, 5), env)
+        ref = visible_parts(seg(0, 5, 10, 5), env)
+        assert res.parts == ref.parts and res.ops == ref.ops
 
 
 class TestBasicCases:

@@ -7,7 +7,6 @@ import math
 from repro.envelope.build import build_envelope
 from repro.envelope.chain import Envelope, Piece
 from repro.envelope.merge import merge_envelopes
-from repro.geometry.convex import is_convex_chain
 from repro.geometry.segments import ImageSegment
 from repro.hsr.acg import (
     acg_splice_merge,

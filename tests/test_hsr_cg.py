@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import math
-import random
 
 from repro.envelope.build import build_envelope
 from repro.envelope.chain import Envelope, Piece

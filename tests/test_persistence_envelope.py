@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import random
 
 from repro.envelope.build import build_envelope
 from repro.envelope.chain import Envelope

@@ -2,9 +2,6 @@
 
 from __future__ import annotations
 
-import os
-
-import pytest
 
 from repro.envelope.chain import Envelope, Piece
 from repro.hsr.parallel import ParallelHSR

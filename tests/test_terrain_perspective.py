@@ -3,7 +3,6 @@ perspective projection as well")."""
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest

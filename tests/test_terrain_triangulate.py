@@ -63,6 +63,7 @@ class TestBowyerWatson:
         assert len(faces) >= len(pts) - 2
 
     def test_matches_scipy(self):
+        pytest.importorskip("scipy")
         rng = random.Random(7)
         pts = random_points(rng, 60)
         ours = set(bowyer_watson(pts))
@@ -83,6 +84,7 @@ class TestDelaunayDispatch:
         assert len(delaunay_faces(pts)) == 2
 
     def test_explicit_scipy(self):
+        pytest.importorskip("scipy")
         rng = random.Random(11)
         pts = random_points(rng, 30)
         faces = delaunay_faces(pts, method="scipy")
