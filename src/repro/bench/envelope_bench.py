@@ -23,6 +23,18 @@ the two timed variants):
     The numpy build with the segmented stream merge disabled
     (``python_ms`` column = composite-argsort ordering, PR 1's path)
     vs enabled (``numpy_ms`` column).
+``sequential``
+    A full front-to-back insert loop (the SequentialHSR inner loop)
+    over a churny wide-strip workload whose profile size grows with
+    ``m`` — the regime where the tuple splice pays Θ(profile) copying
+    per edge.  ``python_ms`` = the ``engine="python"`` reference loop;
+    ``numpy_ms`` = the flat-native
+    :class:`~repro.envelope.flat_splice.FlatProfile` loop.
+``sequential-splice-ablation``
+    The same insert loop, tuple-splice path under ``engine="numpy"``
+    (``python_ms`` column — the pre-flat-profile dispatch path, same
+    kernels) vs the flat-profile loop (``numpy_ms`` column): isolates
+    the array-splice fix itself.
 
 Engines are timed interleaved (python, numpy, python, ...) and the
 per-engine minimum is reported, which keeps the ratio honest on
@@ -40,6 +52,7 @@ from typing import Optional, Sequence
 
 from repro.bench.harness import Table
 from repro.envelope.build import build_envelope
+from repro.envelope.chain import Envelope
 from repro.envelope.engine import HAVE_NUMPY
 from repro.envelope.merge import merge_envelopes
 from repro.envelope.visibility import visible_parts
@@ -56,6 +69,29 @@ def _e9_segments(m: int, seed: int = 17) -> list[ImageSegment]:
     out = []
     for i in range(m):
         y1 = rng.uniform(0, 1000)
+        out.append(
+            ImageSegment(
+                y1,
+                rng.uniform(0, 100),
+                y1 + rng.uniform(1, 60),
+                rng.uniform(0, 100),
+                i,
+            )
+        )
+    return out
+
+
+def _seq_segments(m: int, seed: int = 29) -> list[ImageSegment]:
+    """Churny wide-strip family for the sequential rows: the strip
+    scales with ``m`` so the live profile holds Θ(m) pieces, which is
+    the regime where the tuple-splice insert pays Θ(profile) copying
+    per edge (the E9 family keeps its profile small, hiding that
+    cost)."""
+    rng = random.Random(seed)
+    span = 8.0 * m
+    out = []
+    for i in range(m):
+        y1 = rng.uniform(0, span)
         out.append(
             ImageSegment(
                 y1,
@@ -241,6 +277,93 @@ def run_envelope_bench(
         rows.append(row)
         t.add(**row)
 
+    # Sequential insert loops on the churny wide-strip family: the
+    # python engine vs the flat-native profile, plus the splice
+    # ablation (tuple path vs flat path under the same numpy kernels).
+    # Heavier per repeat than the kernel rows (the tuple path is the
+    # quadratic regime being measured), so fewer repeats.
+    seq_repeats = max(1, repeats // 3)
+    from repro.envelope.splice import insert_segment
+
+    def tuple_loop(segs, engine):
+        def run():
+            env = Envelope.empty()
+            for s in segs:
+                env = insert_segment(env, s, engine=engine).envelope
+
+        return run
+
+    for m in ms:
+        segs = _seq_segments(m)
+
+        if HAVE_NUMPY:
+            from repro.envelope.flat_splice import (
+                FlatProfile,
+                insert_segment_flat,
+            )
+
+            def flat_loop(segs=segs):
+                prof = FlatProfile.empty()
+                for s in segs:
+                    prof = insert_segment_flat(prof, s).profile
+
+            # Final profile size via the flat loop (bit-identical to
+            # the python engine's, several times cheaper than an extra
+            # untimed run of the quadratic tuple path).
+            prof = FlatProfile.empty()
+            for s in segs:
+                prof = insert_segment_flat(prof, s).profile
+            env_size = prof.size
+
+            best = _time_interleaved(
+                {
+                    "python": tuple_loop(segs, "python"),
+                    "tuple-numpy": tuple_loop(segs, "numpy"),
+                    "flat": flat_loop,
+                },
+                seq_repeats,
+            )
+            rows.append(
+                dict(
+                    workload="sequential",
+                    m=m,
+                    env_size=env_size,
+                    python_ms=best["python"] * 1e3,
+                    numpy_ms=best["flat"] * 1e3,
+                    speedup=best["python"] / best["flat"],
+                )
+            )
+            t.add(**rows[-1])
+            rows.append(
+                dict(
+                    workload="sequential-splice-ablation",
+                    m=m,
+                    env_size=env_size,
+                    python_ms=best["tuple-numpy"] * 1e3,
+                    numpy_ms=best["flat"] * 1e3,
+                    speedup=best["tuple-numpy"] / best["flat"],
+                )
+            )
+            t.add(**rows[-1])
+        else:  # pragma: no cover - numpy ships in the toolchain
+            env = Envelope.empty()
+            for s in segs:
+                env = insert_segment(env, s, engine="python").envelope
+            best = _time_interleaved(
+                {"python": tuple_loop(segs, "python")}, seq_repeats
+            )
+            rows.append(
+                dict(
+                    workload="sequential",
+                    m=m,
+                    env_size=env.size,
+                    python_ms=best["python"] * 1e3,
+                    numpy_ms=None,
+                    speedup=None,
+                )
+            )
+            t.add(**rows[-1])
+
     t.notes.append(
         "engines produce identical pieces/crossings/ops (enforced by"
         " tests/test_envelope_flat.py and"
@@ -255,6 +378,14 @@ def run_envelope_bench(
         "build-stream-merge-ablation compares the numpy build with"
         " the segmented stream merge off (python_ms column, composite"
         " argsort) vs on (numpy_ms column)"
+    )
+    t.notes.append(
+        "sequential rows run the front-to-back insert loop on a"
+        " wide-strip workload (profile ~ m pieces, seed 29):"
+        " python engine vs the flat-native FlatProfile loop;"
+        " sequential-splice-ablation times the tuple-splice path under"
+        " engine='numpy' (pre-flat-profile dispatch, same kernels) vs"
+        " the flat loop, best-of-%d" % seq_repeats
     )
     t.notes.append(
         "timings are best-of-%d, engines interleaved" % repeats

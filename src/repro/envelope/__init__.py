@@ -11,7 +11,11 @@
 * :mod:`repro.envelope.engine` — kernel selection.
 * :mod:`repro.envelope.build` — divide-and-conquer construction (Lemma 3.1).
 * :mod:`repro.envelope.visibility` — visible parts of a segment.
-* :mod:`repro.envelope.splice` — localised single-segment insertion.
+* :mod:`repro.envelope.splice` — localised single-segment insertion
+  and the window-local :func:`splice_merge`.
+* :mod:`repro.envelope.flat_splice` — flat-native incremental profile
+  (:class:`FlatProfile`): sequential inserts as locate → windowed
+  kernels → array splice, no tuple materialisation.
 
 Engine selection
 ----------------
@@ -59,7 +63,12 @@ from repro.envelope.merge import (
     merge_envelopes,
     merge_many,
 )
-from repro.envelope.splice import InsertResult, insert_segment
+from repro.envelope.splice import (
+    InsertResult,
+    SpliceMergeResult,
+    insert_segment,
+    splice_merge,
+)
 from repro.envelope.visibility import (
     VisibilityResult,
     VisiblePart,
@@ -76,6 +85,7 @@ __all__ = [
     "InsertResult",
     "MergeResult",
     "Piece",
+    "SpliceMergeResult",
     "VisibilityResult",
     "VisiblePart",
     "build_envelope",
@@ -86,6 +96,7 @@ __all__ = [
     "merge_envelopes",
     "merge_many",
     "resolve_engine",
+    "splice_merge",
     "visibility_dispatch",
     "visible_parts",
 ]
@@ -98,6 +109,11 @@ if HAVE_NUMPY:  # pragma: no branch - numpy ships in the toolchain
         merge_envelopes_flat,
         merge_sorted_streams,
     )
+    from repro.envelope.flat_splice import (  # noqa: F401
+        FlatInsertResult,
+        FlatProfile,
+        insert_segment_flat,
+    )
     from repro.envelope.flat_visibility import (  # noqa: F401
         FlatVisibility,
         batch_visible_parts,
@@ -106,10 +122,13 @@ if HAVE_NUMPY:  # pragma: no branch - numpy ships in the toolchain
 
     __all__ += [
         "FlatEnvelope",
+        "FlatInsertResult",
         "FlatMergeResult",
+        "FlatProfile",
         "FlatVisibility",
         "batch_visible_parts",
         "build_envelope_flat",
+        "insert_segment_flat",
         "merge_envelopes_flat",
         "merge_sorted_streams",
         "visible_parts_flat",

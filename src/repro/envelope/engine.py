@@ -126,20 +126,43 @@ def merge_dispatch(
 
 def visibility_dispatch(
     seg: ImageSegment,
-    env: Envelope,
+    env: Optional[Envelope],
     *,
     eps: float = EPS,
     engine: Optional[str] = None,
+    window: Optional[object] = None,
 ) -> VisibilityResult:
     """Visible parts of ``seg`` against ``env`` on the selected kernel
     (same result either way).
 
     The scalar scan only ever touches the pieces overlapping the
     segment's y-span, so the batched kernel runs on exactly that
-    window — converted to flat arrays in one pass — and only when the
-    window clears :data:`FLAT_VISIBILITY_CUTOFF`.  Vertical queries
-    are an O(log m) point query and always take the scalar path.
+    window — and only when the window clears
+    :data:`FLAT_VISIBILITY_CUTOFF`.  Vertical queries are an O(log m)
+    point query and always take the scalar path.
+
+    Callers that already hold the profile as flat arrays pass
+    ``window`` — a :class:`~repro.envelope.flat.FlatEnvelope` holding
+    exactly the pieces overlapping the (non-vertical) segment's y-span,
+    typically a zero-copy :meth:`~repro.envelope.flat.FlatEnvelope.window`
+    view.  The numpy branch then runs on it directly — no
+    ``FlatEnvelope.from_pieces`` re-materialisation — and ``env`` may
+    be ``None`` (below the cutoff the scalar scan runs on a window
+    envelope materialised from the flat arrays instead, which is cheap
+    precisely because the window is small there).
     """
+    if window is not None:
+        if (
+            resolve_engine(engine) == "numpy"
+            and not seg.is_vertical
+            and len(window) >= FLAT_VISIBILITY_CUTOFF  # type: ignore[arg-type]
+        ):
+            from repro.envelope.flat_visibility import visible_parts_flat
+
+            return visible_parts_flat(seg, window, eps=eps)
+        if env is None:
+            env = window.to_envelope()  # type: ignore[attr-defined]
+        return visible_parts(seg, env, eps=eps)
     if resolve_engine(engine) == "numpy" and not seg.is_vertical:
         lo, hi = env.pieces_overlapping(seg.y1, seg.y2)
         if hi - lo >= FLAT_VISIBILITY_CUTOFF:
@@ -148,6 +171,6 @@ def visibility_dispatch(
                 visible_parts_flat,
             )
 
-            window = FlatEnvelope.from_pieces(env.pieces[lo:hi])
-            return visible_parts_flat(seg, window, eps=eps)
+            fwindow = FlatEnvelope.from_pieces(env.pieces[lo:hi])
+            return visible_parts_flat(seg, fwindow, eps=eps)
     return visible_parts(seg, env, eps=eps)

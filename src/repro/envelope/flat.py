@@ -184,6 +184,49 @@ class FlatEnvelope:
     def __bool__(self) -> bool:
         return len(self.ya) > 0
 
+    def pieces_overlapping(self, ya: float, yb: float) -> tuple[int, int]:
+        """Half-open index range ``[lo, hi)`` of pieces whose interior
+        overlaps ``(ya, yb)`` — exact replica of
+        :meth:`Envelope.pieces_overlapping` (same bisection on the same
+        floats)."""
+        n = len(self.ya)
+        if n == 0 or ya >= yb:
+            return (0, 0)
+        # ndarray.searchsorted avoids the np.searchsorted dispatch
+        # wrapper — this runs once per insert on the hot path.
+        lo = int(self.ya.searchsorted(ya, side="right")) - 1
+        if lo < 0 or self.yb[lo] <= ya:
+            lo += 1
+        hi = int(self.ya.searchsorted(yb, side="left"))
+        return (lo, hi)
+
+    def window(self, lo: int, hi: int) -> "FlatEnvelope":
+        """Zero-copy view of pieces ``[lo, hi)`` (shares the buffers)."""
+        return FlatEnvelope(
+            self.ya[lo:hi],
+            self.za[lo:hi],
+            self.yb[lo:hi],
+            self.zb[lo:hi],
+            self.source[lo:hi],
+        )
+
+    def splice(self, lo: int, hi: int, ya, za, yb, zb, source) -> "FlatEnvelope":
+        """New envelope with pieces ``[lo, hi)`` replaced by the given
+        piece fields (arrays or plain lists) — the flat analogue of the
+        tuple splice in :func:`repro.envelope.splice.insert_segment`,
+        one C-level concatenate per field.  Returns ``type(self)`` so
+        profile subclasses stay closed under splicing."""
+        cls = type(self)
+        return cls(
+            np.concatenate([self.ya[:lo], ya, self.ya[hi:]]),
+            np.concatenate([self.za[:lo], za, self.za[hi:]]),
+            np.concatenate([self.yb[:lo], yb, self.yb[hi:]]),
+            np.concatenate([self.zb[:lo], zb, self.zb[hi:]]),
+            np.concatenate(
+                [self.source[:lo], np.asarray(source, _I), self.source[hi:]]
+            ),
+        )
+
     def z_at_many(self, ys: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`Envelope.value_at`: profile height at each
         ``y`` (``-inf`` in gaps, max of one-sided limits at shared

@@ -1,0 +1,464 @@
+"""Flat-native incremental profile: sequential inserts without tuple copies.
+
+The tuple-based :func:`repro.envelope.splice.insert_segment` rebuilds
+the whole profile on every edge (``env.pieces[:lo] + merged +
+env.pieces[hi:]`` plus a fresh :class:`~repro.envelope.chain.Envelope`
+with its ``_starts`` cache), so each insert costs Θ(m) in Python-object
+copying even when the overlapped window is a single piece — the ``ops``
+counter reports output-sensitive work while the wall clock is
+quadratic in the profile size.
+
+:class:`FlatProfile` keeps the live profile as structure-of-arrays
+float buffers across a whole sequential run.  Each
+:func:`insert_segment_flat` does
+
+1. *locate* — two ``searchsorted`` calls replicating
+   :meth:`Envelope.pieces_overlapping` bit for bit;
+2. *visibility* — the batched kernel of
+   :mod:`repro.envelope.flat_visibility` on a **zero-copy window view**
+   when the window clears the dispatch cutoff, else a tight scalar scan
+   over plain-float lists (an exact inline of
+   :func:`repro.envelope.visibility.visible_parts` with no ``Piece``
+   tuples or method dispatch);
+3. *local merge* — the flat merge kernel on the same window view above
+   the merge cutoff, else an exact inline of
+   :func:`repro.envelope.merge.merge_envelopes` specialised to a
+   single-segment right side;
+4. *splice* — ``np.concatenate`` of the head view, the merged window
+   and the tail view: one C-level memmove instead of Θ(m) tuple churn.
+
+Conversion to/from the scalar :class:`Envelope` happens only at run
+boundaries.  Parity contract: for every insert sequence the profile
+pieces, per-edge :class:`VisibilityResult` (parts, crossings, ops) and
+total ``ops`` are identical to the ``engine="python"`` reference path —
+``tests/test_envelope_flat_splice.py`` and the incremental-run
+fixtures in ``tests/test_envelope_flat_visibility.py`` enforce this on
+adversarial inputs.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Sequence
+
+import numpy as np
+
+import repro.envelope.engine as _engine
+from repro.envelope.chain import Envelope, Piece
+from repro.envelope.flat import FlatEnvelope, _tuples_to_matrix, merge_envelopes_flat
+from repro.envelope.merge import merge_envelopes
+from repro.envelope.visibility import VisibilityResult, VisiblePart
+from repro.geometry.primitives import EPS, NEG_INF
+from repro.geometry.segments import ImageSegment
+
+__all__ = [
+    "FlatProfile",
+    "FlatInsertResult",
+    "insert_segment_flat",
+]
+
+_F = np.float64
+_I = np.int64
+
+
+class FlatProfile(FlatEnvelope):
+    """A live upper profile held as flat arrays across many inserts.
+
+    Same invariants and buffers as :class:`FlatEnvelope`; the subclass
+    adds the locate/materialise/splice operations the incremental
+    sequential algorithm needs.  Instances are immutable by convention
+    — :meth:`FlatEnvelope.splice` returns a new profile sharing no
+    mutable state with the old one (the head/tail contents are copied
+    by the concatenate).
+    """
+
+    __slots__ = ()
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def empty() -> "FlatProfile":
+        z = np.empty(0, _F)
+        return FlatProfile(z, z, z, z, np.empty(0, _I))
+
+    @staticmethod
+    def from_envelope(env: Envelope) -> "FlatProfile":
+        flat = FlatEnvelope.from_pieces(env.pieces)
+        return FlatProfile(flat.ya, flat.za, flat.yb, flat.zb, flat.source)
+
+    # -- scalar-parity queries ---------------------------------------
+
+    def value_at(self, y: float) -> float:
+        """Profile height at ``y`` — exact scalar replica of
+        :meth:`Envelope.value_at` (same bisection, same ``z_at``
+        arithmetic), used by the vertical point queries."""
+        n = len(self.ya)
+        if n == 0:
+            return NEG_INF
+        i = int(np.searchsorted(self.ya, y, side="right")) - 1
+        best = NEG_INF
+        if i >= 0:
+            pya = float(self.ya[i])
+            pyb = float(self.yb[i])
+            if pya <= y <= pyb:
+                best = _line_z(pya, float(self.za[i]), pyb, float(self.zb[i]), y)
+            if i >= 1 and float(self.yb[i - 1]) == y:
+                v = float(self.zb[i - 1])
+                if v > best:
+                    best = v
+        if i + 1 < n and float(self.ya[i + 1]) == y:
+            v = float(self.za[i + 1])
+            if v > best:
+                best = v
+        return best
+
+    # -- window materialisation ---------------------------------------
+
+    def window_lists(self, lo: int, hi: int) -> tuple[list, list, list, list]:
+        """``(ya, za, yb, zb)`` plain-float lists of pieces[lo:hi] —
+        one bulk ``tolist`` per field, for the inlined scalar scans."""
+        return (
+            self.ya[lo:hi].tolist(),
+            self.za[lo:hi].tolist(),
+            self.yb[lo:hi].tolist(),
+            self.zb[lo:hi].tolist(),
+        )
+
+    def window_pieces(self, lo: int, hi: int) -> list[Piece]:
+        """pieces[lo:hi] as scalar :class:`Piece` tuples (fallback
+        paths only)."""
+        return list(
+            map(
+                Piece._make,
+                zip(
+                    self.ya[lo:hi].tolist(),
+                    self.za[lo:hi].tolist(),
+                    self.yb[lo:hi].tolist(),
+                    self.zb[lo:hi].tolist(),
+                    self.source[lo:hi].tolist(),
+                ),
+            )
+        )
+
+
+class FlatInsertResult(NamedTuple):
+    """Flat-native analogue of :class:`repro.envelope.splice.InsertResult`.
+
+    ``profile`` is the updated :class:`FlatProfile` (the *same* object
+    when the segment was hidden or vertical — no splice performed);
+    ``visibility`` and ``ops`` carry exactly the values the reference
+    :func:`~repro.envelope.splice.insert_segment` would report.
+    """
+
+    profile: FlatProfile
+    visibility: VisibilityResult
+    ops: int
+
+
+def _line_z(ya: float, za: float, yb: float, zb: float, y: float) -> float:
+    """Supporting-line height at ``y`` — the exact float arithmetic of
+    ``Piece.z_at`` / ``ImageSegment.z_at`` (endpoint shortcuts, then
+    ``lerp`` with its ``t == 0/1`` shortcuts) for non-degenerate spans."""
+    if y == ya:
+        return za
+    if y == yb:
+        return zb
+    t = (y - ya) / (yb - ya)
+    if t == 0.0:
+        return za
+    if t == 1.0:
+        return zb
+    return za + (zb - za) * t
+
+
+def _acc_add(parts: list[list[float]], ya: float, yb: float, eps: float) -> None:
+    """``_PartAccumulator.add`` over mutable ``[ya, yb]`` rows."""
+    if yb < ya:
+        return
+    if parts:
+        last = parts[-1]
+        if ya <= last[1] + eps:
+            if yb > last[1]:
+                last[1] = yb
+            return
+    parts.append([ya, yb])
+
+
+def _scan_window(
+    y1: float,
+    z1: float,
+    y2: float,
+    z2: float,
+    wya: Sequence[float],
+    wza: Sequence[float],
+    wyb: Sequence[float],
+    wzb: Sequence[float],
+    eps: float,
+) -> VisibilityResult:
+    """Visible parts of a non-vertical segment against the window of
+    profile pieces overlapping its span — an exact inline of
+    :func:`repro.envelope.visibility.visible_parts` over plain floats
+    (every piece of the window overlaps ``(y1, y2)`` by construction,
+    so the ``pieces_overlapping`` pre-pass is the identity here)."""
+    parts: list[list[float]] = []
+    crossings: list[tuple[float, float]] = []
+    ops = 0
+    cursor = y1
+    line_z = _line_z  # local binding: called four times per piece
+    for j in range(len(wya)):
+        pya = wya[j]
+        pyb = wyb[j]
+        gap_end = pya if pya < y2 else y2
+        if cursor < gap_end:
+            _acc_add(parts, cursor, gap_end, eps)
+            ops += 1
+        u = max(cursor, pya, y1)
+        v = pyb if pyb < y2 else y2
+        if u < v:
+            ops += 1
+            pza = wza[j]
+            pzb = wzb[j]
+            du = line_z(y1, z1, y2, z2, u) - line_z(pya, pza, pyb, pzb, u)
+            dv = line_z(y1, z1, y2, z2, v) - line_z(pya, pza, pyb, pzb, v)
+            su = 0 if abs(du) <= eps else (1 if du > 0 else -1)
+            sv = 0 if abs(dv) <= eps else (1 if dv > 0 else -1)
+            if su >= 0 and sv >= 0 and (su > 0 or sv > 0):
+                _acc_add(parts, u, v, eps)
+            elif su <= 0 and sv <= 0:
+                pass  # hidden (or coincident) throughout
+            else:
+                t = du / (du - dv)
+                w = u + t * (v - u)
+                w = min(max(w, u), v)
+                if su > 0:
+                    _acc_add(parts, u, w, eps)
+                else:
+                    _acc_add(parts, w, v, eps)
+                if u < w < v:
+                    crossings.append((w, _line_z(y1, z1, y2, z2, w)))
+        cursor = max(cursor, v) if u < v else max(cursor, gap_end)
+    if cursor < y2:
+        _acc_add(parts, cursor, y2, eps)
+        ops += 1
+    out = [VisiblePart(a, b) for a, b in parts if b - a > eps]
+    return VisibilityResult(out, crossings, max(ops, 1))
+
+
+def _visible_vertical_flat(
+    profile: FlatProfile, seg: ImageSegment, eps: float
+) -> VisibilityResult:
+    """``_visible_vertical`` on flat arrays: the edge is visible iff its
+    top endpoint rises above the profile at its ``y``."""
+    zenv = profile.value_at(seg.y1)
+    top = seg.z1 if seg.z1 >= seg.z2 else seg.z2
+    if zenv == NEG_INF or top > zenv + eps:
+        return VisibilityResult([VisiblePart(seg.y1, seg.y1)], [], 1)
+    return VisibilityResult([], [], 1)
+
+
+def _merge_window_with_segment(
+    wya: list,
+    wza: list,
+    wyb: list,
+    wzb: list,
+    wsrc: list,
+    y1: float,
+    z1: float,
+    y2: float,
+    z2: float,
+    src: int,
+    eps: float,
+) -> tuple[list, list, list, list, list, int]:
+    """Merge the window pieces with one segment — an exact inline of
+    :func:`repro.envelope.merge.merge_envelopes` (ties prefer the
+    window, ``record_crossings=False``) specialised to a single-piece
+    right side and real (``>= 0``) sources, emitting plain-float piece
+    field lists ready to splice.  Returns
+    ``(ya, za, yb, zb, source, ops)``."""
+    k = len(wya)
+    if k == 0:
+        # merge_envelopes' empty-side fast path: the other side
+        # verbatim, ops = its piece count.
+        return [y1], [z1], [y2], [z2], [src], 1
+
+    # Union breakpoints: the window's interleaved endpoint stream is
+    # already sorted; two-pointer merge with [y1, y2] (the exact
+    # ``envelope_breakpoints`` dedup rules).
+    xs: list[float] = []
+    for j in range(k):
+        xs.append(wya[j])
+        xs.append(wyb[j])
+    ys = [y1, y2]
+    bounds: list[float] = []
+    i = j = 0
+    nx, ny = len(xs), 2
+    while i < nx and j < ny:
+        x, y = xs[i], ys[j]
+        if x <= y:
+            if not bounds or bounds[-1] != x:
+                bounds.append(x)
+            i += 1
+            if x == y:
+                j += 1
+        else:
+            if not bounds or bounds[-1] != y:
+                bounds.append(y)
+            j += 1
+    for r in range(i, nx):
+        if not bounds or bounds[-1] != xs[r]:
+            bounds.append(xs[r])
+    for r in range(j, ny):
+        if not bounds or bounds[-1] != ys[r]:
+            bounds.append(ys[r])
+
+    oya: list[float] = []
+    oza: list[float] = []
+    oyb: list[float] = []
+    ozb: list[float] = []
+    osrc: list[int] = []
+
+    def add(pya: float, pza: float, pyb: float, pzb: float, s: int) -> None:
+        # EnvelopeBuilder.add for real sources: coalesce contiguous
+        # same-source pieces whose heights agree within eps.
+        if pya >= pyb:
+            return
+        if osrc and osrc[-1] == s and oyb[-1] == pya and abs(ozb[-1] - pza) <= eps:
+            oyb[-1] = pyb
+            ozb[-1] = pzb
+            return
+        oya.append(pya)
+        oza.append(pza)
+        oyb.append(pyb)
+        ozb.append(pzb)
+        osrc.append(s)
+
+    ops = 0
+    ia = 0
+    for idx in range(len(bounds) - 1):
+        u = bounds[idx]
+        v = bounds[idx + 1]
+        if u >= v:
+            continue
+        ops += 1
+        while ia < k and wyb[ia] <= u:
+            ia += 1
+        pa = ia < k and wya[ia] <= u and v <= wyb[ia]
+        pb = y1 <= u and v <= y2
+        if not pa and not pb:
+            continue
+        if not pb:
+            sa = wsrc[ia]
+            add(
+                u,
+                _line_z(wya[ia], wza[ia], wyb[ia], wzb[ia], u),
+                v,
+                _line_z(wya[ia], wza[ia], wyb[ia], wzb[ia], v),
+                sa,
+            )
+            continue
+        if not pa:
+            add(u, _line_z(y1, z1, y2, z2, u), v, _line_z(y1, z1, y2, z2, v), src)
+            continue
+
+        pya, pza, pyb, pzb = wya[ia], wza[ia], wyb[ia], wzb[ia]
+        sa = wsrc[ia]
+        pa_u = _line_z(pya, pza, pyb, pzb, u)
+        pa_v = _line_z(pya, pza, pyb, pzb, v)
+        pb_u = _line_z(y1, z1, y2, z2, u)
+        pb_v = _line_z(y1, z1, y2, z2, v)
+        du = pa_u - pb_u
+        dv = pa_v - pb_v
+        su = 0 if abs(du) <= eps else (1 if du > 0 else -1)
+        sv = 0 if abs(dv) <= eps else (1 if dv > 0 else -1)
+
+        if su >= 0 and sv >= 0:
+            add(u, pa_u, v, pa_v, sa)
+        elif su <= 0 and sv <= 0:
+            add(u, pb_u, v, pb_v, src)
+        else:
+            t = du / (du - dv)
+            w = u + t * (v - u)
+            if w <= u or w >= v:  # numeric clamp: treat as one-sided
+                if su > 0 or sv < 0:
+                    add(u, pa_u, v, pa_v, sa)
+                else:
+                    add(u, pb_u, v, pb_v, src)
+                continue
+            zw = _line_z(pya, pza, pyb, pzb, w)
+            zw_b = _line_z(y1, z1, y2, z2, w)
+            if su > 0:
+                add(u, pa_u, w, zw, sa)
+                add(w, zw_b, v, pb_v, src)
+            else:
+                add(u, pb_u, w, zw_b, src)
+                add(w, zw, v, pa_v, sa)
+
+    return oya, oza, oyb, ozb, osrc, ops
+
+
+def insert_segment_flat(
+    profile: FlatProfile,
+    seg: ImageSegment,
+    *,
+    eps: float = EPS,
+) -> FlatInsertResult:
+    """Insert ``seg`` into ``profile``; see the module docstring.
+
+    Exact analogue of :func:`repro.envelope.splice.insert_segment`
+    under ``engine="numpy"``: the same visibility/merge dispatch
+    cutoffs apply (:data:`repro.envelope.engine.FLAT_VISIBILITY_CUTOFF`
+    / :data:`~repro.envelope.engine.FLAT_MERGE_CUTOFF`), the same
+    results and ``ops`` come out, but the profile never leaves its
+    array representation.
+    """
+    if seg.is_vertical:
+        vis = _visible_vertical_flat(profile, seg, eps)
+        return FlatInsertResult(profile, vis, vis.ops)
+
+    y1, z1, y2, z2 = seg.y1, seg.z1, seg.y2, seg.z2
+    lo, hi = profile.pieces_overlapping(y1, y2)
+    win = hi - lo
+
+    wlists = None
+    if win >= _engine.FLAT_VISIBILITY_CUTOFF:
+        vis = _engine.visibility_dispatch(
+            seg, None, eps=eps, engine="numpy", window=profile.window(lo, hi)
+        )
+    else:
+        wlists = profile.window_lists(lo, hi)
+        vis = _scan_window(y1, z1, y2, z2, *wlists, eps)
+    if not vis.parts:  # fully hidden: no splice, profile shared
+        return FlatInsertResult(profile, vis, vis.ops)
+
+    if win + 1 >= _engine.FLAT_MERGE_CUTOFF:
+        res = merge_envelopes_flat(
+            profile.window(lo, hi),
+            FlatEnvelope.from_segment(seg),
+            eps=eps,
+            record_crossings=False,
+        )
+        m = res.envelope
+        new = profile.splice(lo, hi, m.ya, m.za, m.yb, m.zb, m.source)
+        return FlatInsertResult(new, vis, vis.ops + res.ops)
+
+    wsrc = profile.source[lo:hi].tolist()
+    if seg.source < 0 or min(wsrc, default=0) < 0:
+        # Synthetic (source -1) pieces coalesce on EnvelopeBuilder's
+        # sequential slope rule; take the reference kernel on a
+        # materialised window (rare outside tests).
+        local = Envelope(profile.window_pieces(lo, hi))
+        mres = merge_envelopes(
+            local, Envelope.from_segment(seg), eps=eps, record_crossings=False
+        )
+        mat = _tuples_to_matrix(mres.envelope.pieces)
+        new = profile.splice(
+            lo, hi, mat[:, 0], mat[:, 1], mat[:, 2], mat[:, 3], mat[:, 4].astype(_I)
+        )
+        return FlatInsertResult(new, vis, vis.ops + mres.ops)
+
+    if wlists is None:
+        wlists = profile.window_lists(lo, hi)
+    oya, oza, oyb, ozb, osrc, mops = _merge_window_with_segment(
+        *wlists, wsrc, y1, z1, y2, z2, seg.source, eps
+    )
+    new = profile.splice(lo, hi, oya, oza, oyb, ozb, osrc)
+    return FlatInsertResult(new, vis, vis.ops + mops)

@@ -15,11 +15,17 @@ from typing import NamedTuple, Optional
 
 from repro.envelope.chain import Envelope
 from repro.envelope.engine import merge_dispatch, visibility_dispatch
+from repro.envelope.merge import Crossing
 from repro.envelope.visibility import VisibilityResult
 from repro.geometry.primitives import EPS
 from repro.geometry.segments import ImageSegment
 
-__all__ = ["InsertResult", "insert_segment"]
+__all__ = [
+    "InsertResult",
+    "insert_segment",
+    "SpliceMergeResult",
+    "splice_merge",
+]
 
 
 class InsertResult(NamedTuple):
@@ -75,4 +81,67 @@ def insert_segment(
     )
     return InsertResult(
         Envelope(new_pieces), vis, vis.ops + merged.ops
+    )
+
+
+class SpliceMergeResult(NamedTuple):
+    """Outcome of merging one envelope into another by local splice.
+
+    Attributes
+    ----------
+    envelope:
+        ``max(env, other)`` (same pointwise values as a full merge; the
+        pieces may differ from a full merge only by coalescing at the
+        two splice boundaries).
+    crossings:
+        Transversal crossings inside the spliced window, in y-order.
+    ops:
+        Elementary intervals of the window merge — output-sensitive in
+        ``other``'s span, unlike a full merge's Θ(env size) charge.
+    materialised:
+        Pieces copied into the result (0 when ``other`` was empty and
+        ``env`` is returned shared).
+    """
+
+    envelope: Envelope
+    crossings: list[Crossing]
+    ops: int
+    materialised: int
+
+
+def splice_merge(
+    env: Envelope,
+    other: Envelope,
+    *,
+    eps: float = EPS,
+    record_crossings: bool = True,
+    engine: Optional[str] = None,
+) -> SpliceMergeResult:
+    """Merge ``other`` into ``env`` touching only the overlapped window.
+
+    ``other`` spans a bounded y-range, so only the pieces of ``env``
+    overlapping that range can change under a pointwise max; the head
+    and tail pass through untouched — the same shape as
+    :func:`insert_segment`, generalised from one segment to a whole
+    envelope.  This is the Phase-2 ``direct`` mode's merge: a full
+    :func:`~repro.envelope.merge.merge_envelopes` would sweep (and
+    charge ``ops`` for) every elementary interval of the inherited
+    profile on every merge, even far outside the intermediate
+    envelope's span.
+    """
+    if not other.pieces:
+        return SpliceMergeResult(env, [], 0, 0)
+    s, t = other.y_span()
+    lo, hi = env.pieces_overlapping(s, t)
+    local = Envelope(env.pieces[lo:hi])
+    res = merge_dispatch(
+        local,
+        other,
+        eps=eps,
+        record_crossings=record_crossings,
+        engine=engine,
+    )
+    pieces = env.pieces[:lo] + res.envelope.pieces + env.pieces[hi:]
+    return SpliceMergeResult(
+        Envelope(pieces), res.crossings, res.ops, len(pieces)
     )

@@ -16,9 +16,13 @@ Two interchangeable engines compute the merges (same output, different
 cost profile — experiment E11's ablation):
 
 ``direct``
-    Array-envelope merges.  Simple, but each merge copies the full
-    inherited profile: per-layer work Θ(Σ |P_i|), *not* output
-    sensitive.
+    Array-envelope merges by local splice
+    (:func:`repro.envelope.splice.splice_merge`): only the window of
+    the inherited profile overlapping the intermediate envelope goes
+    through the merge sweep, but each merge still *copies* the full
+    inherited profile into the child's (per-layer copying Θ(Σ |P_i|),
+    reported as ``pieces_materialised`` — the cost the persistent
+    representation is there to avoid).
 ``persistent``
     Profiles are persistent-treap versions; a merge splices only the
     y-range of the intermediate profile and shares the rest (paper
@@ -40,7 +44,7 @@ from typing import Optional, Sequence
 
 from repro.envelope.chain import Envelope
 from repro.envelope.engine import resolve_engine
-from repro.envelope.merge import merge_envelopes
+from repro.envelope.splice import splice_merge
 from repro.envelope.visibility import VisibilityResult, visible_parts
 from repro.errors import HsrError
 from repro.geometry.primitives import EPS
@@ -154,13 +158,13 @@ def _phase2_direct(
             else:
                 assert node.left is not None and node.right is not None
                 inherited[node.left.index] = P
-                res = merge_envelopes(
-                    P, pct.envelope_of(node.left), eps=eps
+                res = splice_merge(
+                    P, pct.envelope_of(node.left), eps=eps, engine="python"
                 )
                 inherited[node.right.index] = res.envelope
                 out.ops += res.ops
                 out.crossings += len(res.crossings)
-                out.pieces_materialised += res.envelope.size
+                out.pieces_materialised += res.materialised
                 stats.merges += 1
                 stats.ops += res.ops
                 stats.crossings += len(res.crossings)
@@ -182,8 +186,12 @@ def _phase2_direct_flat(
 
     Inherited profiles stay as
     :class:`~repro.envelope.flat.FlatEnvelope` arrays through the
-    merge cascade, and — since a layer's merges are independent, just
-    like Phase 1's — every layer runs as *one*
+    merge cascade.  Each merge is the same local splice as the scalar
+    engine's :func:`~repro.envelope.splice.splice_merge` — only the
+    window of the inherited profile overlapping the intermediate
+    envelope enters the sweep, located per node and spliced back with
+    array concatenates — and, since a layer's merges are independent,
+    all of a layer's windows run as *one*
     :func:`~repro.envelope.flat.batch_merge` sweep.  A layer's leaf
     visibility queries are independent too, so they run as one
     :func:`~repro.envelope.flat_visibility.batch_visible_parts` call
@@ -218,20 +226,51 @@ def _phase2_direct_flat(
 
         internals = [node for node in level if not node.is_leaf]
         if internals:
-            lefts = stack_envelopes(
-                [inherited[node.index] for node in internals]
-            )
-            rights = stack_envelopes(
-                [intermediate_flat(node.left) for node in internals]
-            )
-            res = batch_merge(lefts, rights, eps=eps)
-            ops_list = res.ops.tolist()
-            cross_counts = np.diff(
-                np.searchsorted(
-                    res.cross_group, np.arange(len(internals) + 1)
+            parents = [inherited[node.index] for node in internals]
+            inters = [intermediate_flat(node.left) for node in internals]
+            # Windowed splice merges, batched: only the overlapped
+            # window of each inherited profile enters the sweep;
+            # empty intermediates pass the parent through shared
+            # (exactly the scalar ``splice_merge`` semantics).
+            live = [i for i in range(len(internals)) if len(inters[i])]
+            spans = []
+            for i in live:
+                P, B = parents[i], inters[i]
+                spans.append(
+                    P.pieces_overlapping(float(B.ya[0]), float(B.yb[-1]))
                 )
-            ).tolist()
-            sizes = np.diff(res.merged.offsets).tolist()
+            ops_list = [0] * len(internals)
+            cross_counts = [0] * len(internals)
+            sizes = [0] * len(internals)
+            merged_envs: list = [None] * len(internals)
+            if live:
+                lefts = stack_envelopes(
+                    [
+                        parents[i].window(lo, hi)
+                        for i, (lo, hi) in zip(live, spans)
+                    ]
+                )
+                rights = stack_envelopes([inters[i] for i in live])
+                res = batch_merge(lefts, rights, eps=eps)
+                live_ops = res.ops.tolist()
+                live_cross = np.diff(
+                    np.searchsorted(
+                        res.cross_group, np.arange(len(live) + 1)
+                    )
+                ).tolist()
+                for g, i in enumerate(live):
+                    lo, hi = spans[g]
+                    m = res.merged.group(g)
+                    new = parents[i].splice(
+                        lo, hi, m.ya, m.za, m.yb, m.zb, m.source
+                    )
+                    merged_envs[i] = new
+                    ops_list[i] = live_ops[g]
+                    cross_counts[i] = live_cross[g]
+                    sizes[i] = new.size
+            for i in range(len(internals)):
+                if merged_envs[i] is None:  # empty intermediate: share
+                    merged_envs[i] = parents[i]
 
         leaves = [node for node in level if node.is_leaf]
         if leaves:
@@ -266,7 +305,7 @@ def _phase2_direct_flat(
                 inherited[node.left.index] = P
                 ops = ops_list[mi]
                 n_cross = cross_counts[mi]
-                inherited[node.right.index] = res.merged.group(mi)
+                inherited[node.right.index] = merged_envs[mi]
                 out.ops += ops
                 out.crossings += n_cross
                 out.pieces_materialised += sizes[mi]

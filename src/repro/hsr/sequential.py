@@ -21,6 +21,7 @@ import time
 from typing import Optional, Sequence
 
 from repro.envelope.chain import Envelope
+from repro.envelope.engine import resolve_engine
 from repro.envelope.splice import insert_segment
 from repro.geometry.primitives import EPS
 from repro.hsr.result import HsrResult, HsrStats, VisibilityMap
@@ -41,11 +42,13 @@ class SequentialHSR:
     engine:
         Envelope kernel for the per-edge work (see
         :mod:`repro.envelope.engine`); ``None`` selects the default.
-        Under ``"numpy"`` each edge's visibility scan *and* local
-        merge dispatch to the batched kernels once the overlapped
-        window clears the size cutoffs — on churny profiles (wide
-        windows) this takes the per-edge cost from a Python walk to a
-        handful of array ops; results are bit-identical either way.
+        Under ``"numpy"`` the profile lives as flat arrays for the
+        whole run (:class:`repro.envelope.flat_splice.FlatProfile`):
+        each edge does locate → visibility on a zero-copy window view
+        → local merge → array splice, never materialising piece
+        tuples, so the per-edge cost tracks the overlapped window
+        instead of paying Θ(profile) tuple copying.  Results are
+        bit-identical either way.
     """
 
     def __init__(
@@ -53,6 +56,48 @@ class SequentialHSR:
     ):
         self.eps = eps
         self.engine = engine
+
+    def _insert_loop(
+        self,
+        terrain: Terrain,
+        order: Sequence[int],
+        vmap: Optional[VisibilityMap],
+    ) -> tuple[Envelope, int, int]:
+        """The front-to-back insertion loop shared by :meth:`run` and
+        :meth:`final_profile`: returns ``(profile, ops, max_profile)``,
+        recording per-edge visibility into ``vmap`` when given.  The
+        profile converts to a scalar :class:`Envelope` only here, at
+        the run boundary.
+        """
+        eps = self.eps
+        flat = resolve_engine(self.engine) == "numpy"
+        if flat:
+            from repro.envelope.flat_splice import (
+                FlatProfile,
+                insert_segment_flat,
+            )
+
+            env = FlatProfile.empty()
+        else:
+            env = Envelope.empty()
+        ops = 0
+        max_profile = 0
+        for edge in order:
+            seg = terrain.image_segment(edge)
+            if flat:
+                res = insert_segment_flat(env, seg, eps=eps)
+                env = res.profile
+            else:
+                res = insert_segment(
+                    env, seg, eps=eps, engine=self.engine
+                )
+                env = res.envelope
+            ops += res.ops
+            if env.size > max_profile:
+                max_profile = env.size
+            if vmap is not None:
+                vmap.add_edge_result(edge, seg, res.visibility)
+        return (env.to_envelope() if flat else env), ops, max_profile
 
     def run(
         self,
@@ -70,19 +115,7 @@ class SequentialHSR:
         if order is None:
             order = front_to_back_order(terrain)
         vmap = VisibilityMap()
-        env = Envelope.empty()
-        ops = 0
-        max_profile = 0
-        for edge in order:
-            seg = terrain.image_segment(edge)
-            res = insert_segment(
-                env, seg, eps=self.eps, engine=self.engine
-            )
-            env = res.envelope
-            ops += res.ops
-            if env.size > max_profile:
-                max_profile = env.size
-            vmap.add_edge_result(edge, seg, res.visibility)
+        _env, ops, max_profile = self._insert_loop(terrain, order, vmap)
         stats = HsrStats(
             n_edges=terrain.n_edges,
             k=vmap.k,
@@ -95,15 +128,13 @@ class SequentialHSR:
     def final_profile(
         self, terrain: Terrain, *, order: Optional[Sequence[int]] = None
     ) -> Envelope:
-        """The upper profile of the whole scene (the horizon line)."""
+        """The upper profile of the whole scene (the horizon line).
+
+        Shares :meth:`run`'s insertion loop (same kernels, same
+        front-to-back order, same ops accounting) and returns the
+        resulting profile instead of the visibility map.
+        """
         if order is None:
             order = front_to_back_order(terrain)
-        env = Envelope.empty()
-        for edge in order:
-            env = insert_segment(
-                env,
-                terrain.image_segment(edge),
-                eps=self.eps,
-                engine=self.engine,
-            ).envelope
+        env, _ops, _max_profile = self._insert_loop(terrain, order, None)
         return env

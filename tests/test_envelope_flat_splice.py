@@ -1,0 +1,295 @@
+"""Tests for the flat-native incremental profile (flat_splice) and its
+threading through SequentialHSR and the phase-2 direct mode.
+
+Contract under test: ``SequentialHSR(engine="numpy")`` and the generic
+``insert_segment_flat`` loop are *bit-exact* replicas of the
+``engine="python"`` reference path — same visibility map, same ``ops``,
+same ``max_profile_size``, same profile pieces — while the profile
+never leaves its array representation (zero
+``FlatEnvelope.from_pieces`` window conversions on the flat path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.envelope.engine as engine_mod
+import repro.envelope.flat as flat_mod
+from repro.envelope.build import build_envelope
+from repro.envelope.chain import Envelope
+from repro.envelope.flat import FlatEnvelope
+from repro.envelope.flat_splice import (
+    FlatProfile,
+    insert_segment_flat,
+)
+from repro.envelope.merge import merge_envelopes
+from repro.envelope.splice import insert_segment, splice_merge
+from repro.geometry.segments import ImageSegment
+from tests.conftest import random_image_segments
+
+
+class TestFlatProfile:
+    def test_pieces_overlapping_matches_envelope(self, rng):
+        for _ in range(20):
+            segs = random_image_segments(rng, rng.randint(0, 60))
+            env = build_envelope(segs, engine="python").envelope
+            prof = FlatProfile.from_envelope(env)
+            for _q in range(25):
+                y1 = rng.uniform(-10, 110)
+                y2 = y1 + rng.uniform(0, 50)
+                assert prof.pieces_overlapping(y1, y2) == (
+                    env.pieces_overlapping(y1, y2)
+                )
+            # Exact piece boundaries are the adversarial locates.
+            for p in env.pieces[:10]:
+                assert prof.pieces_overlapping(p.ya, p.yb) == (
+                    env.pieces_overlapping(p.ya, p.yb)
+                )
+
+    def test_value_at_matches_envelope(self, rng):
+        segs = random_image_segments(rng, 40)
+        env = build_envelope(segs, engine="python").envelope
+        prof = FlatProfile.from_envelope(env)
+        ys = [rng.uniform(-10, 110) for _ in range(50)]
+        ys += [p.ya for p in env.pieces[:10]]
+        ys += [p.yb for p in env.pieces[:10]]
+        for y in ys:
+            assert prof.value_at(y) == env.value_at(y)
+
+    def test_round_trip(self, rng):
+        segs = random_image_segments(rng, 30)
+        env = build_envelope(segs, engine="python").envelope
+        assert FlatProfile.from_envelope(env).to_envelope().pieces == (
+            env.pieces
+        )
+        assert FlatProfile.empty().to_envelope().pieces == []
+
+    def test_splice_type_closed(self):
+        prof = FlatProfile.empty()
+        new = prof.splice(0, 0, [0.0], [1.0], [2.0], [1.0], [7])
+        assert isinstance(new, FlatProfile)
+        assert new.to_envelope().pieces[0].source == 7
+        # Base-class splice stays a FlatEnvelope.
+        fe = FlatEnvelope.empty().splice(0, 0, [0.0], [1.0], [2.0], [1.0], [7])
+        assert type(fe) is FlatEnvelope
+
+    def test_window_is_zero_copy(self, rng):
+        segs = random_image_segments(rng, 30)
+        prof = FlatProfile.from_envelope(
+            build_envelope(segs, engine="python").envelope
+        )
+        w = prof.window(3, 9)
+        assert w.ya.base is prof.ya
+        assert len(w) == 6
+
+
+class TestInsertSegmentFlat:
+    def test_incremental_matches_python_engine(self, rng):
+        for _ in range(10):
+            segs = random_image_segments(rng, rng.randint(2, 60))
+            env = Envelope.empty()
+            prof = FlatProfile.empty()
+            for s in segs:
+                rp = insert_segment(env, s, engine="python")
+                rf = insert_segment_flat(prof, s)
+                assert rf.ops == rp.ops
+                assert rf.visibility == rp.visibility
+                env = rp.envelope
+                prof = rf.profile
+            assert prof.to_envelope().pieces == env.pieces
+
+    def test_synthetic_source_fallback(self, rng):
+        # Source -1 pieces coalesce on the EnvelopeBuilder slope rule;
+        # the flat path must defer to the reference kernel there.
+        segs = [
+            ImageSegment(0.0, 1.0, 4.0, 2.0, -1),
+            ImageSegment(2.0, 0.5, 6.0, 3.0, -1),
+            ImageSegment(1.0, 2.5, 5.0, 2.5, 3),
+        ]
+        env = Envelope.empty()
+        prof = FlatProfile.empty()
+        for s in segs:
+            rp = insert_segment(env, s, engine="python")
+            rf = insert_segment_flat(prof, s)
+            assert rf.ops == rp.ops
+            env = rp.envelope
+            prof = rf.profile
+        assert prof.to_envelope().pieces == env.pieces
+
+
+class TestVisibilityDispatchWindow:
+    def test_flat_run_never_converts_windows(self, rng, monkeypatch):
+        """Regression: the flat sequential path must perform zero
+        ``FlatEnvelope.from_pieces`` conversions — the O(window) cost
+        the pre-flat dispatch paid on every large-window query."""
+        calls = []
+        orig = FlatEnvelope.from_pieces
+
+        def counting(pieces):
+            calls.append(len(pieces))
+            return orig(pieces)
+
+        monkeypatch.setattr(FlatEnvelope, "from_pieces", staticmethod(counting))
+        # Force every non-trivial window through the dispatched kernel.
+        monkeypatch.setattr(engine_mod, "FLAT_VISIBILITY_CUTOFF", 2)
+        monkeypatch.setattr(engine_mod, "FLAT_MERGE_CUTOFF", 2)
+        segs = random_image_segments(rng, 150)
+        prof = FlatProfile.empty()
+        for s in segs:
+            prof = insert_segment_flat(prof, s).profile
+        assert calls == []
+        assert prof.size > 0
+
+    def test_dispatch_window_param_matches_scalar(self, rng):
+        from repro.envelope.engine import visibility_dispatch
+        from repro.envelope.visibility import visible_parts
+
+        segs = random_image_segments(rng, 200)
+        env = build_envelope(segs, engine="python").envelope
+        prof = FlatProfile.from_envelope(env)
+        for q in random_image_segments(rng, 20):
+            lo, hi = prof.pieces_overlapping(q.y1, q.y2)
+            got = visibility_dispatch(
+                q, None, engine="numpy", window=prof.window(lo, hi)
+            )
+            assert got == visible_parts(q, env)
+
+
+class TestSpliceMerge:
+    def test_matches_full_merge_pointwise(self, rng):
+        for _ in range(15):
+            a = build_envelope(
+                random_image_segments(rng, rng.randint(0, 40)),
+                engine="python",
+            ).envelope
+            b = build_envelope(
+                [
+                    ImageSegment(s.y1, s.z1, s.y2, s.z2, 500 + s.source)
+                    for s in random_image_segments(rng, rng.randint(1, 12))
+                ],
+                engine="python",
+            ).envelope
+            res = splice_merge(a, b, engine="python")
+            full = merge_envelopes(a, b)
+            assert res.envelope.approx_equal(full.envelope, eps=1e-9)
+            assert res.crossings == full.crossings
+            assert res.ops <= full.ops
+            assert res.materialised == res.envelope.size
+            res.envelope.validate()
+
+    def test_empty_other_passthrough(self, rng):
+        a = build_envelope(
+            random_image_segments(rng, 10), engine="python"
+        ).envelope
+        res = splice_merge(a, Envelope.empty())
+        assert res.envelope is a
+        assert res.ops == 0 and res.materialised == 0
+
+    def test_empty_env(self, rng):
+        b = build_envelope(
+            random_image_segments(rng, 5), engine="python"
+        ).envelope
+        res = splice_merge(Envelope.empty(), b, engine="python")
+        assert res.envelope.pieces == b.pieces
+        assert res.ops == b.size
+
+
+@pytest.mark.parametrize("kernels", ["default", "forced-flat"])
+class TestSequentialEngineParity:
+    """Engine-parametrized property: a full ``SequentialHSR.run`` on
+    the python vs numpy (flat-profile) engines produces identical
+    VisibilityMap, ops and max_profile_size on the terrain workload
+    families of ``bench/workloads.py`` — including the churny-profile
+    (high-occlusion shielded basin, valley) ones."""
+
+    def _assert_parity(self, terrain):
+        from repro.hsr.sequential import SequentialHSR
+
+        rp = SequentialHSR(engine="python").run(terrain)
+        rn = SequentialHSR(engine="numpy").run(terrain)
+        assert rn.stats.ops == rp.stats.ops
+        assert rn.stats.k == rp.stats.k
+        assert rn.stats.extra == rp.stats.extra
+        assert rn.order == rp.order
+        assert rn.visibility_map.segments == rp.visibility_map.segments
+
+    @pytest.fixture(autouse=True)
+    def _kernels(self, kernels, monkeypatch):
+        if kernels == "forced-flat":
+            monkeypatch.setattr(engine_mod, "FLAT_VISIBILITY_CUTOFF", 1)
+            monkeypatch.setattr(engine_mod, "FLAT_MERGE_CUTOFF", 1)
+
+    def test_fractal(self):
+        from repro.terrain.generators import fractal_terrain
+
+        self._assert_parity(fractal_terrain(size=9, seed=23))
+
+    def test_valley(self):
+        from repro.terrain.generators import valley_terrain
+
+        self._assert_parity(valley_terrain(rows=9, cols=9, seed=7))
+
+    def test_shielded_basin_churn(self):
+        from repro.bench.workloads import occlusion_suite
+
+        for _q, terrain in occlusion_suite(
+            (0.3, 1.2), rows=8, cols=8, seed=31
+        ):
+            self._assert_parity(terrain)
+
+    def test_final_profile_shares_run_path(self):
+        from repro.hsr.sequential import SequentialHSR
+        from repro.terrain.generators import fractal_terrain
+
+        terrain = fractal_terrain(size=9, seed=23)
+        fp = SequentialHSR(engine="python").final_profile(terrain)
+        fn = SequentialHSR(engine="numpy").final_profile(terrain)
+        assert fn.pieces == fp.pieces
+        fn.validate()
+
+
+@pytest.mark.slow
+class TestSequentialEngineParitySlow:
+    def test_larger_workloads(self):
+        from repro.bench.workloads import scaling_suite
+        from repro.hsr.sequential import SequentialHSR
+
+        for _label, terrain in scaling_suite(
+            (17,), kind="fractal"
+        ) + scaling_suite((17,), kind="valley"):
+            rp = SequentialHSR(engine="python").run(terrain)
+            rn = SequentialHSR(engine="numpy").run(terrain)
+            assert rn.stats.ops == rp.stats.ops
+            assert rn.stats.extra == rp.stats.extra
+            assert rn.visibility_map.segments == (
+                rp.visibility_map.segments
+            )
+
+
+class TestStreamMergeAblationStillExact:
+    def test_flat_insert_with_argsort_ordering(self, rng):
+        # The flat merge path must stay exact with the stream-merge
+        # ablation toggled off (PR 2's composite-argsort ordering).
+        old = flat_mod.USE_STREAM_MERGE
+        flat_mod.USE_STREAM_MERGE = False
+        try:
+            segs = random_image_segments(rng, 120)
+            env = Envelope.empty()
+            prof = FlatProfile.empty()
+            old_vis = engine_mod.FLAT_VISIBILITY_CUTOFF
+            old_merge = engine_mod.FLAT_MERGE_CUTOFF
+            engine_mod.FLAT_VISIBILITY_CUTOFF = 1
+            engine_mod.FLAT_MERGE_CUTOFF = 1
+            try:
+                for s in segs:
+                    rp = insert_segment(env, s, engine="python")
+                    rf = insert_segment_flat(prof, s)
+                    assert rf.ops == rp.ops
+                    env = rp.envelope
+                    prof = rf.profile
+            finally:
+                engine_mod.FLAT_VISIBILITY_CUTOFF = old_vis
+                engine_mod.FLAT_MERGE_CUTOFF = old_merge
+            assert prof.to_envelope().pieces == env.pieces
+        finally:
+            flat_mod.USE_STREAM_MERGE = old

@@ -242,6 +242,102 @@ class TestDispatch:
                     assert_query_identical(got, ref)
 
 
+def _run_incremental_pair(segments, *, eps=None):
+    """Run the python insert loop and the flat-profile loop over the
+    same front-to-back sequence, asserting bit-exact agreement at
+    every step; returns the final profiles."""
+    from repro.envelope.flat_splice import (
+        FlatProfile,
+        insert_segment_flat,
+    )
+    from repro.envelope.splice import insert_segment
+    from repro.geometry.primitives import EPS
+
+    eps = EPS if eps is None else eps
+    env = Envelope.empty()
+    prof = FlatProfile.empty()
+    for i, seg in enumerate(segments):
+        ref = insert_segment(env, seg, eps=eps, engine="python")
+        got = insert_segment_flat(prof, seg, eps=eps)
+        assert_query_identical(got.visibility, ref.visibility)
+        assert got.ops == ref.ops, f"step {i}: ops drift"
+        env = ref.envelope
+        prof = got.profile
+        assert prof.to_envelope().pieces == env.pieces, (
+            f"step {i}: profile drift"
+        )
+    return env, prof
+
+
+class TestIncrementalRuns:
+    """Full incremental (SequentialHSR-shaped) runs: the flat-native
+    profile must replicate the reference insert loop bit for bit,
+    including the vertical point queries and eps-scale near-ties the
+    per-query suite above exercises."""
+
+    @given(adversarial_queries(max_queries=12, allow_vertical=True))
+    @settings(max_examples=200, deadline=None)
+    def test_adversarial_inserts(self, segments):
+        _run_incremental_pair(segments)
+
+    @pytest.mark.slow
+    @given(adversarial_queries(max_queries=20, allow_vertical=True))
+    @settings(max_examples=300, deadline=None)
+    def test_adversarial_inserts_deep(self, segments):
+        _run_incremental_pair(segments)
+
+    @given(adversarial_queries(max_queries=10, allow_vertical=True))
+    @settings(max_examples=60, deadline=None)
+    def test_adversarial_inserts_forced_flat_kernels(self, segments):
+        # Force every window through the batched kernels (the
+        # large-window dispatch arms) regardless of size.
+        old_vis = engine_mod.FLAT_VISIBILITY_CUTOFF
+        old_merge = engine_mod.FLAT_MERGE_CUTOFF
+        engine_mod.FLAT_VISIBILITY_CUTOFF = 1
+        engine_mod.FLAT_MERGE_CUTOFF = 1
+        try:
+            _run_incremental_pair(segments)
+        finally:
+            engine_mod.FLAT_VISIBILITY_CUTOFF = old_vis
+            engine_mod.FLAT_MERGE_CUTOFF = old_merge
+
+    def test_random_large_run(self, rng):
+        segs = random_image_segments(rng, 400)
+        # Sprinkle vertical edges through the sequence.
+        segs = [
+            ImageSegment(s.y1, s.z1, s.y1, s.z1 + 3.0, s.source)
+            if i % 17 == 0
+            else s
+            for i, s in enumerate(segs)
+        ]
+        env, prof = _run_incremental_pair(segs)
+        assert env.size > 0
+        assert prof.size == env.size
+
+    def test_hidden_and_vertical_share_profile(self, rng):
+        # Hidden or vertical inserts must return the *same* profile
+        # object (no splice performed) — mirroring insert_segment's
+        # identity semantics.
+        from repro.envelope.flat_splice import (
+            FlatProfile,
+            insert_segment_flat,
+        )
+
+        prof = insert_segment_flat(
+            FlatProfile.empty(), ImageSegment(0.0, 10.0, 10.0, 10.0, 0)
+        ).profile
+        hidden = insert_segment_flat(
+            prof, ImageSegment(2.0, 1.0, 8.0, 1.0, 1)
+        )
+        assert hidden.profile is prof
+        assert hidden.visibility.fully_hidden
+        vertical = insert_segment_flat(
+            prof, ImageSegment(5.0, 0.0, 5.0, 99.0, 2)
+        )
+        assert vertical.profile is prof
+        assert not vertical.visibility.fully_hidden
+
+
 class TestSequentialThreading:
     def test_sequential_hsr_engine_parity(self, monkeypatch):
         from repro.hsr.sequential import SequentialHSR

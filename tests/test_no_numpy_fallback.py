@@ -56,6 +56,36 @@ class TestPurePythonPipeline:
         assert result.k > 0
         assert result.visibility_map.visible_edges()
 
+    def test_sequential_final_profile_shared_loop(self):
+        from repro.hsr import SequentialHSR
+
+        hsr = SequentialHSR(engine="python")
+        horizon = hsr.final_profile(hand_terrain())
+        horizon.validate()
+        assert horizon.size > 0
+
+    def test_splice_merge_pure_python(self):
+        from repro.envelope import splice_merge
+        from repro.envelope.build import build_envelope
+        from repro.envelope.chain import Envelope
+        from repro.geometry.segments import ImageSegment
+
+        a = build_envelope(
+            [
+                ImageSegment(0.0, 1.0, 4.0, 2.0, 0),
+                ImageSegment(6.0, 1.0, 9.0, 0.5, 1),
+            ],
+            engine="python",
+        ).envelope
+        b = build_envelope(
+            [ImageSegment(3.0, 3.0, 7.0, 0.0, 2)], engine="python"
+        ).envelope
+        res = splice_merge(a, b, engine="python")
+        res.envelope.validate()
+        assert res.ops > 0
+        assert res.materialised == res.envelope.size
+        assert splice_merge(a, Envelope.empty()).envelope is a
+
     def test_parallel_hsr_direct(self):
         from repro.hsr import ParallelHSR
 
