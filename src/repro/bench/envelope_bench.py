@@ -35,6 +35,22 @@ the two timed variants):
     (``python_ms`` column — the pre-flat-profile dispatch path, same
     kernels) vs the flat-profile loop (``numpy_ms`` column): isolates
     the array-splice fix itself.
+``sequential-fused-ablation``
+    The flat-profile insert loop on the *E9 small-profile family*
+    (narrow strip, scan-bound windows) with the fused
+    visibility+merge kernel of :mod:`repro.envelope.flat_fused`
+    disabled (``python_ms`` column — the two-pass locate → visibility
+    → merge cascade of PR 3) vs enabled (``numpy_ms`` column):
+    isolates the fused single-sweep insert, its hidden/visible
+    fast paths and the re-tuned
+    :data:`~repro.envelope.engine.FLAT_FUSED_CUTOFF`.
+``build-emission-ablation``
+    The numpy build with the run-length output emission enabled
+    (``numpy_ms`` column, ``USE_RUN_EMISSION=True``) vs the default
+    two-pass scatter+compress emission (``python_ms`` column).  An
+    honest negative result on the recorded machine: the run emission
+    measures slightly *slower*, so the default stays two-pass — see
+    ``docs/BENCHMARKS.md``.
 
 Engines are timed interleaved (python, numpy, python, ...) and the
 per-engine minimum is reported, which keeps the ratio honest on
@@ -248,21 +264,21 @@ def run_envelope_bench(
         segs = _e9_segments(m_abl)
         env_size = build_envelope(segs, engine="numpy").envelope.size
 
-        def build_with(toggle, segs=segs):
+        def build_with(attr, toggle, segs=segs):
             def run():
-                old = flat_mod.USE_STREAM_MERGE
-                flat_mod.USE_STREAM_MERGE = toggle
+                old = getattr(flat_mod, attr)
+                setattr(flat_mod, attr, toggle)
                 try:
                     build_envelope(segs, engine="numpy")
                 finally:
-                    flat_mod.USE_STREAM_MERGE = old
+                    setattr(flat_mod, attr, old)
 
             return run
 
         best = _time_interleaved(
             {
-                "argsort": build_with(False),
-                "merge": build_with(True),
+                "argsort": build_with("USE_STREAM_MERGE", False),
+                "merge": build_with("USE_STREAM_MERGE", True),
             },
             repeats,
         )
@@ -273,6 +289,27 @@ def run_envelope_bench(
             python_ms=best["argsort"] * 1e3,
             numpy_ms=best["merge"] * 1e3,
             speedup=best["argsort"] / best["merge"],
+        )
+        rows.append(row)
+        t.add(**row)
+
+        # Run-length emission ablation inside the batched build:
+        # python_ms column = default two-pass scatter+compress
+        # emission, numpy_ms = direct run-boundary emission.
+        best = _time_interleaved(
+            {
+                "two-pass": build_with("USE_RUN_EMISSION", False),
+                "run-emit": build_with("USE_RUN_EMISSION", True),
+            },
+            repeats,
+        )
+        row = dict(
+            workload="build-emission-ablation",
+            m=m_abl,
+            env_size=env_size,
+            python_ms=best["two-pass"] * 1e3,
+            numpy_ms=best["run-emit"] * 1e3,
+            speedup=best["two-pass"] / best["run-emit"],
         )
         rows.append(row)
         t.add(**row)
@@ -364,6 +401,55 @@ def run_envelope_bench(
             )
             t.add(**rows[-1])
 
+    # Fused-insert ablation on the E9 small-profile family: the
+    # flat-profile loop with the fused visibility+merge kernel off
+    # (PR 3's two-pass cascade) vs on.  The E9 family is the
+    # scan-bound regime the fused kernel targets (windows far below
+    # the old batched-visibility cutoff).
+    if HAVE_NUMPY:
+        import repro.envelope.flat_splice as splice_mod
+        from repro.envelope.flat_splice import (
+            FlatProfile,
+            insert_segment_flat,
+        )
+
+        def fused_loop(toggle, segs):
+            def run():
+                old = splice_mod.USE_FUSED_INSERT
+                splice_mod.USE_FUSED_INSERT = toggle
+                try:
+                    prof = FlatProfile.empty()
+                    for s in segs:
+                        prof = insert_segment_flat(prof, s).profile
+                finally:
+                    splice_mod.USE_FUSED_INSERT = old
+
+            return run
+
+        for m in ms:
+            segs = _e9_segments(m)
+            prof = FlatProfile.empty()
+            for s in segs:
+                prof = insert_segment_flat(prof, s).profile
+            best = _time_interleaved(
+                {
+                    "two-pass": fused_loop(False, segs),
+                    "fused": fused_loop(True, segs),
+                },
+                seq_repeats,
+            )
+            rows.append(
+                dict(
+                    workload="sequential-fused-ablation",
+                    m=m,
+                    env_size=prof.size,
+                    python_ms=best["two-pass"] * 1e3,
+                    numpy_ms=best["fused"] * 1e3,
+                    speedup=best["two-pass"] / best["fused"],
+                )
+            )
+            t.add(**rows[-1])
+
     t.notes.append(
         "engines produce identical pieces/crossings/ops (enforced by"
         " tests/test_envelope_flat.py and"
@@ -386,6 +472,20 @@ def run_envelope_bench(
         " sequential-splice-ablation times the tuple-splice path under"
         " engine='numpy' (pre-flat-profile dispatch, same kernels) vs"
         " the flat loop, best-of-%d" % seq_repeats
+    )
+    t.notes.append(
+        "sequential-fused-ablation runs the flat-profile insert loop"
+        " on the E9 small-profile family (seed 17): two-pass"
+        " visibility+merge cascade (python_ms column) vs the fused"
+        " single-sweep kernel of repro.envelope.flat_fused (numpy_ms"
+        " column), best-of-%d" % seq_repeats
+    )
+    t.notes.append(
+        "build-emission-ablation compares the numpy build's default"
+        " two-pass scatter+compress output emission (python_ms"
+        " column) vs the run-boundary emission (numpy_ms column);"
+        " values below 1 mean the run emission lost and the default"
+        " stays two-pass"
     )
     t.notes.append(
         "timings are best-of-%d, engines interleaved" % repeats

@@ -238,7 +238,7 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"repro {__version__}")
     print(f"terrain generators: {', '.join(sorted(GENERATORS))}")
     print(f"experiments: {', '.join(ALL_EXPERIMENTS)}")
-    print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
+    print("docs: README.md, docs/ARCHITECTURE.md, docs/BENCHMARKS.md")
     return 0
 
 

@@ -16,6 +16,10 @@
 * :mod:`repro.envelope.flat_splice` — flat-native incremental profile
   (:class:`FlatProfile`): sequential inserts as locate → windowed
   kernels → array splice, no tuple materialisation.
+* :mod:`repro.envelope.flat_fused` — fused visibility+merge window
+  kernel: one sweep (scalar or vectorized, cutoff
+  :data:`repro.envelope.engine.FLAT_FUSED_CUTOFF`) answers an
+  insert's visibility *and* merged window together.
 
 Engine selection
 ----------------
@@ -109,6 +113,11 @@ if HAVE_NUMPY:  # pragma: no branch - numpy ships in the toolchain
         merge_envelopes_flat,
         merge_sorted_streams,
     )
+    from repro.envelope.flat_fused import (  # noqa: F401
+        FusedWindowResult,
+        fused_insert_window,
+        fused_insert_window_flat,
+    )
     from repro.envelope.flat_splice import (  # noqa: F401
         FlatInsertResult,
         FlatProfile,
@@ -126,8 +135,11 @@ if HAVE_NUMPY:  # pragma: no branch - numpy ships in the toolchain
         "FlatMergeResult",
         "FlatProfile",
         "FlatVisibility",
+        "FusedWindowResult",
         "batch_visible_parts",
         "build_envelope_flat",
+        "fused_insert_window",
+        "fused_insert_window_flat",
         "insert_segment_flat",
         "merge_envelopes_flat",
         "merge_sorted_streams",

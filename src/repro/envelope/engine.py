@@ -30,6 +30,19 @@ profile visibility queries: scalar scan below
 :data:`FLAT_VISIBILITY_CUTOFF` overlapped pieces, the batched kernel
 of :mod:`repro.envelope.flat_visibility` above it (vertical queries
 always take the scalar point query — they are O(log m) either way).
+
+The sequential flat insert path does not pay the two dispatches
+separately: :func:`repro.envelope.flat_splice.insert_segment_flat`
+answers visibility *and* the merged window in one fused sweep
+(:mod:`repro.envelope.flat_fused`), switching from its scalar fused
+loop to its vectorized fused kernel at :data:`FLAT_FUSED_CUTOFF`
+overlapped pieces.  All cutoffs are wall-clock-only dispatch points:
+every kernel pair agrees bit for bit, which
+``tests/test_envelope_flat_fused.py`` pins exactly at, one below and
+one above each boundary.
+
+See ``docs/ARCHITECTURE.md`` for the full dispatch map and
+``docs/BENCHMARKS.md`` for how the cutoffs were measured.
 """
 
 from __future__ import annotations
@@ -52,6 +65,7 @@ __all__ = [
     "visibility_dispatch",
     "FLAT_MERGE_CUTOFF",
     "FLAT_VISIBILITY_CUTOFF",
+    "FLAT_FUSED_CUTOFF",
 ]
 
 try:  # pragma: no cover - exercised implicitly on import
@@ -76,6 +90,15 @@ FLAT_MERGE_CUTOFF: int = 64
 #: kernel's fixed launch overhead (~a few dozen array ops) beats the
 #: ~µs/piece scalar walk only on windows of this order.
 FLAT_VISIBILITY_CUTOFF: int = 96
+
+#: Overlapped-piece count at which the *fused* visibility+merge insert
+#: (:mod:`repro.envelope.flat_fused`, the sequential flat path's
+#: kernel) switches from its scalar fused loop to its vectorized fused
+#: sweep.  One launch amortises over both the visibility answer and
+#: the merged window, so the breakeven sits well below the two-launch
+#: path's effective 96-piece visibility cutoff (measured on the E9 and
+#: wide-strip insert workloads; see ``docs/BENCHMARKS.md``).
+FLAT_FUSED_CUTOFF: int = 64
 
 
 def resolve_engine(engine: Optional[str]) -> str:
@@ -150,6 +173,25 @@ def visibility_dispatch(
     be ``None`` (below the cutoff the scalar scan runs on a window
     envelope materialised from the flat arrays instead, which is cheap
     precisely because the window is small there).
+
+    >>> import pytest
+    >>> _ = pytest.importorskip("numpy")
+    >>> from repro.envelope.chain import Envelope, Piece
+    >>> from repro.envelope.flat_splice import FlatProfile
+    >>> from repro.geometry.segments import ImageSegment
+    >>> prof = FlatProfile.from_envelope(Envelope([
+    ...     Piece(0.0, 1.0, 4.0, 1.0, 0),   # low shelf
+    ...     Piece(4.0, 5.0, 8.0, 5.0, 1),   # high shelf
+    ... ]))
+    >>> seg = ImageSegment(1.0, 3.0, 7.0, 3.0, 2)  # between the shelves
+    >>> lo, hi = prof.pieces_overlapping(seg.y1, seg.y2)
+    >>> res = visibility_dispatch(
+    ...     seg, None, engine="numpy", window=prof.window(lo, hi)
+    ... )
+    >>> res.parts      # above the low shelf only
+    [VisiblePart(ya=1.0, yb=4.0)]
+    >>> res.ops        # two elementary intervals examined
+    2
     """
     if window is not None:
         if (

@@ -8,11 +8,14 @@ array programs:
   (``ya/za/yb/zb`` float64 + ``source`` int64), losslessly
   round-trippable to/from :class:`repro.envelope.chain.Envelope`;
 * :func:`merge_envelopes_flat` — the pairwise merge: union breakpoints
-  via ``concatenate`` + ``unique``, covering-piece location via a
-  merged event sweep (``lexsort`` + segmented ``maximum.accumulate``),
-  vectorized linear interpolation on every elementary interval at
-  once, dominance resolution with sign arrays, and crossing/output
-  emission with boolean masks — no per-interval Python loop;
+  by a segmented two-way merge of the already-sorted per-side endpoint
+  streams (:func:`merge_sorted_streams`; the composite argsort of PR 1
+  remains as the :data:`USE_STREAM_MERGE` ablation), covering-piece
+  location by segmented running maxima over piece-start markers,
+  vectorized linear interpolation per unique bound, dominance
+  resolution with sign arrays, and crossing/output emission with
+  boolean masks — no per-interval Python loop (a run-length-boundary
+  emission variant exists behind :data:`USE_RUN_EMISSION`);
 * :func:`batch_merge` — the same sweep over *many independent merges
   at once* (a "stacked" set of envelope pairs keyed by a group-id
   array).  The divide-and-conquer construction and the PCT Phase-1
@@ -87,6 +90,19 @@ USE_STREAM_MERGE = True
 #: still negligible there.
 STREAM_MERGE_MIN_EVENTS = 4096
 
+#: Ablation switch for the run-length output emission in
+#: :func:`_sweep`: find the EnvelopeBuilder join boundaries on the
+#: interval sequence and gather output values once, directly at run
+#: boundaries, instead of scattering every piece and compressing.
+#: Both paths produce identical results.  Measured on the recorded
+#: machine the run emission is ~5-10% *slower* than the two-pass
+#: emission (the ``build-emission-ablation`` bench row tracks it):
+#: the scatter+compress pipeline touches each interval about as often
+#: and fancy-index stores beat the extra per-interval selects the run
+#: path needs for the crossing slots — so the default stays off and
+#: the honest negative result is kept measurable.
+USE_RUN_EMISSION = False
+
 
 class FlatEnvelope:
     """Structure-of-arrays envelope: parallel ``ya/za/yb/zb/source``.
@@ -130,6 +146,18 @@ class FlatEnvelope:
         ``fromiter`` over the chained fields is several times faster
         than ``np.asarray`` on the tuple sequence (it skips the
         per-row sequence protocol).
+
+        >>> from repro.envelope.chain import Piece
+        >>> flat = FlatEnvelope.from_pieces([
+        ...     Piece(0.0, 1.0, 2.0, 3.0, 7),
+        ...     Piece(2.0, 0.5, 4.0, 0.5, 8),
+        ... ])
+        >>> flat.size
+        2
+        >>> flat.ya.tolist()
+        [0.0, 2.0]
+        >>> flat.to_envelope().pieces[1].source  # lossless round trip
+        8
         """
         if not len(pieces):
             return FlatEnvelope.empty()
@@ -909,19 +937,28 @@ def _sweep(
     # 3. Evaluate each side once per *unique bound* (candidate piece
     #    heights), stacked [A-bounds | B-bounds].  Absolute indices
     #    into the concatenated A|B arrays; the B side offsets by
-    #    ``na``.
+    #    ``na``.  The candidate piece fields and validity are gathered
+    #    once here and re-used by the per-interval step below — the
+    #    group check folds into the bound-level validity, so step 4
+    #    never re-gathers from the piece arrays.
     n_bounds = len(ysu)
     bc2 = np.concatenate(
         [bound_cand_a, np.where(bound_cand_b >= 0, bound_cand_b + na, -1)]
     )
     bi2 = np.clip(bc2, 0, None)
+    yb_b2 = ab_yb[bi2]
+    zb_b2 = ab_zb[bi2]
     z_bound2 = _z_eval(
         ab_ya[bi2],
         ab_za[bi2],
-        ab_yb[bi2],
-        ab_zb[bi2],
+        yb_b2,
+        zb_b2,
         np.concatenate([ysu, ysu]),
     )
+    # A candidate covers onward intervals only when it is real and
+    # belongs to the bound's own group (the running max carries the
+    # previous group's last piece across group boundaries).
+    valid_b2 = (bc2 >= 0) & (ab_g[bi2] == np.concatenate([gsu, gsu]))
 
     # 4. Per-interval covers and endpoint heights, stacked [A | B].
     #    The height at ``u`` is the bound evaluation itself; the
@@ -931,20 +968,13 @@ def _sweep(
     #    there — precisely the scalar ``z_at`` endpoint shortcut.
     iv2 = np.concatenate([iv, iv + n_bounds])
     i2 = bi2[iv2]
-    cand2 = bc2[iv2]
     vv = np.concatenate([v, v])
-    yb_i2 = ab_yb[i2]
-    cover2 = (
-        (cand2 >= 0)
-        & (ab_g[i2] == np.concatenate([gi, gi]))
-        & (yb_i2 >= vv)
-    )
+    yb_i2 = yb_b2[iv2]
+    cover2 = valid_b2[iv2] & (yb_i2 >= vv)
     cover_a, cover_b = cover2[:n_iv], cover2[n_iv:]
     ia, ib = i2[:n_iv], i2[n_iv:]  # absolute indices into ab_* arrays
-    z_uv = z_bound2[np.concatenate([iv2, iv2 + 1])]  # [@u | @next-bound]
-    n2 = len(iv2)
-    z_u2 = z_uv[:n2]
-    z_v2 = np.where(yb_i2 == vv, ab_zb[i2], z_uv[n2:])
+    z_u2 = z_bound2[iv2]
+    z_v2 = np.where(yb_i2 == vv, zb_b2[iv2], z_bound2[iv2 + 1])
     za_u, zb_u = z_u2[:n_iv], z_u2[n_iv:]
     za_v, zb_v = z_v2[:n_iv], z_v2[n_iv:]
 
@@ -989,74 +1019,171 @@ def _sweep(
     # 8. Emit output pieces: one per dominated interval, two per
     #    crossing interval, in (group, y) order by construction.
     emit_a = (cover_a & ~cover_b) | a_dom
-    emit = emit_a | (cover_b & ~cover_a) | b_dom
-    counts = emit.astype(_I)
-    counts[cross] = 2
-    offs = np.cumsum(counts) - counts
-    n_out = int(counts.sum())
-
-    out_ya = np.empty(n_out, _F)
-    out_za = np.empty(n_out, _F)
-    out_yb = np.empty(n_out, _F)
-    out_zb = np.empty(n_out, _F)
-    out_src = np.empty(n_out, _I)
-    out_grp = np.empty(n_out, _I)
-
-    sel = np.flatnonzero(emit)
-    ea = emit_a[sel]  # winner side of each single-piece interval
-    pos = offs[sel]
-    out_ya[pos] = u[sel]
-    out_za[pos] = np.where(ea, za_u[sel], zb_u[sel])
-    out_yb[pos] = v[sel]
-    out_zb[pos] = np.where(ea, za_v[sel], zb_v[sel])
-    out_src[pos] = ab_src[np.where(ea, ia[sel], ib[sel])]
-    out_grp[pos] = gi[sel]
-
-    if len(cross):
+    n_x = len(cross)
+    if n_x:
         src_a = ab_src[ia[cross]]
         src_b = ab_src[ib[cross]]
-        p1 = offs[cross]
-        out_ya[p1] = u[cross]
-        out_za[p1] = np.where(first_is_a, za_u[cross], zb_u[cross])
-        out_yb[p1] = w
-        out_zb[p1] = np.where(first_is_a, zw_a, zw_b)
-        out_src[p1] = np.where(first_is_a, src_a, src_b)
-        out_grp[p1] = gi[cross]
-        p2 = p1 + 1
-        out_ya[p2] = w
-        out_za[p2] = np.where(first_is_a, zw_b, zw_a)
-        out_yb[p2] = v[cross]
-        out_zb[p2] = np.where(first_is_a, zb_v[cross], za_v[cross])
-        out_src[p2] = np.where(first_is_a, src_b, src_a)
-        out_grp[p2] = gi[cross]
 
-    # 9. Coalesce contiguous same-source pieces (EnvelopeBuilder rules).
-    if n_out and bool((out_src < 0).any()):
-        # Synthetic (source -1) pieces coalesce on a *mutated-slope*
-        # condition that is inherently sequential; fall back to the
-        # reference builder per group (rare outside tests).
-        out_ya, out_za, out_yb, out_zb, out_src, out_grp = (
-            _coalesce_python(
-                out_ya, out_za, out_yb, out_zb, out_src, out_grp, eps
+    if USE_RUN_EMISSION and not bool((ab_src < 0).any()):
+        # Run-length boundary emission: the EnvelopeBuilder join
+        # conditions are decided *per interval* (consecutive emitted
+        # intervals of one group are y-contiguous by construction, so
+        # contiguity is interval adjacency), runs of joinable pieces
+        # are found on a boolean piece stream, and the output values
+        # are gathered once, directly at the run boundaries — no
+        # full-width scatter-then-compress round trip.  Synthetic
+        # (negative) sources coalesce on a different builder rule and
+        # take the two-pass emission below.
+        any_emit = emit_a | (cover_b & ~cover_a) | b_dom
+        any_emit[cross] = True
+        e = np.flatnonzero(any_emit)
+        n_e = len(e)
+        ea_e = emit_a[e]
+        icr_e = np.zeros(n_iv, bool)
+        icr_e[cross] = True
+        icr_e = icr_e[e]
+        if n_x:
+            fia = np.zeros(n_iv, bool)
+            fia[cross] = first_is_a
+            fia_e = fia[e]
+            first_a = np.where(icr_e, fia_e, ea_e)
+            last_a = np.where(icr_e, ~fia_e, ea_e)
+            src_f = ab_src[np.where(first_a, ia[e], ib[e])]
+            src_l = ab_src[np.where(last_a, ia[e], ib[e])]
+        else:
+            first_a = last_a = ea_e
+            src_f = src_l = ab_src[np.where(ea_e, ia[e], ib[e])]
+        z_f = np.where(first_a, za_u[e], zb_u[e])
+        z_l = np.where(last_a, za_v[e], zb_v[e])
+        gi_e = gi[e]
+
+        jb = np.empty(n_e, bool)
+        if n_e:
+            jb[0] = False
+            jb[1:] = (
+                (e[1:] == e[:-1] + 1)
+                & (gi_e[1:] == gi_e[:-1])
+                & (src_f[1:] == src_l[:-1])
+                & (np.abs(z_f[1:] - z_l[:-1]) <= eps)
             )
-        )
-    elif n_out:
-        join = np.empty(n_out, bool)
-        join[0] = False
-        join[1:] = (
-            (out_src[1:] == out_src[:-1])
-            & (out_grp[1:] == out_grp[:-1])
-            & (out_ya[1:] == out_yb[:-1])
-            & (np.abs(out_za[1:] - out_zb[:-1]) <= eps)
-        )
-        starts = np.flatnonzero(~join)
-        ends = np.concatenate([starts[1:], [n_out]]) - 1
-        out_ya = out_ya[starts]
-        out_za = out_za[starts]
-        out_yb = out_yb[ends]
-        out_zb = out_zb[ends]
-        out_src = out_src[starts]
-        out_grp = out_grp[starts]
+        counts_e = np.ones(n_e, _I)
+        counts_e[icr_e] = 2
+        offs_e = np.cumsum(counts_e)
+        n_out = int(offs_e[-1]) if n_e else 0
+        offs_e -= counts_e
+        startp = np.empty(n_out, bool)
+        startp[offs_e] = ~jb
+        if n_x:
+            # Crossing midpoints join exactly when the two sides share
+            # a source and meet within eps (they nearly meet at the
+            # crossing by construction, so the z test is about ties).
+            jm = (src_a == src_b) & (np.abs(zw_a - zw_b) <= eps)
+            sec_pos = offs_e[icr_e] + 1
+            startp[sec_pos] = ~jm
+            w_e = np.empty(n_e, _F)
+            zwf_e = np.empty(n_e, _F)
+            zws_e = np.empty(n_e, _F)
+            srcs_e = np.empty(n_e, _I)
+            w_e[icr_e] = w
+            zwf_e[icr_e] = np.where(first_is_a, zw_a, zw_b)
+            zws_e[icr_e] = np.where(first_is_a, zw_b, zw_a)
+            srcs_e[icr_e] = np.where(first_is_a, src_b, src_a)
+        pe = np.repeat(np.arange(n_e, dtype=np.intp), counts_e)
+        runs = np.flatnonzero(startp)
+        n_runs = len(runs)
+        ends = np.empty(n_runs, np.intp)
+        if n_runs:
+            ends[:-1] = runs[1:] - 1
+            ends[-1] = n_out - 1
+        s_e = pe[runs]
+        e_e = pe[ends]
+        if n_x:
+            is2 = np.zeros(n_out, bool)
+            is2[sec_pos] = True
+            s2 = is2[runs]
+            # A run may end on the *first* half of a crossing.
+            ef = icr_e[e_e] & ~is2[ends]
+            out_ya = np.where(s2, w_e[s_e], u[e[s_e]])
+            out_za = np.where(s2, zws_e[s_e], z_f[s_e])
+            out_src = np.where(s2, srcs_e[s_e], src_f[s_e])
+            out_yb = np.where(ef, w_e[e_e], v[e[e_e]])
+            out_zb = np.where(ef, zwf_e[e_e], z_l[e_e])
+        else:
+            out_ya = u[e[s_e]]
+            out_za = z_f[s_e]
+            out_src = src_f[s_e]
+            out_yb = v[e[e_e]]
+            out_zb = z_l[e_e]
+        out_grp = gi_e[s_e]
+    else:
+        emit = emit_a | (cover_b & ~cover_a) | b_dom
+        counts = emit.astype(_I)
+        counts[cross] = 2
+        offs = np.cumsum(counts) - counts
+        n_out = int(counts.sum())
+
+        out_ya = np.empty(n_out, _F)
+        out_za = np.empty(n_out, _F)
+        out_yb = np.empty(n_out, _F)
+        out_zb = np.empty(n_out, _F)
+        out_src = np.empty(n_out, _I)
+        out_grp = np.empty(n_out, _I)
+
+        sel = np.flatnonzero(emit)
+        ea = emit_a[sel]  # winner side of each single-piece interval
+        pos = offs[sel]
+        out_ya[pos] = u[sel]
+        out_za[pos] = np.where(ea, za_u[sel], zb_u[sel])
+        out_yb[pos] = v[sel]
+        out_zb[pos] = np.where(ea, za_v[sel], zb_v[sel])
+        out_src[pos] = ab_src[np.where(ea, ia[sel], ib[sel])]
+        out_grp[pos] = gi[sel]
+
+        if n_x:
+            p1 = offs[cross]
+            out_ya[p1] = u[cross]
+            out_za[p1] = np.where(first_is_a, za_u[cross], zb_u[cross])
+            out_yb[p1] = w
+            out_zb[p1] = np.where(first_is_a, zw_a, zw_b)
+            out_src[p1] = np.where(first_is_a, src_a, src_b)
+            out_grp[p1] = gi[cross]
+            p2 = p1 + 1
+            out_ya[p2] = w
+            out_za[p2] = np.where(first_is_a, zw_b, zw_a)
+            out_yb[p2] = v[cross]
+            out_zb[p2] = np.where(first_is_a, zb_v[cross], za_v[cross])
+            out_src[p2] = np.where(first_is_a, src_b, src_a)
+            out_grp[p2] = gi[cross]
+
+        # 9. Coalesce contiguous same-source pieces (EnvelopeBuilder
+        #    rules).
+        if n_out and bool((out_src < 0).any()):
+            # Synthetic (source -1) pieces coalesce on a
+            # *mutated-slope* condition that is inherently sequential;
+            # fall back to the reference builder per group (rare
+            # outside tests).
+            out_ya, out_za, out_yb, out_zb, out_src, out_grp = (
+                _coalesce_python(
+                    out_ya, out_za, out_yb, out_zb, out_src, out_grp, eps
+                )
+            )
+        elif n_out:
+            join = np.empty(n_out, bool)
+            join[0] = False
+            join[1:] = (
+                (out_src[1:] == out_src[:-1])
+                & (out_grp[1:] == out_grp[:-1])
+                & (out_ya[1:] == out_yb[:-1])
+                & (np.abs(out_za[1:] - out_zb[:-1]) <= eps)
+            )
+            starts = np.flatnonzero(~join)
+            ends = np.concatenate([starts[1:], [n_out]]) - 1
+            out_ya = out_ya[starts]
+            out_za = out_za[starts]
+            out_yb = out_yb[ends]
+            out_zb = out_zb[ends]
+            out_src = out_src[starts]
+            out_grp = out_grp[starts]
 
     live_counts = np.bincount(out_grp, minlength=n_live)
     live_offsets = np.concatenate([[0], np.cumsum(live_counts)])

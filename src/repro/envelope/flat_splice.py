@@ -14,26 +14,37 @@ float buffers across a whole sequential run.  Each
 
 1. *locate* — two ``searchsorted`` calls replicating
    :meth:`Envelope.pieces_overlapping` bit for bit;
-2. *visibility* — the batched kernel of
-   :mod:`repro.envelope.flat_visibility` on a **zero-copy window view**
-   when the window clears the dispatch cutoff, else a tight scalar scan
-   over plain-float lists (an exact inline of
-   :func:`repro.envelope.visibility.visible_parts` with no ``Piece``
-   tuples or method dispatch);
-3. *local merge* — the flat merge kernel on the same window view above
-   the merge cutoff, else an exact inline of
-   :func:`repro.envelope.merge.merge_envelopes` specialised to a
-   single-segment right side;
+2. *fast-path classification* — a gap-free covering window whose
+   lowest endpoint safely clears the segment's top is provably
+   all-hidden (no sweep at all); a segment whose bottom safely clears
+   the window's highest endpoint is provably fully visible and its
+   merged window is the segment plus boundary clips;
+3. *fused visibility+merge sweep* — everything else takes one pass of
+   :mod:`repro.envelope.flat_fused` over the window, producing the
+   visible parts, the crossings *and* the merged output pieces from a
+   single set of line evaluations: the scalar fused loop below
+   :data:`repro.envelope.engine.FLAT_FUSED_CUTOFF` overlapped pieces,
+   the vectorized fused kernel on a **zero-copy window view** above
+   it;
 4. *splice* — ``np.concatenate`` of the head view, the merged window
    and the tail view: one C-level memmove instead of Θ(m) tuple churn.
+
+The pre-fusion cascade of PR 2/3 — a visibility dispatch
+(:mod:`repro.envelope.flat_visibility` above
+:data:`~repro.envelope.engine.FLAT_VISIBILITY_CUTOFF`, an inlined
+scalar scan below) followed by a *separate* merge dispatch — remains
+behind :data:`USE_FUSED_INSERT` as the measured ablation, and is the
+live path for synthetic (negative-source) pieces, whose builder
+coalescing rule the fused kernels do not implement.
 
 Conversion to/from the scalar :class:`Envelope` happens only at run
 boundaries.  Parity contract: for every insert sequence the profile
 pieces, per-edge :class:`VisibilityResult` (parts, crossings, ops) and
 total ``ops`` are identical to the ``engine="python"`` reference path —
-``tests/test_envelope_flat_splice.py`` and the incremental-run
-fixtures in ``tests/test_envelope_flat_visibility.py`` enforce this on
-adversarial inputs.
+``tests/test_envelope_flat_splice.py``, ``tests/test_envelope_flat_fused.py``
+and the incremental-run fixtures in
+``tests/test_envelope_flat_visibility.py`` enforce this on adversarial
+inputs.
 """
 
 from __future__ import annotations
@@ -54,10 +65,16 @@ __all__ = [
     "FlatProfile",
     "FlatInsertResult",
     "insert_segment_flat",
+    "USE_FUSED_INSERT",
 ]
 
 _F = np.float64
 _I = np.int64
+
+#: Ablation switch for the fused visibility+merge window kernel of
+#: :mod:`repro.envelope.flat_fused` (the bench toggles it to measure
+#: the fused-vs-two-pass delta; both paths produce identical results).
+USE_FUSED_INSERT = True
 
 
 class FlatProfile(FlatEnvelope):
@@ -68,7 +85,16 @@ class FlatProfile(FlatEnvelope):
     sequential algorithm needs.  Instances are immutable by convention
     — :meth:`FlatEnvelope.splice` returns a new profile sharing no
     mutable state with the old one (the head/tail contents are copied
-    by the concatenate).
+    by the concatenate), and stays closed under the subclass:
+
+    >>> prof = FlatProfile.empty().splice(
+    ...     0, 0, [0.0], [1.0], [2.0], [1.0], [7]
+    ... )
+    >>> grown = prof.splice(1, 1, [2.0], [4.0], [5.0], [4.0], [9])
+    >>> type(grown).__name__, grown.size
+    ('FlatProfile', 2)
+    >>> [p.source for p in grown.to_envelope().pieces]
+    [7, 9]
     """
 
     __slots__ = ()
@@ -395,6 +421,159 @@ def _merge_window_with_segment(
     return oya, oza, oyb, ozb, osrc, ops
 
 
+def _insert_fused(
+    profile: FlatProfile,
+    seg: ImageSegment,
+    lo: int,
+    hi: int,
+    win: int,
+    eps: float,
+) -> "FlatInsertResult | None":
+    """The fused visibility+merge insert (one sweep instead of a
+    visibility pass plus a merge pass; see
+    :mod:`repro.envelope.flat_fused`).  Returns ``None`` when the
+    window holds synthetic (negative-source) pieces — those coalesce
+    on a different builder rule and take the unfused cascade."""
+    from repro.envelope.flat_fused import (
+        fused_insert_window,
+        fused_insert_window_flat,
+    )
+
+    y1, z1, y2, z2 = seg.y1, seg.z1, seg.y2, seg.z2
+    if win == 0:
+        # Empty window: one trailing scan interval, one merge
+        # interval (the segment verbatim) — unless the span is
+        # eps-degenerate, which the scan reports hidden.
+        if y2 - y1 > eps:
+            vis = VisibilityResult([VisiblePart(y1, y2)], [], 1)
+            new = profile.splice(
+                lo, hi, [y1], [z1], [y2], [z2], [seg.source]
+            )
+            return FlatInsertResult(new, vis, 2)
+        return FlatInsertResult(profile, VisibilityResult([], [], 1), 1)
+
+    # Hidden-window fast path.  When the window has no gaps, covers
+    # the whole span, and its lowest endpoint clears the segment's top
+    # endpoint by a safely-more-than-eps margin, every elementary
+    # interval of the scan takes the hidden branch: the result is
+    # exactly ``VisibilityResult([], [], win)`` and the profile is
+    # untouched.  The margin adds a relative guard so lerp rounding
+    # (a few ulps) can never flip a sign the scan would compute
+    # differently — when unsure, fall through to the exact sweep.
+    top = z1 if z1 >= z2 else z2
+    za_lo = profile.za[lo]
+    if top < za_lo:  # quick reject before the reductions
+        za_w = profile.za[lo:hi]
+        zb_w = profile.zb[lo:hi]
+        minz = min(za_w.min(), zb_w.min())
+        if (
+            minz - top > eps + 1e-12 * (abs(minz) + abs(top) + 1.0)
+            and profile.ya[lo] <= y1
+            and profile.yb[hi - 1] >= y2
+            and (
+                win == 1
+                or bool(
+                    (profile.ya[lo + 1 : hi] == profile.yb[lo : hi - 1]).all()
+                )
+            )
+        ):
+            return FlatInsertResult(
+                profile, VisibilityResult([], [], win), win
+            )
+    else:
+        # Fully-visible fast path: when the segment's *bottom* clears
+        # the window's highest endpoint by a safely-more-than-eps
+        # margin, every pair is segment-dominated: the scan yields the
+        # single part (y1, y2) and no crossings, and the merged window
+        # collapses to (head clip of the first piece?) + the segment
+        # verbatim + (tail clip of the last piece?) — the segment
+        # emissions coalesce exactly because consecutive intervals
+        # re-evaluate the same supporting line at the same bound.
+        bot = z1 if z1 <= z2 else z2
+        if bot > za_lo and y2 - y1 > eps:
+            za_w = profile.za[lo:hi]
+            zb_w = profile.zb[lo:hi]
+            maxz = max(za_w.max(), zb_w.max())
+            if bot - maxz > eps + 1e-12 * (abs(maxz) + abs(bot) + 1.0):
+                ya0 = float(profile.ya[lo])
+                yb_l = float(profile.yb[hi - 1])
+                gaps = (
+                    int(
+                        (
+                            profile.yb[lo : hi - 1]
+                            < profile.ya[lo + 1 : hi]
+                        ).sum()
+                    )
+                    if win > 1
+                    else 0
+                )
+                vis_ops = win + gaps + (y1 < ya0) + (y2 > yb_l)
+                vis = VisibilityResult(
+                    [VisiblePart(y1, y2)], [], vis_ops
+                )
+                merge_ops = win + gaps + (ya0 != y1) + (yb_l != y2)
+                oya = [y1]
+                oza = [z1]
+                oyb = [y2]
+                ozb = [z2]
+                osrc = [seg.source]
+                if ya0 < y1:
+                    oya.insert(0, ya0)
+                    oza.insert(0, float(profile.za[lo]))
+                    oyb.insert(0, y1)
+                    ozb.insert(
+                        0,
+                        _line_z(
+                            ya0,
+                            float(profile.za[lo]),
+                            float(profile.yb[lo]),
+                            float(profile.zb[lo]),
+                            y1,
+                        ),
+                    )
+                    osrc.insert(0, int(profile.source[lo]))
+                if yb_l > y2:
+                    oya.append(y2)
+                    oza.append(
+                        _line_z(
+                            float(profile.ya[hi - 1]),
+                            float(profile.za[hi - 1]),
+                            yb_l,
+                            float(profile.zb[hi - 1]),
+                            y2,
+                        )
+                    )
+                    oyb.append(yb_l)
+                    ozb.append(float(profile.zb[hi - 1]))
+                    osrc.append(int(profile.source[hi - 1]))
+                new = profile.splice(lo, hi, oya, oza, oyb, ozb, osrc)
+                return FlatInsertResult(new, vis, vis_ops + merge_ops)
+
+    if win < _engine.FLAT_FUSED_CUTOFF:
+        wsrc = profile.source[lo:hi].tolist()
+        if min(wsrc) < 0:
+            return None
+        wya, wza, wyb, wzb = profile.window_lists(lo, hi)
+        res = fused_insert_window(
+            wya, wza, wyb, wzb, wsrc, y1, z1, y2, z2, seg.source, eps
+        )
+    else:
+        wsrc_arr = profile.source[lo:hi]
+        if bool((wsrc_arr < 0).any()):
+            return None
+        res = fused_insert_window_flat(
+            profile.window(lo, hi), y1, z1, y2, z2, seg.source, eps
+        )
+
+    if res.merged is None:  # fully hidden: no splice, profile shared
+        return FlatInsertResult(profile, res.visibility, res.visibility.ops)
+    oya, oza, oyb, ozb, osrc = res.merged
+    new = profile.splice(lo, hi, oya, oza, oyb, ozb, osrc)
+    return FlatInsertResult(
+        new, res.visibility, res.visibility.ops + res.merge_ops
+    )
+
+
 def insert_segment_flat(
     profile: FlatProfile,
     seg: ImageSegment,
@@ -417,6 +596,11 @@ def insert_segment_flat(
     y1, z1, y2, z2 = seg.y1, seg.z1, seg.y2, seg.z2
     lo, hi = profile.pieces_overlapping(y1, y2)
     win = hi - lo
+
+    if USE_FUSED_INSERT and seg.source >= 0:
+        res = _insert_fused(profile, seg, lo, hi, win, eps)
+        if res is not None:
+            return res
 
     wlists = None
     if win >= _engine.FLAT_VISIBILITY_CUTOFF:

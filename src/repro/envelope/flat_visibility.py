@@ -25,6 +25,16 @@ Parity contract: identical ``parts`` (after the same eps-merge and
 including the :func:`_visible_vertical` point-query degeneracies.
 ``tests/test_envelope_flat_visibility.py`` enforces this on
 adversarial inputs.
+
+Role after the fused insert kernel: the *many-queries* sweeps here
+remain the kernel for Phase-2 direct-flat leaves (one batched call per
+layer) and for :func:`repro.envelope.engine.visibility_dispatch`
+callers that want a visibility verdict alone.  The sequential flat
+insert path no longer launches this kernel per edge — its
+visibility-and-merge question is answered in one pass by
+:mod:`repro.envelope.flat_fused` (the pre-fusion dispatch survives as
+the ``USE_FUSED_INSERT`` ablation in
+:mod:`repro.envelope.flat_splice`).
 """
 
 from __future__ import annotations

@@ -44,11 +44,13 @@ class SequentialHSR:
         :mod:`repro.envelope.engine`); ``None`` selects the default.
         Under ``"numpy"`` the profile lives as flat arrays for the
         whole run (:class:`repro.envelope.flat_splice.FlatProfile`):
-        each edge does locate → visibility on a zero-copy window view
-        → local merge → array splice, never materialising piece
-        tuples, so the per-edge cost tracks the overlapped window
-        instead of paying Θ(profile) tuple copying.  Results are
-        bit-identical either way.
+        each edge does locate → one *fused* visibility+merge sweep
+        over a zero-copy window view (:mod:`repro.envelope.flat_fused`
+        — with all-hidden/fully-visible fast paths that skip the sweep
+        outright) → array splice, never materialising piece tuples,
+        so the per-edge cost tracks the overlapped window instead of
+        paying Θ(profile) tuple copying.  Results are bit-identical
+        either way.
     """
 
     def __init__(

@@ -19,6 +19,7 @@ if not HAVE_NUMPY:  # pragma: no cover - numpy ships in the toolchain
         "test_bench.py",
         "test_cli.py",
         "test_envelope_flat.py",
+        "test_envelope_flat_fused.py",
         "test_envelope_flat_splice.py",
         "test_envelope_flat_visibility.py",
         "test_hsr_graph.py",

@@ -1,0 +1,67 @@
+"""Documentation checks: relative links in the markdown docs resolve.
+
+The CI ``docs`` job runs this module on its own; it also rides along
+in tier-1 (stdlib only, no numpy, milliseconds).  Inline markdown
+links (``[text](target)``) in ``README.md`` and ``docs/*.md`` must
+point at files that exist; external schemes and in-page anchors are
+skipped, as are GitHub web-UI paths (the ``../../actions/...`` badge
+idiom) that intentionally resolve outside the repository.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` inline links, tolerating titles after the URL.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def _doc_files() -> list[Path]:
+    docs = [REPO_ROOT / "README.md"]
+    docs += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [p for p in docs if p.exists()]
+
+
+def _links(md: Path) -> list[str]:
+    # Strip fenced code blocks first: ``[x](y)`` inside them is code.
+    text = re.sub(r"```.*?```", "", md.read_text(), flags=re.S)
+    return _LINK_RE.findall(text)
+
+
+def test_docs_exist():
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").exists()
+    assert (REPO_ROOT / "docs" / "BENCHMARKS.md").exists()
+
+
+@pytest.mark.parametrize("md", _doc_files(), ids=lambda p: p.name)
+def test_relative_links_resolve(md: Path):
+    broken = []
+    for target in _links(md):
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (md.parent / path).resolve()
+        try:
+            resolved.relative_to(REPO_ROOT)
+        except ValueError:
+            # Outside the repo: the GitHub badge/actions idiom —
+            # not checkable from a working tree.
+            continue
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"broken relative links in {md.name}: {broken}"
+
+
+def test_readme_points_at_docs():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/BENCHMARKS.md" in readme
