@@ -16,4 +16,7 @@ except ImportError:  # pragma: no cover - numpy ships in the toolchain
     _HAVE_NUMPY = False
 
 if not _HAVE_NUMPY:
-    collect_ignore_glob = ["src/repro/envelope/flat*.py"]
+    collect_ignore_glob = [
+        "src/repro/envelope/flat*.py",
+        "src/repro/envelope/packed.py",
+    ]

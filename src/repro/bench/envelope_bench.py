@@ -28,13 +28,14 @@ the two timed variants):
     over a churny wide-strip workload whose profile size grows with
     ``m`` — the regime where the tuple splice pays Θ(profile) copying
     per edge.  ``python_ms`` = the ``engine="python"`` reference loop;
-    ``numpy_ms`` = the flat-native
-    :class:`~repro.envelope.flat_splice.FlatProfile` loop.
+    ``numpy_ms`` = the packed single-buffer
+    :class:`~repro.envelope.packed.PackedProfile` loop (the shipped
+    default live layout).
 ``sequential-splice-ablation``
     The same insert loop, tuple-splice path under ``engine="numpy"``
     (``python_ms`` column — the pre-flat-profile dispatch path, same
-    kernels) vs the flat-profile loop (``numpy_ms`` column): isolates
-    the array-splice fix itself.
+    kernels) vs the packed loop (``numpy_ms`` column): isolates the
+    cumulative array-layout fixes (flat splice + packed buffer).
 ``sequential-fused-ablation``
     The flat-profile insert loop on the *E9 small-profile family*
     (narrow strip, scan-bound windows) with the fused
@@ -51,6 +52,23 @@ the two timed variants):
     honest negative result on the recorded machine: the run emission
     measures slightly *slower*, so the default stays two-pass — see
     ``docs/BENCHMARKS.md``.
+``sequential-packed-ablation`` / ``sequential-packed-ablation-wide``
+    The packed-profile layout change isolated on the E9 family (plain
+    kind) and the wide-strip family (``-wide`` kind): ``python_ms``
+    column = the PR-4 fused cascade (immutable
+    :class:`~repro.envelope.flat_splice.FlatProfile` concatenate
+    splices + array-reduction fast paths,
+    ``USE_SCALAR_FASTPATHS=False``); ``numpy_ms`` column = the packed
+    single-buffer :class:`~repro.envelope.packed.PackedProfile` loop
+    with in-place splices and the scalar small-window fast paths (the
+    shipped default).
+``phase2-persistent``
+    Phase 2 over a PCT built from the E9 segments: ``python_ms`` =
+    ``mode="persistent"`` (treap-backed profiles — no flat kernel
+    reaches this path), ``numpy_ms`` = ``mode="direct"`` on the numpy
+    engine (batched window merges into packed buffers).  The speedup
+    column reads "how much the treap bound costs": the honest
+    baseline a future flat-native persistent store has to beat.
 
 Engines are timed interleaved (python, numpy, python, ...) and the
 per-engine minimum is reported, which keeps the ratio honest on
@@ -330,24 +348,48 @@ def run_envelope_bench(
 
         return run
 
+    if HAVE_NUMPY:
+        import repro.envelope.flat_splice as splice_mod
+        from repro.envelope.flat_splice import (
+            FlatProfile,
+            insert_segment_flat,
+        )
+        from repro.envelope.packed import PackedProfile
+
+        def packed_loop(segs):
+            # The shipped default live layout: in-place splices into
+            # one packed buffer + scalar small-window fast paths.
+            def run():
+                prof = PackedProfile.empty()
+                for s in segs:
+                    prof = insert_segment_flat(prof, s).profile
+
+            return run
+
+        def pr4_loop(segs):
+            # The PR-4 fused cascade: immutable FlatProfile
+            # concatenate splices, array-reduction fast paths on
+            # every window.
+            def run():
+                old = splice_mod.USE_SCALAR_FASTPATHS
+                splice_mod.USE_SCALAR_FASTPATHS = False
+                try:
+                    prof = FlatProfile.empty()
+                    for s in segs:
+                        prof = insert_segment_flat(prof, s).profile
+                finally:
+                    splice_mod.USE_SCALAR_FASTPATHS = old
+
+            return run
+
     for m in ms:
         segs = _seq_segments(m)
 
         if HAVE_NUMPY:
-            from repro.envelope.flat_splice import (
-                FlatProfile,
-                insert_segment_flat,
-            )
-
-            def flat_loop(segs=segs):
-                prof = FlatProfile.empty()
-                for s in segs:
-                    prof = insert_segment_flat(prof, s).profile
-
-            # Final profile size via the flat loop (bit-identical to
+            # Final profile size via the packed loop (bit-identical to
             # the python engine's, several times cheaper than an extra
             # untimed run of the quadratic tuple path).
-            prof = FlatProfile.empty()
+            prof = PackedProfile.empty()
             for s in segs:
                 prof = insert_segment_flat(prof, s).profile
             env_size = prof.size
@@ -356,7 +398,8 @@ def run_envelope_bench(
                 {
                     "python": tuple_loop(segs, "python"),
                     "tuple-numpy": tuple_loop(segs, "numpy"),
-                    "flat": flat_loop,
+                    "pr4": pr4_loop(segs),
+                    "packed": packed_loop(segs),
                 },
                 seq_repeats,
             )
@@ -366,8 +409,8 @@ def run_envelope_bench(
                     m=m,
                     env_size=env_size,
                     python_ms=best["python"] * 1e3,
-                    numpy_ms=best["flat"] * 1e3,
-                    speedup=best["python"] / best["flat"],
+                    numpy_ms=best["packed"] * 1e3,
+                    speedup=best["python"] / best["packed"],
                 )
             )
             t.add(**rows[-1])
@@ -377,8 +420,19 @@ def run_envelope_bench(
                     m=m,
                     env_size=env_size,
                     python_ms=best["tuple-numpy"] * 1e3,
-                    numpy_ms=best["flat"] * 1e3,
-                    speedup=best["tuple-numpy"] / best["flat"],
+                    numpy_ms=best["packed"] * 1e3,
+                    speedup=best["tuple-numpy"] / best["packed"],
+                )
+            )
+            t.add(**rows[-1])
+            rows.append(
+                dict(
+                    workload="sequential-packed-ablation-wide",
+                    m=m,
+                    env_size=env_size,
+                    python_ms=best["pr4"] * 1e3,
+                    numpy_ms=best["packed"] * 1e3,
+                    speedup=best["pr4"] / best["packed"],
                 )
             )
             t.add(**rows[-1])
@@ -450,6 +504,63 @@ def run_envelope_bench(
             )
             t.add(**rows[-1])
 
+            # Packed-layout ablation on the same E9 family: the PR-4
+            # fused cascade vs the packed single-buffer loop.
+            best = _time_interleaved(
+                {
+                    "pr4": pr4_loop(segs),
+                    "packed": packed_loop(segs),
+                },
+                seq_repeats,
+            )
+            rows.append(
+                dict(
+                    workload="sequential-packed-ablation",
+                    m=m,
+                    env_size=prof.size,
+                    python_ms=best["pr4"] * 1e3,
+                    numpy_ms=best["packed"] * 1e3,
+                    speedup=best["pr4"] / best["packed"],
+                )
+            )
+            t.add(**rows[-1])
+
+    # Phase-2 persistent-vs-direct: how treap-bound the persistent
+    # mode is (no flat kernel reaches it; the direct mode batches its
+    # window merges into packed buffers per layer).  One size, like
+    # the pairwise-merge row.
+    if HAVE_NUMPY:
+        from repro.hsr.pct import build_pct
+        from repro.hsr.phase2 import run_phase2
+        from repro.ordering.separator import SeparatorTree
+
+        m_p2 = max(ms)
+        segs = _e9_segments(m_p2)
+        tree = SeparatorTree(list(range(m_p2)))
+        pct = build_pct(tree, segs, engine="numpy")
+        best = _time_interleaved(
+            {
+                "persistent": lambda: run_phase2(
+                    pct, segs, mode="persistent"
+                ),
+                "direct": lambda: run_phase2(
+                    pct, segs, mode="direct", engine="numpy"
+                ),
+            },
+            seq_repeats,
+        )
+        rows.append(
+            dict(
+                workload="phase2-persistent",
+                m=m_p2,
+                env_size=pct.total_profile_pieces(),
+                python_ms=best["persistent"] * 1e3,
+                numpy_ms=best["direct"] * 1e3,
+                speedup=best["persistent"] / best["direct"],
+            )
+        )
+        t.add(**rows[-1])
+
     t.notes.append(
         "engines produce identical pieces/crossings/ops (enforced by"
         " tests/test_envelope_flat.py and"
@@ -468,10 +579,11 @@ def run_envelope_bench(
     t.notes.append(
         "sequential rows run the front-to-back insert loop on a"
         " wide-strip workload (profile ~ m pieces, seed 29):"
-        " python engine vs the flat-native FlatProfile loop;"
-        " sequential-splice-ablation times the tuple-splice path under"
-        " engine='numpy' (pre-flat-profile dispatch, same kernels) vs"
-        " the flat loop, best-of-%d" % seq_repeats
+        " python engine vs the packed single-buffer PackedProfile"
+        " loop (the shipped default); sequential-splice-ablation"
+        " times the tuple-splice path under engine='numpy'"
+        " (pre-flat-profile dispatch, same kernels) vs the packed"
+        " loop, best-of-%d" % seq_repeats
     )
     t.notes.append(
         "sequential-fused-ablation runs the flat-profile insert loop"
@@ -486,6 +598,21 @@ def run_envelope_bench(
         " column) vs the run-boundary emission (numpy_ms column);"
         " values below 1 mean the run emission lost and the default"
         " stays two-pass"
+    )
+    t.notes.append(
+        "sequential-packed-ablation (E9 family) and"
+        " sequential-packed-ablation-wide (wide-strip family) compare"
+        " the PR-4 fused cascade (FlatProfile concatenate splices +"
+        " array-reduction fast paths, python_ms column) vs the packed"
+        " single-buffer PackedProfile loop with in-place splices"
+        " (numpy_ms column), best-of-%d" % seq_repeats
+    )
+    t.notes.append(
+        "phase2-persistent times run_phase2 mode='persistent'"
+        " (python_ms column, treap-backed) vs mode='direct' on the"
+        " numpy engine (numpy_ms column) over a PCT of the E9"
+        " segments; the ratio quantifies the treap bound no flat"
+        " kernel currently reaches"
     )
     t.notes.append(
         "timings are best-of-%d, engines interleaved" % repeats

@@ -20,6 +20,10 @@
   kernel: one sweep (scalar or vectorized, cutoff
   :data:`repro.envelope.engine.FLAT_FUSED_CUTOFF`) answers an
   insert's visibility *and* merged window together.
+* :mod:`repro.envelope.packed` — packed single-buffer live profile
+  (:class:`PackedProfile`): one ``(5, capacity)`` allocation with
+  slack at both ends, splices edit it in place (the default
+  sequential layout, :data:`repro.envelope.engine.USE_PACKED_PROFILE`).
 
 Engine selection
 ----------------
@@ -128,12 +132,16 @@ if HAVE_NUMPY:  # pragma: no branch - numpy ships in the toolchain
         batch_visible_parts,
         visible_parts_flat,
     )
+    from repro.envelope.packed import (  # noqa: F401
+        PackedProfile,
+    )
 
     __all__ += [
         "FlatEnvelope",
         "FlatInsertResult",
         "FlatMergeResult",
         "FlatProfile",
+        "PackedProfile",
         "FlatVisibility",
         "FusedWindowResult",
         "batch_visible_parts",

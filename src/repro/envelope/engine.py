@@ -36,7 +36,13 @@ separately: :func:`repro.envelope.flat_splice.insert_segment_flat`
 answers visibility *and* the merged window in one fused sweep
 (:mod:`repro.envelope.flat_fused`), switching from its scalar fused
 loop to its vectorized fused kernel at :data:`FLAT_FUSED_CUTOFF`
-overlapped pieces.  All cutoffs are wall-clock-only dispatch points:
+overlapped pieces.  Its live profile defaults to the packed
+single-buffer layout (:data:`USE_PACKED_PROFILE`,
+:mod:`repro.envelope.packed`), whose splices mutate the buffer in
+place — window views passed to :func:`visibility_dispatch` are
+therefore per-insert temporaries that must be re-derived from the
+live profile after every splice, never cached across inserts.  All
+cutoffs are wall-clock-only dispatch points:
 every kernel pair agrees bit for bit, which
 ``tests/test_envelope_flat_fused.py`` pins exactly at, one below and
 one above each boundary.
@@ -66,6 +72,7 @@ __all__ = [
     "FLAT_MERGE_CUTOFF",
     "FLAT_VISIBILITY_CUTOFF",
     "FLAT_FUSED_CUTOFF",
+    "USE_PACKED_PROFILE",
 ]
 
 try:  # pragma: no cover - exercised implicitly on import
@@ -99,6 +106,18 @@ FLAT_VISIBILITY_CUTOFF: int = 96
 #: path's effective 96-piece visibility cutoff (measured on the E9 and
 #: wide-strip insert workloads; see ``docs/BENCHMARKS.md``).
 FLAT_FUSED_CUTOFF: int = 64
+
+#: Live-profile layout switch for the sequential flat path and the
+#: Phase-2 direct-flat accumulation.  ``True`` (the default) keeps the
+#: profile in one packed buffer with slack at both ends
+#: (:class:`repro.envelope.packed.PackedProfile`) so splices edit in
+#: place; ``False`` restores the immutable five-array
+#: :class:`~repro.envelope.flat_splice.FlatProfile` with its
+#: per-insert concatenate splice (the PR-4 cascade — the
+#: ``sequential-packed-ablation`` bench rows toggle this).  Both
+#: layouts produce bit-identical results; the switch is wall-clock
+#: (and allocation-behaviour) only.
+USE_PACKED_PROFILE: bool = True
 
 
 def resolve_engine(engine: Optional[str]) -> str:

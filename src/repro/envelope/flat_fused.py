@@ -83,11 +83,20 @@ class FusedWindowResult(NamedTuple):
     ``(ya, za, yb, zb, source)`` sequences — ``None`` when the segment
     was fully hidden (no splice; ``merge_ops`` is 0 then, matching the
     two-pass path's early return before the merge).
+
+    When the vectorized kernel is handed a ``dest`` profile it splices
+    the merged window straight into it instead of handing the arrays
+    back: ``profile`` is then the updated profile (the *same, mutated*
+    object on the packed single-buffer layout), ``merged`` stays
+    ``None``, and callers must treat every pre-call window view as
+    stale.  ``profile is None`` + ``merged is None`` still means
+    "fully hidden, nothing written".
     """
 
     visibility: VisibilityResult
     merged: Optional[tuple]
     merge_ops: int
+    profile: Optional[object] = None
 
 
 def fused_insert_window(
@@ -260,6 +269,8 @@ def fused_insert_window_flat(
     z2: float,
     src: int,
     eps: float,
+    dest: "Optional[object]" = None,
+    dest_range: Optional[tuple] = None,
 ) -> FusedWindowResult:
     """Vectorized fused sweep over a zero-copy window view.
 
@@ -268,6 +279,15 @@ def fused_insert_window_flat(
     merge launch of the two-pass path.  Sources must be real
     (``>= 0``): the vectorized coalesce applies the real-source
     builder rule only.
+
+    ``dest`` (with ``dest_range = (lo, hi)``) asks the kernel to write
+    the merged window straight back into the owning profile via its
+    ``splice`` — in place, with zero extra moves when the merged piece
+    count equals the window's, on the packed single-buffer layout.
+    The write happens strictly *after* the last read of the window
+    view, so the view staleness a packed splice causes can never feed
+    back into this sweep.  ``window`` must be ``dest``'s own
+    ``window(lo, hi)`` view.
     """
     wya, wza = window.ya, window.za
     wyb, wzb = window.yb, window.zb
@@ -497,6 +517,10 @@ def fused_insert_window_flat(
             out_zb = out_zb[ends]
             out_src = out_src[starts]
 
+    if dest is not None:
+        lo, hi = dest_range
+        new = dest.splice(lo, hi, out_ya, out_za, out_yb, out_zb, out_src)
+        return FusedWindowResult(vis, None, merge_ops, new)
     return FusedWindowResult(
         vis, (out_ya, out_za, out_yb, out_zb, out_src), merge_ops
     )

@@ -26,8 +26,17 @@ float buffers across a whole sequential run.  Each
    :data:`repro.envelope.engine.FLAT_FUSED_CUTOFF` overlapped pieces,
    the vectorized fused kernel on a **zero-copy window view** above
    it;
-4. *splice* — ``np.concatenate`` of the head view, the merged window
-   and the tail view: one C-level memmove instead of Θ(m) tuple churn.
+4. *splice* — write the merged window back into the profile.  On the
+   immutable :class:`FlatProfile` this is an ``np.concatenate`` of the
+   head view, the merged window and the tail view per field (a fresh
+   allocation each insert); on the packed single-buffer
+   :class:`~repro.envelope.packed.PackedProfile` (the default live
+   layout, gated by
+   :data:`repro.envelope.engine.USE_PACKED_PROFILE`) it is an
+   **in-place** edit — at most one ``memmove``-style slice shift of
+   the cheaper of head/tail into the buffer's slack plus the window
+   write, zero moves when the piece count is unchanged, amortized-
+   doubling growth when the slack runs out.
 
 The pre-fusion cascade of PR 2/3 — a visibility dispatch
 (:mod:`repro.envelope.flat_visibility` above
@@ -66,6 +75,7 @@ __all__ = [
     "FlatInsertResult",
     "insert_segment_flat",
     "USE_FUSED_INSERT",
+    "USE_SCALAR_FASTPATHS",
 ]
 
 _F = np.float64
@@ -76,25 +86,59 @@ _I = np.int64
 #: the fused-vs-two-pass delta; both paths produce identical results).
 USE_FUSED_INSERT = True
 
+#: Ablation switch for the scalar small-window fast-path predicates of
+#: :func:`_insert_fused_small`.  ``False`` restores the PR-4 shape —
+#: array-reduction hidden/fully-visible checks on every window, then
+#: the scalar fused sweep below the cutoff — which, combined with a
+#: :class:`FlatProfile`, is exactly the baseline the
+#: ``sequential-packed-ablation`` bench rows measure against.  Both
+#: settings produce identical results (the predicates are
+#: float-for-float the same).
+USE_SCALAR_FASTPATHS = True
+
+#: Lazily-bound fused kernel module (resolving it through the import
+#: machinery on every insert costs ~0.5µs in the Python-loop-bound
+#: small-window regime; ``flat_fused`` imports from this module, so
+#: the binding cannot happen at import time).  The module object — not
+#: the functions — is cached so test monkeypatching stays visible.
+_fused_mod = None
+
+
+def _get_fused_mod():
+    global _fused_mod
+    if _fused_mod is None:
+        import repro.envelope.flat_fused as _fused_mod_imported
+
+        _fused_mod = _fused_mod_imported
+    return _fused_mod
+
 
 class FlatProfile(FlatEnvelope):
     """A live upper profile held as flat arrays across many inserts.
 
     Same invariants and buffers as :class:`FlatEnvelope`; the subclass
     adds the locate/materialise/splice operations the incremental
-    sequential algorithm needs.  Instances are immutable by convention
-    — :meth:`FlatEnvelope.splice` returns a new profile sharing no
-    mutable state with the old one (the head/tail contents are copied
-    by the concatenate), and stays closed under the subclass:
+    sequential algorithm needs.  Instances of *this* class are
+    immutable by convention — :meth:`FlatEnvelope.splice` returns a
+    new profile sharing no mutable state with the old one (the
+    head/tail contents are copied by the concatenate), and stays
+    closed under the subclass:
 
     >>> prof = FlatProfile.empty().splice(
     ...     0, 0, [0.0], [1.0], [2.0], [1.0], [7]
     ... )
     >>> grown = prof.splice(1, 1, [2.0], [4.0], [5.0], [4.0], [9])
-    >>> type(grown).__name__, grown.size
-    ('FlatProfile', 2)
+    >>> grown is prof, type(grown).__name__, grown.size
+    (False, 'FlatProfile', 2)
     >>> [p.source for p in grown.to_envelope().pieces]
     [7, 9]
+
+    The packed subclass (:class:`repro.envelope.packed.PackedProfile`,
+    the default live layout for sequential runs) overrides ``splice``
+    to edit one shared buffer **in place** and return ``self`` — same
+    call shape, so :func:`insert_segment_flat` is layout-agnostic, but
+    previously-derived window views become stale; see the packed
+    module's mutability contract.
     """
 
     __slots__ = ()
@@ -148,6 +192,17 @@ class FlatProfile(FlatEnvelope):
             self.yb[lo:hi].tolist(),
             self.zb[lo:hi].tolist(),
         )
+
+    def window_z_min(self, lo: int, hi: int) -> float:
+        """min over both z columns of pieces ``[lo, hi)`` (the hidden
+        fast path's reduction; the packed layout does it in one
+        strided 2D reduction)."""
+        return min(self.za[lo:hi].min(), self.zb[lo:hi].min())
+
+    def window_z_max(self, lo: int, hi: int) -> float:
+        """max analogue of :meth:`window_z_min` (fully-visible fast
+        path)."""
+        return max(self.za[lo:hi].max(), self.zb[lo:hi].max())
 
     def window_pieces(self, lo: int, hi: int) -> list[Piece]:
         """pieces[lo:hi] as scalar :class:`Piece` tuples (fallback
@@ -434,10 +489,7 @@ def _insert_fused(
     :mod:`repro.envelope.flat_fused`).  Returns ``None`` when the
     window holds synthetic (negative-source) pieces — those coalesce
     on a different builder rule and take the unfused cascade."""
-    from repro.envelope.flat_fused import (
-        fused_insert_window,
-        fused_insert_window_flat,
-    )
+    fused = _get_fused_mod()
 
     y1, z1, y2, z2 = seg.y1, seg.z1, seg.y2, seg.z2
     if win == 0:
@@ -452,6 +504,12 @@ def _insert_fused(
             return FlatInsertResult(new, vis, 2)
         return FlatInsertResult(profile, VisibilityResult([], [], 1), 1)
 
+    small = win < _engine.FLAT_FUSED_CUTOFF
+    if small and USE_SCALAR_FASTPATHS:
+        return _insert_fused_small(
+            profile, seg, lo, hi, win, y1, z1, y2, z2, eps, fused
+        )
+
     # Hidden-window fast path.  When the window has no gaps, covers
     # the whole span, and its lowest endpoint clears the segment's top
     # endpoint by a safely-more-than-eps margin, every elementary
@@ -460,12 +518,14 @@ def _insert_fused(
     # untouched.  The margin adds a relative guard so lerp rounding
     # (a few ulps) can never flip a sign the scan would compute
     # differently — when unsure, fall through to the exact sweep.
+    # (Below the fused cutoff the same predicates run as one scalar
+    # pass over the window lists in ``_insert_fused_small`` — the
+    # fixed overhead of these array reductions is the dominant
+    # per-insert cost in the small-window regime.)
     top = z1 if z1 >= z2 else z2
     za_lo = profile.za[lo]
     if top < za_lo:  # quick reject before the reductions
-        za_w = profile.za[lo:hi]
-        zb_w = profile.zb[lo:hi]
-        minz = min(za_w.min(), zb_w.min())
+        minz = profile.window_z_min(lo, hi)
         if (
             minz - top > eps + 1e-12 * (abs(minz) + abs(top) + 1.0)
             and profile.ya[lo] <= y1
@@ -491,9 +551,7 @@ def _insert_fused(
         # re-evaluate the same supporting line at the same bound.
         bot = z1 if z1 <= z2 else z2
         if bot > za_lo and y2 - y1 > eps:
-            za_w = profile.za[lo:hi]
-            zb_w = profile.zb[lo:hi]
-            maxz = max(za_w.max(), zb_w.max())
+            maxz = profile.window_z_max(lo, hi)
             if bot - maxz > eps + 1e-12 * (abs(maxz) + abs(bot) + 1.0):
                 ya0 = float(profile.ya[lo])
                 yb_l = float(profile.yb[hi - 1])
@@ -549,22 +607,149 @@ def _insert_fused(
                 new = profile.splice(lo, hi, oya, oza, oyb, ozb, osrc)
                 return FlatInsertResult(new, vis, vis_ops + merge_ops)
 
-    if win < _engine.FLAT_FUSED_CUTOFF:
+    if small:
+        # Only reachable with USE_SCALAR_FASTPATHS off — the PR-4
+        # ablation shape: array fast paths above, scalar sweep here.
         wsrc = profile.source[lo:hi].tolist()
         if min(wsrc) < 0:
             return None
         wya, wza, wyb, wzb = profile.window_lists(lo, hi)
-        res = fused_insert_window(
+        res = fused.fused_insert_window(
             wya, wza, wyb, wzb, wsrc, y1, z1, y2, z2, seg.source, eps
         )
-    else:
-        wsrc_arr = profile.source[lo:hi]
-        if bool((wsrc_arr < 0).any()):
-            return None
-        res = fused_insert_window_flat(
-            profile.window(lo, hi), y1, z1, y2, z2, seg.source, eps
+        if res.merged is None:  # fully hidden: no splice
+            return FlatInsertResult(profile, res.visibility, res.visibility.ops)
+        oya, oza, oyb, ozb, osrc = res.merged
+        new = profile.splice(lo, hi, oya, oza, oyb, ozb, osrc)
+        return FlatInsertResult(
+            new, res.visibility, res.visibility.ops + res.merge_ops
         )
 
+    wsrc_arr = profile.source[lo:hi]
+    if bool((wsrc_arr < 0).any()):
+        return None
+    res = fused.fused_insert_window_flat(
+        profile.window(lo, hi),
+        y1,
+        z1,
+        y2,
+        z2,
+        seg.source,
+        eps,
+        dest=profile,
+        dest_range=(lo, hi),
+    )
+    if res.profile is not None:
+        # The kernel spliced the merged window straight into the
+        # profile (in place on the packed layout).
+        return FlatInsertResult(
+            res.profile, res.visibility, res.visibility.ops + res.merge_ops
+        )
+    # Fully hidden: no splice, profile shared.
+    return FlatInsertResult(profile, res.visibility, res.visibility.ops)
+
+
+def _insert_fused_small(
+    profile: FlatProfile,
+    seg: ImageSegment,
+    lo: int,
+    hi: int,
+    win: int,
+    y1: float,
+    z1: float,
+    y2: float,
+    z2: float,
+    eps: float,
+    fused,
+) -> "FlatInsertResult | None":
+    """The small-window (< ``FLAT_FUSED_CUTOFF``) fused insert.
+
+    One bulk :meth:`FlatProfile.window_lists` feeds the
+    hidden/fully-visible fast-path predicates *and* the scalar fused
+    sweep, so the whole insert runs on plain Python floats — the array
+    reductions the large-window path uses cost more in fixed dispatch
+    overhead than the entire scalar pass at these sizes.  The
+    predicates are float-for-float the same as the large-window
+    reductions (``tolist`` is lossless), so the branch taken — and
+    therefore every result — is identical.
+    """
+    wya, wza, wyb, wzb = profile.window_lists(lo, hi)
+    za0 = wza[0]
+    top = z1 if z1 >= z2 else z2
+    if top < za0:
+        # Hidden-window fast path: gap-free covering window whose
+        # lowest endpoint safely clears the segment's top (same
+        # margin guard as the vectorized path).
+        if wya[0] <= y1 and wyb[win - 1] >= y2:
+            minz = za0 if za0 <= wzb[0] else wzb[0]
+            prev_yb = wyb[0]
+            gap_free = True
+            for j in range(1, win):
+                if wya[j] != prev_yb:
+                    gap_free = False
+                    break
+                prev_yb = wyb[j]
+                if wza[j] < minz:
+                    minz = wza[j]
+                if wzb[j] < minz:
+                    minz = wzb[j]
+            if gap_free and minz - top > eps + 1e-12 * (
+                abs(minz) + abs(top) + 1.0
+            ):
+                return FlatInsertResult(
+                    profile, VisibilityResult([], [], win), win
+                )
+    else:
+        # Fully-visible fast path: the segment's bottom safely clears
+        # the window's highest endpoint; merged window = [head clip?]
+        # + segment + [tail clip?].
+        bot = z1 if z1 <= z2 else z2
+        if bot > za0 and y2 - y1 > eps:
+            maxz = za0 if za0 >= wzb[0] else wzb[0]
+            prev_yb = wyb[0]
+            gaps = 0
+            for j in range(1, win):
+                if prev_yb < wya[j]:
+                    gaps += 1
+                prev_yb = wyb[j]
+                if wza[j] > maxz:
+                    maxz = wza[j]
+                if wzb[j] > maxz:
+                    maxz = wzb[j]
+            if bot - maxz > eps + 1e-12 * (abs(maxz) + abs(bot) + 1.0):
+                ya0 = wya[0]
+                yb_l = wyb[win - 1]
+                vis_ops = win + gaps + (y1 < ya0) + (y2 > yb_l)
+                vis = VisibilityResult([VisiblePart(y1, y2)], [], vis_ops)
+                merge_ops = win + gaps + (ya0 != y1) + (yb_l != y2)
+                oya = [y1]
+                oza = [z1]
+                oyb = [y2]
+                ozb = [z2]
+                osrc = [seg.source]
+                if ya0 < y1:
+                    oya.insert(0, ya0)
+                    oza.insert(0, za0)
+                    oyb.insert(0, y1)
+                    ozb.insert(0, _line_z(ya0, za0, wyb[0], wzb[0], y1))
+                    osrc.insert(0, int(profile.source[lo]))
+                if yb_l > y2:
+                    oya.append(y2)
+                    oza.append(
+                        _line_z(wya[win - 1], wza[win - 1], yb_l, wzb[win - 1], y2)
+                    )
+                    oyb.append(yb_l)
+                    ozb.append(wzb[win - 1])
+                    osrc.append(int(profile.source[hi - 1]))
+                new = profile.splice(lo, hi, oya, oza, oyb, ozb, osrc)
+                return FlatInsertResult(new, vis, vis_ops + merge_ops)
+
+    wsrc = profile.source[lo:hi].tolist()
+    if min(wsrc) < 0:
+        return None
+    res = fused.fused_insert_window(
+        wya, wza, wyb, wzb, wsrc, y1, z1, y2, z2, seg.source, eps
+    )
     if res.merged is None:  # fully hidden: no splice, profile shared
         return FlatInsertResult(profile, res.visibility, res.visibility.ops)
     oya, oza, oyb, ozb, osrc = res.merged

@@ -35,6 +35,14 @@ visibility-and-merge question is answered in one pass by
 :mod:`repro.envelope.flat_fused` (the pre-fusion dispatch survives as
 the ``USE_FUSED_INSERT`` ablation in
 :mod:`repro.envelope.flat_splice`).
+
+View lifetime: the envelopes handed in here are often zero-copy
+window views, and with the packed live-profile layout
+(:mod:`repro.envelope.packed`) the buffer under a view is shifted or
+reallocated by every profile splice.  This kernel only reads its
+inputs within one call, which is always safe; *callers* must treat
+window views as per-insert temporaries, re-derived from the live
+profile after each splice, and never cache one across inserts.
 """
 
 from __future__ import annotations

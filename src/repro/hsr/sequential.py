@@ -42,15 +42,22 @@ class SequentialHSR:
     engine:
         Envelope kernel for the per-edge work (see
         :mod:`repro.envelope.engine`); ``None`` selects the default.
-        Under ``"numpy"`` the profile lives as flat arrays for the
-        whole run (:class:`repro.envelope.flat_splice.FlatProfile`):
-        each edge does locate → one *fused* visibility+merge sweep
-        over a zero-copy window view (:mod:`repro.envelope.flat_fused`
-        — with all-hidden/fully-visible fast paths that skip the sweep
-        outright) → array splice, never materialising piece tuples,
-        so the per-edge cost tracks the overlapped window instead of
-        paying Θ(profile) tuple copying.  Results are bit-identical
-        either way.
+        Under ``"numpy"`` the profile lives in **one packed buffer
+        owned for the whole run**
+        (:class:`repro.envelope.packed.PackedProfile`, or the
+        immutable :class:`~repro.envelope.flat_splice.FlatProfile`
+        when :data:`repro.envelope.engine.USE_PACKED_PROFILE` is
+        off): each edge does locate → one *fused* visibility+merge
+        sweep over a zero-copy window view
+        (:mod:`repro.envelope.flat_fused` — with
+        all-hidden/fully-visible fast paths that skip the sweep
+        outright) → an **in-place** splice into the buffer (at most
+        one slice shift into the slack; amortized-doubling growth),
+        never materialising piece tuples, so the per-edge cost tracks
+        the overlapped window instead of paying Θ(profile) copying.
+        Results are bit-identical either way — the reported ``ops``
+        are elementary-interval counts, independent of how many
+        elements the layout moves.
     """
 
     def __init__(
@@ -74,12 +81,22 @@ class SequentialHSR:
         eps = self.eps
         flat = resolve_engine(self.engine) == "numpy"
         if flat:
+            import repro.envelope.engine as _engine
             from repro.envelope.flat_splice import (
                 FlatProfile,
                 insert_segment_flat,
             )
 
-            env = FlatProfile.empty()
+            if _engine.USE_PACKED_PROFILE:
+                from repro.envelope.packed import PackedProfile
+
+                # One buffer owned for the whole run: every insert
+                # splices it in place (the loop below re-binds ``env``
+                # to the same object) and windows are re-derived from
+                # it per insert inside ``insert_segment_flat``.
+                env = PackedProfile.empty()
+            else:
+                env = FlatProfile.empty()
         else:
             env = Envelope.empty()
         ops = 0

@@ -22,6 +22,7 @@ if not HAVE_NUMPY:  # pragma: no cover - numpy ships in the toolchain
         "test_envelope_flat_fused.py",
         "test_envelope_flat_splice.py",
         "test_envelope_flat_visibility.py",
+        "test_envelope_packed.py",
         "test_hsr_graph.py",
         "test_hsr_pct_phase2.py",
         "test_hsr_pipeline.py",
