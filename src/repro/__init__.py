@@ -39,6 +39,10 @@ __all__ = [
     "VisibilityMap",
     "PramTracker",
     "Envelope",
+    "ReliabilityReport",
+    "reliability_run",
+    "validate_terrain",
+    "validate_segments",
 ]
 
 # Re-exports resolved lazily to keep `import repro` cheap; the heavy
@@ -52,6 +56,10 @@ _LAZY = {
     "VisibilityMap": ("repro.hsr", "VisibilityMap"),
     "PramTracker": ("repro.pram", "PramTracker"),
     "Envelope": ("repro.envelope", "Envelope"),
+    "ReliabilityReport": ("repro.reliability", "ReliabilityReport"),
+    "reliability_run": ("repro.reliability", "reliability_run"),
+    "validate_terrain": ("repro.reliability", "validate_terrain"),
+    "validate_segments": ("repro.reliability", "validate_segments"),
 }
 
 

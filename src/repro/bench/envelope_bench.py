@@ -525,6 +525,55 @@ def run_envelope_bench(
             )
             t.add(**rows[-1])
 
+    # Guard-dispatch ablation (reliability layer): the shipped packed
+    # insert loop with the guards on (the default) vs off
+    # (REPRO_GUARDS=0, the zero-overhead baseline).  Ship gate for
+    # default-on guards: overhead <= 3% at the largest size, both
+    # families (docs/BENCHMARKS.md).
+    if HAVE_NUMPY:
+        from repro.reliability import guard as guard_mod
+
+        def guard_loop(enabled, segs):
+            def run():
+                old = guard_mod.GUARDS_ENABLED
+                guard_mod.GUARDS_ENABLED = enabled
+                try:
+                    prof = PackedProfile.empty()
+                    for s in segs:
+                        prof = insert_segment_flat(prof, s).profile
+                finally:
+                    guard_mod.GUARDS_ENABLED = old
+
+            return run
+
+        for workload, family in (
+            ("sequential-guard-ablation", _e9_segments),
+            ("sequential-guard-ablation-wide", _seq_segments),
+        ):
+            for m in ms:
+                segs = family(m)
+                prof = PackedProfile.empty()
+                for s in segs:
+                    prof = insert_segment_flat(prof, s).profile
+                best = _time_interleaved(
+                    {
+                        "off": guard_loop(False, segs),
+                        "on": guard_loop(True, segs),
+                    },
+                    seq_repeats,
+                )
+                rows.append(
+                    dict(
+                        workload=workload,
+                        m=m,
+                        env_size=prof.size,
+                        python_ms=best["off"] * 1e3,
+                        numpy_ms=best["on"] * 1e3,
+                        speedup=best["off"] / best["on"],
+                    )
+                )
+                t.add(**rows[-1])
+
     # Phase-2 persistent-vs-direct: how treap-bound the persistent
     # mode is (no flat kernel reaches it; the direct mode batches its
     # window merges into packed buffers per layer).  One size, like
@@ -613,6 +662,15 @@ def run_envelope_bench(
         " numpy engine (numpy_ms column) over a PCT of the E9"
         " segments; the ratio quantifies the treap bound no flat"
         " kernel currently reaches"
+    )
+    t.notes.append(
+        "sequential-guard-ablation (E9 family) and"
+        " sequential-guard-ablation-wide (wide-strip family) run the"
+        " shipped packed insert loop with the reliability guards off"
+        " (python_ms column, REPRO_GUARDS=0 baseline) vs on (numpy_ms"
+        " column, the default); speedup just below 1 is the guard"
+        " overhead — ship gate for default-on guards is <= 3%% at the"
+        " largest size, best-of-%d" % seq_repeats
     )
     t.notes.append(
         "timings are best-of-%d, engines interleaved" % repeats

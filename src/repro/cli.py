@@ -242,8 +242,7 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "run":
@@ -266,6 +265,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "info":
         return _cmd_info(args)
     raise SystemExit(2)  # pragma: no cover - argparse enforces choices
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse and dispatch; a :class:`~repro.errors.ReproError` exits
+    nonzero with a one-line message (no traceback), and any guarded-
+    dispatch degradation is summarised on stderr either way."""
+    args = build_parser().parse_args(argv)
+    from repro.errors import ReproError
+    from repro.reliability import reliability_run
+
+    with reliability_run() as report:
+        try:
+            rc = _dispatch(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            if report.degraded:
+                print(report.summary(), file=sys.stderr)
+            return 2
+    if report.degraded:
+        print(report.summary(), file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,10 +32,12 @@ from typing import Optional, Sequence
 from repro.envelope.chain import Envelope
 from repro.envelope.engine import resolve_engine
 from repro.envelope.merge import Crossing, MergeResult, merge_envelopes
-from repro.errors import EnvelopeError
+from repro.errors import EnvelopeError, KernelFault
 from repro.geometry.primitives import EPS
 from repro.geometry.segments import ImageSegment
 from repro.pram.tracker import PramTracker
+from repro.reliability import faultinject as _fi
+from repro.reliability import guard as _guard
 
 __all__ = ["build_envelope", "build_envelope_sequential"]
 
@@ -59,10 +61,40 @@ def build_envelope(
     with every crossing discovered on the way up and the total merge
     work performed.  ``engine`` selects the merge kernel; both engines
     return identical results and tracker charges.
+
+    The numpy path runs under guard site ``build_sweep``: its final
+    envelope is validated (and any kernel exception caught) *before*
+    crossings are collected or the tracker is replayed, so a faulted
+    sweep degrades to the reference recursion with no double-charging.
     """
     if resolve_engine(engine) == "numpy":
-        return _build_envelope_numpy(segments, tracker=tracker, eps=eps)
+        if not _guard.GUARDS_ENABLED:
+            return _build_envelope_numpy(segments, tracker=tracker, eps=eps)
+        if not (
+            _guard.ANY_QUARANTINED and _guard.is_quarantined("build_sweep")
+        ):
+            try:
+                if _fi.ARMED:
+                    _fi.trip("build_sweep")
+                return _build_envelope_numpy(
+                    segments, tracker=tracker, eps=eps
+                )
+            except KernelFault:
+                raise
+            except Exception as exc:
+                _guard.handle_fault("build_sweep", exc)
+        with _fi.suppressed():
+            return _build_envelope_python(segments, tracker=tracker, eps=eps)
+    return _build_envelope_python(segments, tracker=tracker, eps=eps)
 
+
+def _build_envelope_python(
+    segments: Sequence[ImageSegment],
+    *,
+    tracker: Optional[PramTracker],
+    eps: float,
+) -> MergeResult:
+    """The reference recursion — and the ``build_sweep`` retry target."""
     segs = [s for s in segments if not s.is_vertical]
     crossings: list[Crossing] = []
     total_ops = 0
@@ -112,6 +144,15 @@ def _build_envelope_numpy(
     if m == 0:
         return MergeResult(Envelope.empty(), [], 0)
 
+    # Guard site ``build_sweep``: corrupt (under an armed injection
+    # plan) and validate the freshly-built envelope before crossings
+    # are collected or the tracker is replayed.
+    fe = fb.envelope
+    if _fi.ARMED:
+        fe = _fi.corrupt_flat("build_sweep", fe)
+    if _guard.GUARDS_ENABLED:
+        _guard.check_flat("build_sweep", fe.ya, fe.za, fe.yb, fe.zb)
+
     # Post-order (children of ``(lo, hi)`` before it, left subtree
     # first) is the exact crossing collection order of the reference
     # recursion; every leaf charges 1 op exactly as the recursion does.
@@ -142,7 +183,7 @@ def _build_envelope_numpy(
 
         replay(0, m)
 
-    return MergeResult(fb.envelope.to_envelope(), crossings, total_ops)
+    return MergeResult(fe.to_envelope(), crossings, total_ops)
 
 
 def build_envelope_sequential(

@@ -47,6 +47,14 @@ every kernel pair agrees bit for bit, which
 ``tests/test_envelope_flat_fused.py`` pins exactly at, one below and
 one above each boundary.
 
+Both dispatchers are *guard sites* of the reliability layer
+(:mod:`repro.reliability.guard`): the numpy branch runs under
+post-condition checks and, on a kernel fault in guarded mode, the call
+falls through to the python tail below the cutoff — the same bit-exact
+code, so a degraded dispatch is observable only in the
+:class:`~repro.reliability.guard.ReliabilityReport` (and the wall
+clock).  See ``docs/RELIABILITY.md``.
+
 See ``docs/ARCHITECTURE.md`` for the full dispatch map and
 ``docs/BENCHMARKS.md`` for how the cutoffs were measured.
 """
@@ -58,9 +66,11 @@ from typing import Optional
 from repro.envelope.chain import Envelope
 from repro.envelope.merge import MergeResult, merge_envelopes
 from repro.envelope.visibility import VisibilityResult, visible_parts
-from repro.errors import EnvelopeError
+from repro.errors import EnvelopeError, KernelFault
 from repro.geometry.primitives import EPS
 from repro.geometry.segments import ImageSegment
+from repro.reliability import faultinject as _fi
+from repro.reliability import guard as _guard
 
 __all__ = [
     "HAVE_NUMPY",
@@ -155,12 +165,35 @@ def merge_dispatch(
     ):
         from repro.envelope.flat import merge_envelopes_flat
 
-        res = merge_envelopes_flat(
-            a, b, eps=eps, record_crossings=record_crossings
-        )
-        return MergeResult(
-            res.envelope.to_envelope(), res.crossings, res.ops
-        )
+        if not _guard.GUARDS_ENABLED:
+            res = merge_envelopes_flat(
+                a, b, eps=eps, record_crossings=record_crossings
+            )
+            return MergeResult(
+                res.envelope.to_envelope(), res.crossings, res.ops
+            )
+        if not (
+            _guard.ANY_QUARANTINED
+            and _guard.is_quarantined("merge_dispatch")
+        ):
+            # Guard site ``merge_dispatch``: validate the flat output
+            # lanes before materialising; any fault falls through to
+            # the bit-exact python sweep below.
+            try:
+                if _fi.ARMED:
+                    _fi.trip("merge_dispatch")
+                res = merge_envelopes_flat(
+                    a, b, eps=eps, record_crossings=record_crossings
+                )
+                fe = res.envelope
+                if _fi.ARMED:
+                    fe = _fi.corrupt_flat("merge_dispatch", fe)
+                _guard.check_flat("merge_dispatch", fe.ya, fe.za, fe.yb, fe.zb)
+                return MergeResult(fe.to_envelope(), res.crossings, res.ops)
+            except KernelFault:
+                raise
+            except Exception as exc:
+                _guard.handle_fault("merge_dispatch", exc)
     return merge_envelopes(
         a, b, eps=eps, record_crossings=record_crossings
     )
@@ -220,7 +253,16 @@ def visibility_dispatch(
         ):
             from repro.envelope.flat_visibility import visible_parts_flat
 
-            return visible_parts_flat(seg, window, eps=eps)
+            if not _guard.GUARDS_ENABLED:
+                return visible_parts_flat(seg, window, eps=eps)
+            vis = _guarded_visibility_flat(
+                visible_parts_flat, seg, window, eps
+            )
+            if vis is not None:
+                return vis
+            # Fault recorded: fall through to the scalar scan on a
+            # window envelope (the kernel only read the view, so it
+            # is still live).
         if env is None:
             env = window.to_envelope()  # type: ignore[attr-defined]
         return visible_parts(seg, env, eps=eps)
@@ -233,5 +275,39 @@ def visibility_dispatch(
             )
 
             fwindow = FlatEnvelope.from_pieces(env.pieces[lo:hi])
-            return visible_parts_flat(seg, fwindow, eps=eps)
+            if not _guard.GUARDS_ENABLED:
+                return visible_parts_flat(seg, fwindow, eps=eps)
+            vis = _guarded_visibility_flat(
+                visible_parts_flat, seg, fwindow, eps
+            )
+            if vis is not None:
+                return vis
     return visible_parts(seg, env, eps=eps)
+
+
+def _guarded_visibility_flat(
+    kernel, seg: ImageSegment, fwindow, eps: float
+) -> Optional[VisibilityResult]:
+    """Guard site ``visibility_dispatch``: run the batched visibility
+    kernel under post-condition checks.  Returns ``None`` on a
+    recorded fault (guarded mode) so the caller falls through to the
+    scalar scan; raises :class:`KernelFault` in strict mode."""
+    if _guard.ANY_QUARANTINED and _guard.is_quarantined(
+        "visibility_dispatch"
+    ):
+        return None
+    try:
+        if _fi.ARMED:
+            _fi.trip("visibility_dispatch")
+        vis = kernel(seg, fwindow, eps=eps)
+        if _fi.ARMED:
+            vis = _fi.corrupt_visibility("visibility_dispatch", vis)
+        _guard.check_visibility(
+            "visibility_dispatch", vis, seg.y1, seg.y2, eps
+        )
+        return vis
+    except KernelFault:
+        raise
+    except Exception as exc:
+        _guard.handle_fault("visibility_dispatch", exc)
+        return None

@@ -64,6 +64,8 @@ import numpy as np
 from repro.envelope.flat import FlatEnvelope
 from repro.envelope.flat_splice import _acc_add, _line_z
 from repro.envelope.visibility import VisibilityResult, VisiblePart
+from repro.reliability import faultinject as _fi
+from repro.reliability import guard as _guard
 
 __all__ = [
     "FusedWindowResult",
@@ -289,6 +291,8 @@ def fused_insert_window_flat(
     back into this sweep.  ``window`` must be ``dest``'s own
     ``window(lo, hi)`` view.
     """
+    if _fi.ARMED:
+        _fi.trip("fused_insert")
     wya, wza = window.ya, window.za
     wyb, wzb = window.yb, window.zb
     wsrc = window.source
@@ -516,6 +520,17 @@ def fused_insert_window_flat(
             out_yb = out_yb[ends]
             out_zb = out_zb[ends]
             out_src = out_src[starts]
+
+    # Guard hook: corrupt the freshly-built (never aliased) output
+    # lanes if an injection plan targets this site, then validate them
+    # *before* the dest-splice commits anything to the live profile —
+    # the insert-level retry needs the profile unmutated.
+    if _fi.ARMED:
+        out_ya, out_za, out_yb, out_zb, out_src = _fi.corrupt_lanes(
+            "fused_insert", out_ya, out_za, out_yb, out_zb, out_src
+        )
+    if _fi.ARMED or _guard.GUARDED_CHECK_ALL:
+        _guard.check_flat("fused_insert", out_ya, out_za, out_yb, out_zb)
 
     if dest is not None:
         lo, hi = dest_range

@@ -67,8 +67,11 @@ from repro.envelope.chain import Envelope, Piece
 from repro.envelope.flat import FlatEnvelope, _tuples_to_matrix, merge_envelopes_flat
 from repro.envelope.merge import merge_envelopes
 from repro.envelope.visibility import VisibilityResult, VisiblePart
+from repro.errors import KernelFault
 from repro.geometry.primitives import EPS, NEG_INF
 from repro.geometry.segments import ImageSegment
+from repro.reliability import faultinject as _fi
+from repro.reliability import guard as _guard
 
 __all__ = [
     "FlatProfile",
@@ -614,9 +617,14 @@ def _insert_fused(
         if min(wsrc) < 0:
             return None
         wya, wza, wyb, wzb = profile.window_lists(lo, hi)
-        res = fused.fused_insert_window(
-            wya, wza, wyb, wzb, wsrc, y1, z1, y2, z2, seg.source, eps
-        )
+        if _fi.ARMED or _guard.GUARDED_CHECK_ALL:
+            res = _checked_fused_scalar(
+                fused, wya, wza, wyb, wzb, wsrc, y1, z1, y2, z2, seg.source, eps
+            )
+        else:
+            res = fused.fused_insert_window(
+                wya, wza, wyb, wzb, wsrc, y1, z1, y2, z2, seg.source, eps
+            )
         if res.merged is None:  # fully hidden: no splice
             return FlatInsertResult(profile, res.visibility, res.visibility.ops)
         oya, oza, oyb, ozb, osrc = res.merged
@@ -747,9 +755,14 @@ def _insert_fused_small(
     wsrc = profile.source[lo:hi].tolist()
     if min(wsrc) < 0:
         return None
-    res = fused.fused_insert_window(
-        wya, wza, wyb, wzb, wsrc, y1, z1, y2, z2, seg.source, eps
-    )
+    if _fi.ARMED or _guard.GUARDED_CHECK_ALL:
+        res = _checked_fused_scalar(
+            fused, wya, wza, wyb, wzb, wsrc, y1, z1, y2, z2, seg.source, eps
+        )
+    else:
+        res = fused.fused_insert_window(
+            wya, wza, wyb, wzb, wsrc, y1, z1, y2, z2, seg.source, eps
+        )
     if res.merged is None:  # fully hidden: no splice, profile shared
         return FlatInsertResult(profile, res.visibility, res.visibility.ops)
     oya, oza, oyb, ozb, osrc = res.merged
@@ -759,21 +772,13 @@ def _insert_fused_small(
     )
 
 
-def insert_segment_flat(
+def _insert_segment_flat_impl(
     profile: FlatProfile,
     seg: ImageSegment,
-    *,
-    eps: float = EPS,
+    eps: float,
 ) -> FlatInsertResult:
-    """Insert ``seg`` into ``profile``; see the module docstring.
-
-    Exact analogue of :func:`repro.envelope.splice.insert_segment`
-    under ``engine="numpy"``: the same visibility/merge dispatch
-    cutoffs apply (:data:`repro.envelope.engine.FLAT_VISIBILITY_CUTOFF`
-    / :data:`~repro.envelope.engine.FLAT_MERGE_CUTOFF`), the same
-    results and ``ops`` come out, but the profile never leaves its
-    array representation.
-    """
+    """The kernel cascade behind :func:`insert_segment_flat` (fused
+    sweep / vectorized visibility / flat merge, cutoff-dispatched)."""
     if seg.is_vertical:
         vis = _visible_vertical_flat(profile, seg, eps)
         return FlatInsertResult(profile, vis, vis.ops)
@@ -799,15 +804,12 @@ def insert_segment_flat(
         return FlatInsertResult(profile, vis, vis.ops)
 
     if win + 1 >= _engine.FLAT_MERGE_CUTOFF:
-        res = merge_envelopes_flat(
-            profile.window(lo, hi),
-            FlatEnvelope.from_segment(seg),
-            eps=eps,
-            record_crossings=False,
-        )
-        m = res.envelope
-        new = profile.splice(lo, hi, m.ya, m.za, m.yb, m.zb, m.source)
-        return FlatInsertResult(new, vis, vis.ops + res.ops)
+        res = _guarded_flat_merge(profile, seg, lo, hi, vis, eps)
+        if res is not None:
+            return res
+        # Recorded merge_dispatch fault (or quarantine): fall through
+        # to the scalar window merge, which is bit-exact with the
+        # kernel in both pieces and ops.
 
     wsrc = profile.source[lo:hi].tolist()
     if seg.source < 0 or min(wsrc, default=0) < 0:
@@ -831,3 +833,179 @@ def insert_segment_flat(
     )
     new = profile.splice(lo, hi, oya, oza, oyb, ozb, osrc)
     return FlatInsertResult(new, vis, vis.ops + mops)
+
+
+def _checked_fused_scalar(
+    fused, wya, wza, wyb, wzb, wsrc, y1, z1, y2, z2, src, eps
+):
+    """Scalar fused kernel call under an armed injection plan (or
+    ``REPRO_GUARD_CHECK_ALL``): trip the ``fused_insert`` site, corrupt
+    the freshly-built merged window if a plan targets it, and validate
+    the output *before* the caller commits it with a splice."""
+    if _fi.ARMED:
+        _fi.trip("fused_insert")
+    res = fused.fused_insert_window(
+        wya, wza, wyb, wzb, wsrc, y1, z1, y2, z2, src, eps
+    )
+    if _fi.ARMED and res.merged is not None:
+        merged = _fi.corrupt_merged_lists("fused_insert", res.merged)
+        if merged is not res.merged:
+            res = res._replace(merged=merged)
+    _guard.check_visibility("fused_insert", res.visibility, y1, y2, eps)
+    if res.merged is not None:
+        oya, oza, oyb, ozb, _osrc = res.merged
+        _guard.check_merged_lists("fused_insert", oya, oza, oyb, ozb)
+    return res
+
+
+def _guarded_flat_merge(
+    profile: FlatProfile,
+    seg: ImageSegment,
+    lo: int,
+    hi: int,
+    vis: VisibilityResult,
+    eps: float,
+) -> "FlatInsertResult | None":
+    """Guard site ``merge_dispatch`` for the wide-window splice merge.
+
+    Returns the completed insert, or ``None`` when the site is
+    quarantined or the kernel faulted (recorded) — the caller falls
+    through to the scalar window merge, which produces the identical
+    window and ``ops`` by the parity contract.  The post-condition
+    check runs on the kernel's freshly-built window *before* the
+    splice commits it, so the scalar retry recomputes from unmutated
+    state.
+    """
+    if not _guard.GUARDS_ENABLED:
+        res = merge_envelopes_flat(
+            profile.window(lo, hi),
+            FlatEnvelope.from_segment(seg),
+            eps=eps,
+            record_crossings=False,
+        )
+        m = res.envelope
+        new = profile.splice(lo, hi, m.ya, m.za, m.yb, m.zb, m.source)
+        return FlatInsertResult(new, vis, vis.ops + res.ops)
+    if _guard.ANY_QUARANTINED and _guard.is_quarantined("merge_dispatch"):
+        return None
+    try:
+        if _fi.ARMED:
+            _fi.trip("merge_dispatch")
+        res = merge_envelopes_flat(
+            profile.window(lo, hi),
+            FlatEnvelope.from_segment(seg),
+            eps=eps,
+            record_crossings=False,
+        )
+        m = res.envelope
+        if _fi.ARMED:
+            m = _fi.corrupt_flat("merge_dispatch", m)
+        _guard.check_flat("merge_dispatch", m.ya, m.za, m.yb, m.zb)
+        new = profile.splice(lo, hi, m.ya, m.za, m.yb, m.zb, m.source)
+        return FlatInsertResult(new, vis, vis.ops + res.ops)
+    except KernelFault:
+        raise
+    except Exception as exc:
+        _guard.handle_fault(
+            getattr(exc, "site", None) or "merge_dispatch", exc
+        )
+        return None
+
+
+def _insert_reference(
+    profile: FlatProfile, seg: ImageSegment, eps: float
+) -> FlatInsertResult:
+    """Whole-insert scalar reference path — the guard's retry target.
+
+    The sub-cutoff cascade of the impl with every kernel (fused sweep,
+    vectorized visibility, flat merge) left out: scalar scan + scalar
+    window merge + splice.  Bit-exact with the impl in visible parts,
+    merged pieces *and* ``ops`` by the parity contract, so a degraded
+    insert is indistinguishable from a healthy one downstream.
+    """
+    if seg.is_vertical:
+        vis = _visible_vertical_flat(profile, seg, eps)
+        return FlatInsertResult(profile, vis, vis.ops)
+
+    y1, z1, y2, z2 = seg.y1, seg.z1, seg.y2, seg.z2
+    lo, hi = profile.pieces_overlapping(y1, y2)
+    wlists = profile.window_lists(lo, hi)
+    vis = _scan_window(y1, z1, y2, z2, *wlists, eps)
+    if not vis.parts:  # fully hidden: no splice, profile shared
+        return FlatInsertResult(profile, vis, vis.ops)
+
+    wsrc = profile.source[lo:hi].tolist()
+    if seg.source < 0 or min(wsrc, default=0) < 0:
+        local = Envelope(profile.window_pieces(lo, hi))
+        mres = merge_envelopes(
+            local, Envelope.from_segment(seg), eps=eps, record_crossings=False
+        )
+        mat = _tuples_to_matrix(mres.envelope.pieces)
+        new = profile.splice(
+            lo,
+            hi,
+            mat[:, 0],
+            mat[:, 1],
+            mat[:, 2],
+            mat[:, 3],
+            mat[:, 4].astype(_I),
+        )
+        return FlatInsertResult(new, vis, vis.ops + mres.ops)
+
+    oya, oza, oyb, ozb, osrc, mops = _merge_window_with_segment(
+        *wlists, wsrc, y1, z1, y2, z2, seg.source, eps
+    )
+    new = profile.splice(lo, hi, oya, oza, oyb, ozb, osrc)
+    return FlatInsertResult(new, vis, vis.ops + mops)
+
+
+#: Insert count between periodic whole-profile validation ticks (site
+#: ``profile``; detection-only — see :func:`repro.reliability.guard.
+#: check_profile`).
+_TICK_EVERY = 256
+_tick = 0
+
+
+def insert_segment_flat(
+    profile: FlatProfile,
+    seg: ImageSegment,
+    *,
+    eps: float = EPS,
+) -> FlatInsertResult:
+    """Insert ``seg`` into ``profile``; see the module docstring.
+
+    Exact analogue of :func:`repro.envelope.splice.insert_segment`
+    under ``engine="numpy"``: the same visibility/merge dispatch
+    cutoffs apply (:data:`repro.envelope.engine.FLAT_VISIBILITY_CUTOFF`
+    / :data:`~repro.envelope.engine.FLAT_MERGE_CUTOFF`), the same
+    results and ``ops`` come out, but the profile never leaves its
+    array representation.
+
+    Runs under the guarded-dispatch envelope (site ``fused_insert``
+    plus the nested ``merge_dispatch`` / ``visibility_dispatch`` /
+    ``packed_splice`` sites): a kernel fault inside the cascade is
+    recorded and the whole insert retried on the scalar reference
+    path, bit-exact.  ``REPRO_GUARDS=0`` strips the envelope.
+    """
+    if not _guard.GUARDS_ENABLED:
+        return _insert_segment_flat_impl(profile, seg, eps)
+
+    global _tick
+    _tick += 1
+    tick = not _tick % _TICK_EVERY
+    if _fi.ARMED and _fi.poison_profile("profile", profile):
+        tick = True  # corruption committed: the tick must catch it now
+    if tick:
+        _guard.check_profile(profile)
+
+    if _guard.ANY_QUARANTINED and _guard.is_quarantined("fused_insert"):
+        with _fi.suppressed():
+            return _insert_reference(profile, seg, eps)
+    try:
+        return _insert_segment_flat_impl(profile, seg, eps)
+    except KernelFault:
+        raise
+    except Exception as exc:
+        _guard.handle_fault(getattr(exc, "site", None) or "fused_insert", exc)
+        with _fi.suppressed():
+            return _insert_reference(profile, seg, eps)

@@ -68,6 +68,9 @@ import numpy as np
 from repro.envelope.chain import Envelope
 from repro.envelope.flat import FlatEnvelope
 from repro.envelope.flat_splice import FlatProfile
+from repro.errors import KernelFault
+from repro.reliability import faultinject as _fi
+from repro.reliability import guard as _guard
 
 __all__ = ["PackedProfile", "MIN_CAPACITY"]
 
@@ -226,7 +229,56 @@ class PackedProfile(FlatProfile):
         — and only when the replacement changes the piece count.
         Growth reallocates with amortized doubling.  All views
         previously derived from this profile are stale afterwards.
+
+        Guard site ``packed_splice``: a bounds violation escalates as
+        an :class:`~repro.reliability.guard.InvariantViolation` (the
+        caller's window is wrong — re-splicing cannot help, the
+        insert-level guard must recompute it); any other fault is
+        recorded and the splice retried through the read-only
+        :meth:`from_splice` rebuild, which works off buffer truth.
         """
+        if not _guard.GUARDS_ENABLED:
+            return self._splice_impl(lo, hi, ya, za, yb, zb, source)
+        n = self._end - self._beg
+        if not (0 <= lo <= hi <= n):
+            _guard.violation(
+                "packed_splice",
+                f"splice range [{lo}, {hi}) outside live range [0, {n})",
+            )
+        if _guard.ANY_QUARANTINED and _guard.is_quarantined("packed_splice"):
+            with _fi.suppressed():
+                return self._rebuild_splice(lo, hi, ya, za, yb, zb, source)
+        try:
+            if _fi.ARMED:
+                _fi.trip("packed_splice")
+            return self._splice_impl(lo, hi, ya, za, yb, zb, source)
+        except KernelFault:
+            raise
+        except Exception as exc:
+            _guard.handle_fault("packed_splice", exc)
+            with _fi.suppressed():
+                return self._rebuild_splice(lo, hi, ya, za, yb, zb, source)
+
+    def _rebuild_splice(
+        self, lo: int, hi: int, ya, za, yb, zb, source
+    ) -> "PackedProfile":
+        """Recovery path of :meth:`splice`: rebuild the whole buffer
+        through the parent-read-only :meth:`from_splice` constructor
+        and adopt its storage, preserving object identity.  Views are
+        re-derived from buffer truth first, so a fault that left them
+        stale cannot corrupt the rebuild."""
+        self._sync_views()
+        fresh = PackedProfile.from_splice(self, lo, hi, ya, za, yb, zb, source)
+        self._buf = fresh._buf
+        self._ibuf = fresh._ibuf
+        self._beg = fresh._beg
+        self._end = fresh._end
+        self._sync_views()
+        return self
+
+    def _splice_impl(
+        self, lo: int, hi: int, ya, za, yb, zb, source
+    ) -> "PackedProfile":
         k = len(ya)
         beg, end = self._beg, self._end
         n = end - beg

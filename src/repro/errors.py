@@ -18,6 +18,8 @@ __all__ = [
     "PersistenceError",
     "HsrError",
     "BenchmarkError",
+    "ValidationError",
+    "KernelFault",
 ]
 
 
@@ -67,3 +69,32 @@ class HsrError(ReproError):
 
 class BenchmarkError(ReproError):
     """Benchmark harness misconfiguration."""
+
+
+class ValidationError(ReproError):
+    """Input rejected by the reliability front door
+    (:mod:`repro.reliability.validate`): non-finite elevations,
+    duplicate ``(x, y)`` vertices, zero-length segments, malformed
+    terrain files — problems that would otherwise surface as cryptic
+    ``KeyError``/``IndexError`` deep inside a kernel, or as garbage
+    output."""
+
+
+class KernelFault(ReproError):
+    """A guarded kernel boundary failed its post-condition checks or
+    raised (see :mod:`repro.reliability.guard`).
+
+    Raised in *strict* dispatch mode
+    (``repro.reliability.guard.GUARDED_DISPATCH = False``), where a
+    kernel fault surfaces immediately instead of degrading to the
+    bit-exact python path.  ``site`` names the guard site that failed
+    and ``cause`` carries the underlying exception, if any.
+    """
+
+    def __init__(self, site: str, cause: "BaseException | None" = None):
+        self.site = site
+        self.cause = cause
+        msg = f"kernel fault at guard site {site!r}"
+        if cause is not None:
+            msg += f": {type(cause).__name__}: {cause}"
+        super().__init__(msg)

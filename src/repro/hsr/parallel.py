@@ -31,6 +31,7 @@ from repro.ordering.separator import SeparatorTree
 from repro.ordering.sweep import front_to_back_order
 from repro.pram.pool import ExecutionBackend
 from repro.pram.tracker import PramTracker
+from repro.reliability import reliability_run
 from repro.terrain.model import Terrain
 
 __all__ = ["ParallelHSR"]
@@ -114,44 +115,45 @@ class ParallelHSR:
 
         tree = SeparatorTree(order)
 
-        if tracker is not None:
-            with tracker.phase("phase1"):
+        with reliability_run() as report:
+            if tracker is not None:
+                with tracker.phase("phase1"):
+                    pct = build_pct(
+                        tree,
+                        image_segments,
+                        eps=self.eps,
+                        tracker=tracker,
+                        backend=self.backend,
+                        measure_sharing=self.measure_sharing,
+                        engine=self.engine,
+                    )
+                with tracker.phase("phase2"):
+                    ph2 = run_phase2(
+                        pct,
+                        image_segments,
+                        mode=self.mode,
+                        eps=self.eps,
+                        tracker=tracker,
+                        measure_sharing=self.measure_sharing,
+                        engine=self.engine,
+                    )
+            else:
                 pct = build_pct(
                     tree,
                     image_segments,
                     eps=self.eps,
-                    tracker=tracker,
                     backend=self.backend,
                     measure_sharing=self.measure_sharing,
                     engine=self.engine,
                 )
-            with tracker.phase("phase2"):
                 ph2 = run_phase2(
                     pct,
                     image_segments,
                     mode=self.mode,
                     eps=self.eps,
-                    tracker=tracker,
                     measure_sharing=self.measure_sharing,
                     engine=self.engine,
                 )
-        else:
-            pct = build_pct(
-                tree,
-                image_segments,
-                eps=self.eps,
-                backend=self.backend,
-                measure_sharing=self.measure_sharing,
-                engine=self.engine,
-            )
-            ph2 = run_phase2(
-                pct,
-                image_segments,
-                mode=self.mode,
-                eps=self.eps,
-                measure_sharing=self.measure_sharing,
-                engine=self.engine,
-            )
 
         vmap = VisibilityMap()
         for edge in order:
@@ -173,7 +175,9 @@ class ParallelHSR:
                 "tree_height": float(tree.height),
             },
         )
-        result = HsrResult(vmap, stats, order=order, tracker=tracker)
+        result = HsrResult(
+            vmap, stats, order=order, tracker=tracker, reliability=report
+        )
         result.phase2 = ph2  # type: ignore[attr-defined]
         result.pct = pct  # type: ignore[attr-defined]
         return result

@@ -56,6 +56,8 @@ from repro.persistence.envelope_store import (
     penv_visible_parts,
 )
 from repro.pram.tracker import PramTracker
+from repro.reliability import faultinject as _fi
+from repro.reliability import guard as _guard
 
 __all__ = ["Phase2Result", "run_phase2", "PHASE2_MODES"]
 
@@ -245,11 +247,13 @@ def _phase2_direct_flat(
                 spans.append(
                     P.pieces_overlapping(float(B.ya[0]), float(B.yb[-1]))
                 )
-            ops_list = [0] * len(internals)
-            cross_counts = [0] * len(internals)
-            sizes = [0] * len(internals)
-            merged_envs: list = [None] * len(internals)
-            if live:
+            def merge_kernel():
+                merged: list = [None] * len(internals)
+                ops_l = [0] * len(internals)
+                cross_l = [0] * len(internals)
+                sizes_l = [0] * len(internals)
+                if not live:
+                    return merged, ops_l, cross_l, sizes_l
                 lefts = stack_envelopes(
                     [
                         parents[i].window(lo, hi)
@@ -264,9 +268,19 @@ def _phase2_direct_flat(
                         res.cross_group, np.arange(len(live) + 1)
                     )
                 ).tolist()
+                groups = [res.merged.group(g) for g in range(len(live))]
+                if _fi.ARMED:
+                    groups = _fi.corrupt_env_list("phase2_merge", groups)
+                # Validate before any splice: the parents are only
+                # ever read, so the python fallback recomputes every
+                # merge of this layer from intact state.
+                for m in groups:
+                    _guard.check_flat(
+                        "phase2_merge", m.ya, m.za, m.yb, m.zb
+                    )
                 for g, i in enumerate(live):
                     lo, hi = spans[g]
-                    m = res.merged.group(g)
+                    m = groups[g]
                     if PackedProfile is not None:
                         # Accumulate the right child's profile into a
                         # fresh packed buffer: one allocation + three
@@ -282,28 +296,76 @@ def _phase2_direct_flat(
                         new = parents[i].splice(
                             lo, hi, m.ya, m.za, m.yb, m.zb, m.source
                         )
-                    merged_envs[i] = new
-                    ops_list[i] = live_ops[g]
-                    cross_counts[i] = live_cross[g]
-                    sizes[i] = new.size
+                    merged[i] = new
+                    ops_l[i] = live_ops[g]
+                    cross_l[i] = live_cross[g]
+                    sizes_l[i] = new.size
+                return merged, ops_l, cross_l, sizes_l
+
+            def merge_fallback():
+                # Scalar splice merges per node (the python engine's
+                # exact semantics) — results, ops, crossing counts and
+                # the materialised piece counts are bit-identical to
+                # the batched kernel's.
+                merged: list = [None] * len(internals)
+                ops_l = [0] * len(internals)
+                cross_l = [0] * len(internals)
+                sizes_l = [0] * len(internals)
+                for i in live:
+                    res = splice_merge(
+                        parents[i].to_envelope(),
+                        inters[i].to_envelope(),
+                        eps=eps,
+                        engine="python",
+                    )
+                    env = FlatEnvelope.from_envelope(res.envelope)
+                    if PackedProfile is not None:
+                        env = PackedProfile.pack(env)
+                    merged[i] = env
+                    ops_l[i] = res.ops
+                    cross_l[i] = len(res.crossings)
+                    sizes_l[i] = res.materialised
+                return merged, ops_l, cross_l, sizes_l
+
+            merged_envs, ops_list, cross_counts, sizes = _guard.guarded_call(
+                "phase2_merge", merge_kernel, merge_fallback
+            )
             for i in range(len(internals)):
                 if merged_envs[i] is None:  # empty intermediate: share
                     merged_envs[i] = parents[i]
 
         leaves = [node for node in level if node.is_leaf]
         if leaves:
-            lstack = stack_envelopes(
-                [inherited[node.index] for node in leaves]
-            )
+            leaf_envs = [inherited[node.index] for node in leaves]
             lsegs = [
                 image_segments[tree.order[node.lo]] for node in leaves
             ]
-            leaf_vis = batch_visible_parts(
-                lstack,
-                lsegs,
-                groups=np.arange(len(leaves)),
-                eps=eps,
-            ).results()
+
+            def vis_kernel():
+                res = batch_visible_parts(
+                    stack_envelopes(leaf_envs),
+                    lsegs,
+                    groups=np.arange(len(leaves)),
+                    eps=eps,
+                ).results()
+                if _fi.ARMED:
+                    res = _fi.corrupt_vis_list("phase2_visibility", res)
+                for s, v in zip(lsegs, res):
+                    _guard.check_visibility(
+                        "phase2_visibility", v, s.y1, s.y2, eps
+                    )
+                return res
+
+            def vis_fallback():
+                # Scalar per-leaf queries — the python engine's path.
+                return [
+                    visible_parts(s, e.to_envelope(), eps=eps)
+                    for s, e in zip(lsegs, leaf_envs)
+                ]
+
+            leaf_vis = _guard.guarded_call(
+                "phase2_visibility", vis_kernel, vis_fallback
+            )
 
         mi = li = 0
         for node in level:

@@ -227,12 +227,21 @@ class HsrStats:
 
 @dataclass
 class HsrResult:
-    """Output + instrumentation of an HSR pipeline run."""
+    """Output + instrumentation of an HSR pipeline run.
+
+    ``reliability`` carries the run's
+    :class:`~repro.reliability.guard.ReliabilityReport` when the
+    pipeline ran under guarded dispatch — deliberately *not* part of
+    ``stats.extra``, which the engine-parity suites compare bit-exact
+    (a degraded run's stats are identical to a healthy one's; only the
+    incident log differs).
+    """
 
     visibility_map: VisibilityMap
     stats: HsrStats
     order: list[int] = field(default_factory=list)
     tracker: object = None  # Optional[PramTracker]; object to avoid import cycle
+    reliability: object = None  # Optional[ReliabilityReport]; same reason
 
     @property
     def k(self) -> int:

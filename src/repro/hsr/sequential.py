@@ -26,6 +26,7 @@ from repro.envelope.splice import insert_segment
 from repro.geometry.primitives import EPS
 from repro.hsr.result import HsrResult, HsrStats, VisibilityMap
 from repro.ordering.sweep import front_to_back_order
+from repro.reliability import reliability_run
 from repro.terrain.model import Terrain
 
 __all__ = ["SequentialHSR"]
@@ -134,7 +135,8 @@ class SequentialHSR:
         if order is None:
             order = front_to_back_order(terrain)
         vmap = VisibilityMap()
-        _env, ops, max_profile = self._insert_loop(terrain, order, vmap)
+        with reliability_run() as report:
+            _env, ops, max_profile = self._insert_loop(terrain, order, vmap)
         stats = HsrStats(
             n_edges=terrain.n_edges,
             k=vmap.k,
@@ -142,7 +144,7 @@ class SequentialHSR:
             wall_time_s=time.perf_counter() - t0,
             extra={"max_profile_size": float(max_profile)},
         )
-        return HsrResult(vmap, stats, order=list(order))
+        return HsrResult(vmap, stats, order=list(order), reliability=report)
 
     def final_profile(
         self, terrain: Terrain, *, order: Optional[Sequence[int]] = None
@@ -155,5 +157,6 @@ class SequentialHSR:
         """
         if order is None:
             order = front_to_back_order(terrain)
-        env, _ops, _max_profile = self._insert_loop(terrain, order, None)
+        with reliability_run():
+            env, _ops, _max_profile = self._insert_loop(terrain, order, None)
         return env

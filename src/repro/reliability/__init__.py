@@ -1,0 +1,32 @@
+"""Reliability subsystem: guarded dispatch, input hardening, fault
+injection.
+
+See ``docs/RELIABILITY.md`` for the guard-site table, the circuit-
+breaker semantics and the strict-vs-guarded mode contract.
+Numpy-free at import time — usable on the no-numpy leg.
+"""
+
+from repro.reliability.guard import (
+    FAULT_THRESHOLD,
+    InvariantViolation,
+    ReliabilityReport,
+    SiteIncidents,
+    current_report,
+    guarded_call,
+    is_quarantined,
+    reliability_run,
+)
+from repro.reliability.validate import validate_segments, validate_terrain
+
+__all__ = [
+    "FAULT_THRESHOLD",
+    "InvariantViolation",
+    "ReliabilityReport",
+    "SiteIncidents",
+    "current_report",
+    "guarded_call",
+    "is_quarantined",
+    "reliability_run",
+    "validate_segments",
+    "validate_terrain",
+]

@@ -1,0 +1,88 @@
+"""Input hardening: the validation front door.
+
+The kernels assume well-formed input — finite elevations, a proper
+``z = f(x, y)`` terrain, non-degenerate segments.  Feeding them NaN
+elevations or duplicate vertices either crashes deep inside a
+vectorized sweep or silently corrupts the visibility map.  These
+validators reject such input *at the boundary* with a
+:class:`~repro.errors.ValidationError` that names the offending
+vertex/segment, so service callers (ROADMAP items 3/4) get a clean
+4xx-style failure instead of a kernel traceback or garbage output.
+
+Pure stdlib — importable and usable on the no-numpy leg.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.errors import ValidationError
+
+__all__ = ["validate_terrain", "validate_segments"]
+
+
+def _reject(context: Optional[str], message: str) -> None:
+    raise ValidationError(f"{context}: {message}" if context else message)
+
+
+def validate_terrain(terrain, *, context: Optional[str] = None):
+    """Validate ``terrain`` for kernel consumption; returns it.
+
+    Rejects non-finite vertex coordinates (NaN/Inf elevations — DEM
+    nodata holes that leaked through) and duplicate ``(x, y)``
+    locations (not a function graph; the constructor's own duplicate
+    check cannot see NaN coordinates because ``NaN != NaN``).
+    ``context`` (e.g. a file path) prefixes the error message.
+    """
+    seen: dict = {}
+    for i, v in enumerate(terrain.vertices):
+        if not (
+            math.isfinite(v.x) and math.isfinite(v.y) and math.isfinite(v.z)
+        ):
+            _reject(
+                context,
+                f"vertex {i} has a non-finite coordinate"
+                f" ({v.x!r}, {v.y!r}, {v.z!r})",
+            )
+        key = (v.x, v.y)
+        j = seen.setdefault(key, i)
+        if j != i:
+            _reject(
+                context,
+                f"vertices {j} and {i} share the (x, y) location"
+                f" {key!r} — not a terrain (z = f(x, y))",
+            )
+    return terrain
+
+
+def validate_segments(
+    segments: Sequence, *, context: Optional[str] = None
+) -> Sequence:
+    """Validate image segments for kernel consumption; returns them.
+
+    Rejects non-finite lanes and zero-length (point) segments —
+    ``y1 == y2 and z1 == z2`` carries no supporting line, so neither
+    engine can classify it.  Vertical segments (``y1 == y2`` with
+    distinct ``z``) are *valid*: both engines answer them with the
+    point query.
+    """
+    for i, s in enumerate(segments):
+        if not (
+            math.isfinite(s.y1)
+            and math.isfinite(s.z1)
+            and math.isfinite(s.y2)
+            and math.isfinite(s.z2)
+        ):
+            _reject(
+                context,
+                f"segment {i} (source {s.source}) has a non-finite"
+                f" lane ({s.y1!r}, {s.z1!r}, {s.y2!r}, {s.z2!r})",
+            )
+        if s.y1 == s.y2 and s.z1 == s.z2:
+            _reject(
+                context,
+                f"segment {i} (source {s.source}) has zero length at"
+                f" ({s.y1!r}, {s.z1!r})",
+            )
+    return segments

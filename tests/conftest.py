@@ -30,6 +30,8 @@ if not HAVE_NUMPY:  # pragma: no cover - numpy ships in the toolchain
         "test_hsr_queries.py",
         "test_hsr_zbuffer.py",
         "test_ordering.py",
+        "test_adversarial.py",
+        "test_reliability.py",
         "test_pram_pool.py",
         "test_pram_primitives.py",
         "test_render.py",

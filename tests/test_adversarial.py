@@ -1,0 +1,166 @@
+"""Degenerate and adversarial input tests (ISSUE 6, satellite 3).
+
+Inputs chosen to sit on the kernels' tie/degeneracy edges — plateau
+terrains (all-equal elevations), coincident ridges (duplicate
+segments), zero-length and vertical-only segments.  Each case pins
+either a clean :class:`~repro.errors.ValidationError` at the front
+door or bit-exact parity between the python and numpy engines, over
+both live-profile layouts (packed on/off).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.envelope.engine as engine_mod
+from repro.envelope.chain import Envelope
+from repro.envelope.flat_splice import FlatProfile, insert_segment_flat
+from repro.envelope.packed import PackedProfile
+from repro.envelope.splice import insert_segment
+from repro.errors import ValidationError
+from repro.geometry.segments import ImageSegment
+from repro.reliability import validate_segments
+from tests.conftest import random_image_segments
+
+
+def _assert_run_parity(terrain):
+    from repro.hsr.sequential import SequentialHSR
+
+    rp = SequentialHSR(engine="python").run(terrain)
+    rn = SequentialHSR(engine="numpy").run(terrain)
+    assert rn.stats.ops == rp.stats.ops
+    assert rn.stats.k == rp.stats.k
+    assert rn.stats.extra == rp.stats.extra
+    assert rn.order == rp.order
+    assert rn.visibility_map.segments == rp.visibility_map.segments
+
+
+@pytest.mark.parametrize("packed", [True, False], ids=["packed", "flat"])
+class TestDegenerateTerrainParity:
+    @pytest.fixture(autouse=True)
+    def _layout(self, packed, monkeypatch):
+        monkeypatch.setattr(engine_mod, "USE_PACKED_PROFILE", packed)
+
+    def test_constant_plateau(self):
+        # Every vertex at the same elevation: every comparison inside
+        # the scan/merge kernels is a tie.
+        from repro.terrain.generators import grid_terrain_from_heights
+
+        terrain = grid_terrain_from_heights(np.full((8, 8), 5.0))
+        _assert_run_parity(terrain)
+
+    def test_terraced_plateau(self):
+        from repro.terrain.generators import plateau_terrain
+
+        _assert_run_parity(
+            plateau_terrain(rows=10, cols=10, steps=3, seed=2)
+        )
+
+    def test_forced_flat_constant_plateau(self, monkeypatch):
+        from repro.terrain.generators import grid_terrain_from_heights
+
+        monkeypatch.setattr(engine_mod, "FLAT_VISIBILITY_CUTOFF", 1)
+        monkeypatch.setattr(engine_mod, "FLAT_MERGE_CUTOFF", 1)
+        terrain = grid_terrain_from_heights(np.full((7, 7), -2.5))
+        _assert_run_parity(terrain)
+
+
+@pytest.mark.parametrize(
+    "profile_factory",
+    [PackedProfile.empty, FlatProfile.empty],
+    ids=["packed", "flat"],
+)
+class TestCoincidentSegments:
+    """Coincident ridges: every segment inserted twice (same lanes,
+    same source).  The second copy is hidden by — or tied with — the
+    first everywhere, the hardest eps-tie workload for the scans."""
+
+    def _duplicated(self, rng, count):
+        segs = random_image_segments(rng, count)
+        return [s for s in segs for _ in (0, 1)]
+
+    def test_insert_loop_parity(self, rng, profile_factory):
+        env = Envelope.empty()
+        prof = profile_factory()
+        for seg in self._duplicated(rng, 40):
+            rp = insert_segment(env, seg, engine="python")
+            rf = insert_segment_flat(prof, seg)
+            assert rf.visibility.parts == rp.visibility.parts
+            assert rf.ops == rp.ops
+            env = rp.envelope
+            prof = rf.profile
+        assert prof.to_envelope().pieces == env.pieces
+
+    def test_build_envelope_parity(self, rng, profile_factory):
+        from repro.envelope.build import build_envelope
+
+        segs = self._duplicated(rng, 60)
+        rp = build_envelope(segs, engine="python")
+        rn = build_envelope(segs, engine="numpy")
+        assert rn.envelope.pieces == rp.envelope.pieces
+        assert rn.ops == rp.ops
+
+
+class TestZeroLengthSegments:
+    def test_front_door_rejects(self):
+        segs = [ImageSegment(3.0, 4.0, 3.0, 4.0, 0)]
+        with pytest.raises(ValidationError, match="zero length"):
+            validate_segments(segs)
+
+    def test_front_door_names_offender(self):
+        segs = [
+            ImageSegment(0.0, 0.0, 1.0, 1.0, 0),
+            ImageSegment(2.0, 2.0, 2.0, 2.0, 9),
+        ]
+        with pytest.raises(ValidationError, match="segment 1"):
+            validate_segments(segs)
+
+
+@pytest.mark.parametrize(
+    "profile_factory",
+    [PackedProfile.empty, FlatProfile.empty],
+    ids=["packed", "flat"],
+)
+class TestVerticalOnlySegments:
+    """A workload of only vertical (measure-zero) segments: the
+    profile must never change, and both engines must agree on every
+    point-query verdict."""
+
+    def _verticals(self, rng, count):
+        out = []
+        for i in range(count):
+            y = rng.uniform(0.0, 100.0)
+            z1 = rng.uniform(0.0, 50.0)
+            out.append(ImageSegment(y, z1, y, z1 + rng.uniform(0.5, 10.0), i))
+        return out
+
+    def test_profile_untouched_and_parity(self, rng, profile_factory):
+        env = Envelope.empty()
+        prof = profile_factory()
+        for seg in self._verticals(rng, 25):
+            rp = insert_segment(env, seg, engine="python")
+            rf = insert_segment_flat(prof, seg)
+            assert rf.visibility.parts == rp.visibility.parts
+            assert rf.ops == rp.ops
+            assert rp.envelope.pieces == []
+            prof = rf.profile
+        assert len(prof.ya) == 0
+
+    def test_verticals_over_seeded_profile(self, rng, profile_factory):
+        # Verticals against a real profile: point queries on both
+        # layouts, plus ties at piece boundaries.
+        base = random_image_segments(rng, 30)
+        env = Envelope.empty()
+        prof = profile_factory()
+        for seg in base:
+            env = insert_segment(env, seg, engine="python").envelope
+            prof = insert_segment_flat(prof, seg).profile
+        n_before = len(prof.ya)
+        for piece in env.pieces[:10]:
+            v = ImageSegment(piece.ya, 0.0, piece.ya, 100.0, 999)
+            rp = insert_segment(env, v, engine="python")
+            rf = insert_segment_flat(prof, v)
+            assert rf.visibility.parts == rp.visibility.parts
+            assert rf.ops == rp.ops
+        assert len(prof.ya) == n_before

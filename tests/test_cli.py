@@ -37,11 +37,12 @@ class TestGenerate:
         assert rc == 0
         assert out.read_text().startswith("# repro terrain")
 
-    def test_unknown_kind(self, tmp_path):
-        from repro.errors import TerrainError
-
-        with pytest.raises(TerrainError):
-            main(["generate", "marsscape", str(tmp_path / "x.json")])
+    def test_unknown_kind(self, tmp_path, capsys):
+        rc = main(["generate", "marsscape", str(tmp_path / "x.json")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "marsscape" in err
 
 
 class TestRun:
@@ -115,3 +116,78 @@ class TestRenderAndInfo:
         assert rc == 0
         out = capsys.readouterr().out
         assert "E9" in out
+
+
+class TestRobustExit:
+    """ISSUE 6, satellite 2: library errors exit nonzero with a one-
+    line message (plus a reliability summary when degradation
+    happened), never a traceback.  Driven through a real subprocess so
+    the installed entry point's behaviour is what's pinned."""
+
+    def _run(self, args, tmp_path, env_extra=None):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        env.pop("REPRO_FAULT_INJECT", None)
+        if env_extra:
+            env.update(env_extra)
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+
+    def test_malformed_terrain_file_clean_exit(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "repro-terrain", "vertices": [,]}')
+        proc = self._run(["run", str(bad)], tmp_path)
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error:")
+        assert "bad.json" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_validation_error_clean_exit(self, tmp_path):
+        bad = tmp_path / "nan.json"
+        bad.write_text(
+            '{"format": "repro-terrain",'
+            ' "vertices": [[0, 0, 1], [1, 0, NaN], [0, 1, 1]],'
+            ' "faces": [[0, 1, 2]]}'
+        )
+        proc = self._run(["run", str(bad)], tmp_path)
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error:")
+        assert "non-finite" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_injected_fault_degrades_and_reports(self, tmp_path):
+        proc = self._run(
+            ["run", "ridge", "--json", "--algorithm", "sequential",
+             "--engine", "numpy"],
+            tmp_path,
+            env_extra={"REPRO_FAULT_INJECT": "fused_insert:raise:2"},
+        )
+        assert proc.returncode == 0
+        payload = json.loads(proc.stdout)
+        assert payload["k"] > 0
+        assert "reliability:" in proc.stderr
+        assert "fused_insert" in proc.stderr
+
+    def test_injected_fault_strict_mode_fails_loud(self, tmp_path):
+        proc = self._run(
+            ["run", "ridge", "--algorithm", "sequential",
+             "--engine", "numpy"],
+            tmp_path,
+            env_extra={
+                "REPRO_FAULT_INJECT": "fused_insert:raise:2",
+                "REPRO_GUARDED_DISPATCH": "0",
+            },
+        )
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error:")
+        assert "fused_insert" in proc.stderr
+        assert "Traceback" not in proc.stderr

@@ -127,3 +127,110 @@ class TestObjIO:
         path.write_text("v 0 0\n")
         with pytest.raises(TerrainError, match="malformed"):
             load_terrain_obj(path)
+
+
+class TestHardenedJsonLoading:
+    """ISSUE 6, satellite 1: malformed files get TerrainError with
+    path/line/field context, never a raw parser exception."""
+
+    def test_missing_file_carries_path(self, tmp_path):
+        path = tmp_path / "absent.json"
+        with pytest.raises(TerrainError, match="absent.json"):
+            load_terrain_json(path)
+
+    def test_bad_syntax_reports_line_and_column(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "repro-terrain",\n  "vertices": [,]}')
+        with pytest.raises(TerrainError, match=r"line 2, column"):
+            load_terrain_json(path)
+
+    def test_non_dict_payload(self, tmp_path):
+        path = tmp_path / "arr.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(TerrainError, match="not a repro terrain"):
+            load_terrain_json(path)
+
+    def test_non_list_vertices_field(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(
+            '{"format": "repro-terrain", "vertices": 5, "faces": []}'
+        )
+        with pytest.raises(TerrainError, match="non-list 'vertices'"):
+            load_terrain_json(path)
+
+    def test_bad_vertex_entry_names_index(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(
+            '{"format": "repro-terrain",'
+            ' "vertices": [[0, 0, 1], ["a", 0]], "faces": []}'
+        )
+        with pytest.raises(TerrainError, match="vertex 1"):
+            load_terrain_json(path)
+
+    def test_bad_face_entry_names_index(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(
+            '{"format": "repro-terrain",'
+            ' "vertices": [[0, 0, 1], [1, 0, 1], [0, 1, 1]],'
+            ' "faces": [[0, 1, 2], [0, "x", 2]]}'
+        )
+        with pytest.raises(TerrainError, match="face 1"):
+            load_terrain_json(path)
+
+    def test_nodata_sentinel_hole_rejected(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(
+            '{"format": "repro-terrain",'
+            ' "vertices": [[0, 0, 1], [1, 0, -9999.0], [0, 1, 1]],'
+            ' "faces": [[0, 1, 2]]}'
+        )
+        with pytest.raises(TerrainError, match="vertex 1 is a nodata hole"):
+            load_terrain_json(path, nodata=-9999.0)
+
+    def test_null_z_hole_rejected(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(
+            '{"format": "repro-terrain",'
+            ' "vertices": [[0, 0, 1], [1, 0, null], [0, 1, 1]],'
+            ' "faces": [[0, 1, 2]]}'
+        )
+        with pytest.raises(TerrainError, match="nodata hole"):
+            load_terrain_json(path, nodata=-9999.0)
+
+    def test_nan_vertex_rejected_with_path(self, tmp_path):
+        from repro.errors import ValidationError
+
+        path = tmp_path / "t.json"
+        path.write_text(
+            '{"format": "repro-terrain",'
+            ' "vertices": [[0, 0, 1], [1, 0, NaN], [0, 1, 1]],'
+            ' "faces": [[0, 1, 2]]}'
+        )
+        with pytest.raises(ValidationError, match="non-finite") as exc:
+            load_terrain_json(path)
+        assert "t.json" in str(exc.value)
+
+
+class TestHardenedObjLoading:
+    def test_missing_file_carries_path(self, tmp_path):
+        with pytest.raises(TerrainError, match="absent.obj"):
+            load_terrain_obj(tmp_path / "absent.obj")
+
+    def test_non_numeric_vertex_reports_line(self, tmp_path):
+        path = tmp_path / "t.obj"
+        path.write_text("v 0 0 0\nv 1 zero 1\n")
+        with pytest.raises(TerrainError, match=r"t\.obj:2: non-numeric"):
+            load_terrain_obj(path)
+
+    def test_non_integer_face_index_reports_line(self, tmp_path):
+        path = tmp_path / "t.obj"
+        path.write_text("v 0 0 0\nv 1 0 1\nv 0 1 2\nf 1 two 3\n")
+        with pytest.raises(TerrainError, match=r"t\.obj:4: non-integer"):
+            load_terrain_obj(path)
+
+    def test_duplicate_xy_rejected_with_path(self, tmp_path):
+        path = tmp_path / "t.obj"
+        path.write_text("v 0 0 1\nv 1 0 1\nv 0 0 9\nf 1 2 3\n")
+        with pytest.raises(TerrainError, match="share xy") as exc:
+            load_terrain_obj(path)
+        assert "t.obj" in str(exc.value)
