@@ -6,9 +6,16 @@ exchange format), imports it as a TIN, and computes:
 
 * the visible surface from a given compass direction (which terrain
   edges a distant observer can see — the "viewshed-from-infinity"),
-* the horizon profile (the scene's upper envelope),
+* the horizon profile (the scene's upper envelope), served through a
+  :class:`repro.ViewshedSession` (one coalesced batched query against
+  the cached horizon instead of per-probe sweeps),
 * a comparison of the object-space result against an image-space
   z-buffer at several resolutions.
+
+Everything runs through the unified front door: one
+:class:`repro.HsrConfig` threads engine / eps / worker choices to the
+algorithms and the query service alike (``--workers 2`` builds the
+horizon envelope across real cores).
 
     python examples/gis_viewshed.py [--direction 90] [--rows 40]
 """
@@ -21,7 +28,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.hsr import SequentialHSR, ZBufferHSR, ParallelHSR
+from repro import (
+    HsrConfig,
+    ParallelHSR,
+    SequentialHSR,
+    ViewshedSession,
+)
+from repro.hsr import ZBufferHSR
 from repro.render import render_envelope_svg, render_visibility_svg
 from repro.terrain import dem_to_terrain, write_esri_ascii
 
@@ -52,7 +65,14 @@ def main() -> None:
     )
     parser.add_argument("--seed", type=int, default=5)
     parser.add_argument("--outdir", default=".")
+    parser.add_argument(
+        "--workers",
+        default="1",
+        help="envelope-build process count ('auto' = all cores)",
+    )
     args = parser.parse_args()
+    workers = args.workers if args.workers == "auto" else int(args.workers)
+    config = HsrConfig(workers=workers)
 
     heights = synthetic_dem(args.rows, args.cols, args.seed)
     with tempfile.TemporaryDirectory() as tmp:
@@ -65,8 +85,8 @@ def main() -> None:
     # +x viewing axis.
     scene = terrain.rotated(-args.direction)
 
-    result = ParallelHSR(mode="persistent").run(scene)
-    check = SequentialHSR().run(scene)
+    result = ParallelHSR(mode="persistent", config=config).run(scene)
+    check = SequentialHSR(config=config).run(scene)
     assert result.visibility_map.approx_same(check.visibility_map)
     visible = len(result.visibility_map.visible_edges())
     print(
@@ -74,8 +94,30 @@ def main() -> None:
         f" {visible}/{scene.n_edges} edges visible, k={result.k}"
     )
 
-    horizon = SequentialHSR().final_profile(scene)
+    horizon = SequentialHSR(config=config).final_profile(scene)
     print(f"horizon profile: {horizon.size} pieces")
+
+    # The same horizon, through the query service: probe sight lines
+    # at several altitudes in one coalesced batched kernel launch.
+    session = ViewshedSession(scene, config=config)
+    ys = sorted({v.y for v in scene.vertices})
+    z_lo, z_hi = scene.height_range()
+    probes = [
+        (ys[0], z, ys[-1], z)
+        for z in np.linspace(z_lo, z_hi * 1.1, 8)
+    ]
+    answers = session.query_batch(probes)
+    span = ys[-1] - ys[0]
+    clear = sum(
+        1
+        for a in answers
+        if abs(sum(p.yb - p.ya for p in a.parts) - span) < 1e-9
+    )
+    print(
+        f"sight-line probes: {len(probes)} queries in"
+        f" {session.stats['batches']} batched launch,"
+        f" {clear} altitudes clear the whole ridge line"
+    )
 
     outdir = Path(args.outdir)
     render_visibility_svg(

@@ -4,8 +4,11 @@
 Plans a "transmission tower" placement: for each candidate site on a
 fractal terrain, how high must a mast be before a distant observer
 (at ``x = +inf``, or at a finite perspective viewpoint) can see its
-top?  Exercises the point-visibility oracle and the perspective
-reduction — the utility layers on top of the core HSR output.
+top?  Exercises the unified query façade — the batched
+:func:`repro.visible_many` point scan through a
+:class:`repro.ViewshedSession`, the preprocessed
+:class:`repro.VisibilityOracle` — and the perspective reduction, all
+configured through one :class:`repro.HsrConfig`.
 
     python examples/line_of_sight.py [--size 17] [--candidates 6]
 """
@@ -14,8 +17,13 @@ from __future__ import annotations
 
 import argparse
 
+from repro import (
+    HsrConfig,
+    SequentialHSR,
+    ViewshedSession,
+    VisibilityOracle,
+)
 from repro.geometry.primitives import Point3
-from repro.hsr import SequentialHSR, VisibilityOracle, point_visible
 from repro.hsr.graph import graph_summary
 from repro.terrain import Viewpoint, generate_terrain, perspective_transform
 
@@ -43,15 +51,19 @@ def main() -> None:
     parser.add_argument("--candidates", type=int, default=6)
     args = parser.parse_args()
 
+    config = HsrConfig()  # one front door: engine/eps/workers in one place
     terrain = generate_terrain("fractal", size=args.size, seed=args.seed)
-    oracle = VisibilityOracle(terrain)
+    oracle = VisibilityOracle(terrain, config=config)
     print(f"terrain: {terrain}  (oracle: {oracle.n_checkpoints} checkpoints)")
 
-    # Candidate sites: evenly spaced terrain vertices.
+    # Candidate sites: evenly spaced terrain vertices, answered in one
+    # batched point scan through the session façade.
     step = max(1, terrain.n_vertices // args.candidates)
+    sites = list(terrain.vertices[::step][: args.candidates])
+    session = ViewshedSession(terrain, config=config)
+    visible_flags = session.points_visible(sites)
     print(f"\n{'site (x, y, z)':>32} {'visible?':>9} {'mast needed':>12}")
-    for v in terrain.vertices[:: step][: args.candidates]:
-        vis = point_visible(terrain, v)
+    for v, vis in zip(sites, visible_flags):
         mast = mast_height(oracle, v)
         mast_str = "0 (visible)" if vis else f"{mast:.2f}"
         print(
@@ -64,7 +76,7 @@ def main() -> None:
     z_hi = terrain.height_range()[1]
     view = Viewpoint(xmax * 1.3 + 1.0, 0.0, z_hi * 2.0)
     scene = perspective_transform(terrain, view)
-    res = SequentialHSR().run(scene)
+    res = SequentialHSR(config=config).run(scene)
     stats = graph_summary(res.visibility_map)
     print(
         f"\nperspective view from {tuple(round(c, 1) for c in view)}:"

@@ -12,10 +12,15 @@ from __future__ import annotations
 
 import argparse
 
-from repro.hsr import ParallelHSR, SequentialHSR
-from repro.pram import PramTracker, speedup_curve
+from repro import (
+    HsrConfig,
+    ParallelHSR,
+    PramTracker,
+    SequentialHSR,
+    generate_terrain,
+)
+from repro.pram import speedup_curve
 from repro.render import ascii_visibility, render_visibility_svg
-from repro.terrain import generate_terrain
 
 
 def main() -> None:
@@ -28,15 +33,18 @@ def main() -> None:
     terrain = generate_terrain("fractal", size=args.size, seed=args.seed)
     print(f"terrain: {terrain}")
 
+    config = HsrConfig()  # one front door: engine / eps / workers
     tracker = PramTracker()
-    result = ParallelHSR(mode="persistent").run(terrain, tracker=tracker)
+    result = ParallelHSR(mode="persistent", config=config).run(
+        terrain, tracker=tracker
+    )
     print(f"parallel HSR: {result.visibility_map.summary()}")
     print(
         f"PRAM cost: work={tracker.work:.0f} depth={tracker.depth:.0f}"
         f" (parallelism ~{tracker.parallelism:.0f})"
     )
 
-    baseline = SequentialHSR().run(terrain)
+    baseline = SequentialHSR(config=config).run(terrain)
     agree = result.visibility_map.approx_same(baseline.visibility_map)
     print(f"matches sequential baseline: {agree}")
     assert agree, "algorithms diverged — please report this as a bug"

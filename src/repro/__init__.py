@@ -8,35 +8,65 @@ A production-quality reproduction of:
 
 Top-level convenience API (full API in the subpackages)::
 
-    from repro import generate_terrain, ParallelHSR, SequentialHSR
+    from repro import HsrConfig, ParallelHSR, generate_terrain
 
     terrain = generate_terrain("fractal", n_points=500, seed=7)
-    result = ParallelHSR().run(terrain)
+    config = HsrConfig(workers=4)        # multi-core envelope builds
+    result = ParallelHSR(config=config).run(terrain)
     print(result.visibility_map.summary())
+
+and the query service façade::
+
+    from repro import ViewshedSession
+
+    session = ViewshedSession(terrain, config=config)
+    parts = session.query_batch([(0.0, 5.0, 32.0, 5.0), ...])
+    flags = session.points_visible([(10.0, 4.0, 9.0), ...])
+
+Everything configurable goes through one frozen
+:class:`~repro.config.HsrConfig` threaded through every front door
+(algorithms, queries, sessions, the ``repro serve`` CLI); see
+``docs/API.md`` for the full façade and the deprecation table.
 
 Subpackages
 -----------
-``repro.geometry``     geometry kernel (points, segments, hulls, predicates)
-``repro.envelope``     upper-profile algebra
-``repro.persistence``  persistent treap & envelope store
-``repro.pram``         simulated CREW PRAM (work/depth, scheduling, pools)
-``repro.terrain``      TIN model, generators, triangulation, DEM, I/O
-``repro.ordering``     front-to-back ordering & separator tree
-``repro.hsr``          the paper's algorithm + baselines
-``repro.render``       SVG / ASCII rendering of visibility maps
-``repro.bench``        experiment harness reproducing every paper claim
+``repro.geometry``       geometry kernel (points, segments, hulls, predicates)
+``repro.envelope``       upper-profile algebra
+``repro.persistence``    persistent treap & envelope store
+``repro.pram``           simulated CREW PRAM (work/depth, scheduling, pools)
+``repro.parallel_exec``  real multi-core build/merge execution (shared memory)
+``repro.terrain``        TIN model, generators, triangulation, DEM, I/O
+``repro.ordering``       front-to-back ordering & separator tree
+``repro.hsr``            the paper's algorithm + baselines
+``repro.service``        batched viewshed query service (sessions + server)
+``repro.render``         SVG / ASCII rendering of visibility maps
+``repro.bench``          experiment harness reproducing every paper claim
 """
 
 from repro._version import __version__
 
 __all__ = [
     "__version__",
+    # configuration (the one knob object)
+    "HsrConfig",
+    "DEFAULT_CONFIG",
+    # terrain
     "Terrain",
     "generate_terrain",
+    # algorithms
     "ParallelHSR",
     "SequentialHSR",
     "NaiveHSR",
     "VisibilityMap",
+    # queries
+    "point_visible",
+    "visible_many",
+    "VisibilityOracle",
+    "batch_visible_parts",
+    # service
+    "ViewshedSession",
+    "ViewshedServer",
+    # infrastructure
     "PramTracker",
     "Envelope",
     "ReliabilityReport",
@@ -48,12 +78,23 @@ __all__ = [
 # Re-exports resolved lazily to keep `import repro` cheap; the heavy
 # modules (terrain generators, hsr pipeline) load on first access.
 _LAZY = {
+    "HsrConfig": ("repro.config", "HsrConfig"),
+    "DEFAULT_CONFIG": ("repro.config", "DEFAULT_CONFIG"),
     "Terrain": ("repro.terrain", "Terrain"),
     "generate_terrain": ("repro.terrain", "generate_terrain"),
     "ParallelHSR": ("repro.hsr", "ParallelHSR"),
     "SequentialHSR": ("repro.hsr", "SequentialHSR"),
     "NaiveHSR": ("repro.hsr", "NaiveHSR"),
     "VisibilityMap": ("repro.hsr", "VisibilityMap"),
+    "point_visible": ("repro.hsr.queries", "point_visible"),
+    "visible_many": ("repro.hsr.queries", "visible_many"),
+    "VisibilityOracle": ("repro.hsr.queries", "VisibilityOracle"),
+    "batch_visible_parts": (
+        "repro.envelope.flat_visibility",
+        "batch_visible_parts",
+    ),
+    "ViewshedSession": ("repro.service", "ViewshedSession"),
+    "ViewshedServer": ("repro.service", "ViewshedServer"),
     "PramTracker": ("repro.pram", "PramTracker"),
     "Envelope": ("repro.envelope", "Envelope"),
     "ReliabilityReport": ("repro.reliability", "ReliabilityReport"),

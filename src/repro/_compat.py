@@ -1,0 +1,37 @@
+"""Deprecation shims: warn-once plumbing for superseded call paths.
+
+The API redesign (``docs/API.md``) front-doors every run through
+:class:`repro.config.HsrConfig`; the older bespoke parameters keep
+working through thin shims that emit **one** :class:`DeprecationWarning`
+per process per shim (not per call — a service issuing thousands of
+queries through a legacy path should log the migration hint once, not
+flood stderr).
+
+Importing :mod:`repro` itself never warns:
+``python -W error::DeprecationWarning -c "import repro"`` stays clean,
+and the warnings fire only when a deprecated *usage* actually executes.
+``tests/test_package_api.py`` pins both properties.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_once", "reset_deprecation_registry"]
+
+#: Shim keys that have already warned in this process.
+_seen: set[str] = set()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is
+    seen in this process; later calls are silent."""
+    if key in _seen:
+        return
+    _seen.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_registry() -> None:
+    """Forget which shims have warned (test isolation helper)."""
+    _seen.clear()

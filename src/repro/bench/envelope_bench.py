@@ -62,6 +62,20 @@ the two timed variants):
     single-buffer :class:`~repro.envelope.packed.PackedProfile` loop
     with in-place splices and the scalar small-window fast paths (the
     shipped default).
+``parallel-build-w2`` / ``parallel-build-w4``
+    The multi-core divide-and-conquer build
+    (:func:`repro.parallel_exec.build_envelope_parallel`, shared-
+    memory inputs, pool pre-warmed) with 2 / 4 worker processes
+    (``numpy_ms`` column) vs the in-process numpy build (``python_ms``
+    column).  Bit-exact by the chunk-parity argument; the speedup
+    column only reads above 1 when the machine actually has the
+    cores — see the core-count caveat in ``docs/BENCHMARKS.md``.
+``service-qps``
+    ``m`` viewshed queries through the service façade: sequential
+    :meth:`~repro.service.ViewshedSession.query` calls (``python_ms``
+    column) vs one coalesced
+    :meth:`~repro.service.ViewshedSession.query_batch` launch
+    (``numpy_ms`` column) against the same cached horizon.
 ``phase2-persistent``
     Phase 2 over a PCT built from the E9 segments: ``python_ms`` =
     ``mode="persistent"`` (treap-backed profiles — no flat kernel
@@ -610,6 +624,95 @@ def run_envelope_bench(
         )
         t.add(**rows[-1])
 
+    # Multi-core build scaling: the in-process numpy build vs the
+    # shared-memory process pool at 2 and 4 workers (largest size).
+    # Honest rows: on a single-core machine the pool pays IPC without
+    # gaining cores, so the speedup column reads below 1 there — the
+    # correctness story (bit-exact parity) is CI's 2-worker leg, and
+    # the scaling decomposition lives in docs/BENCHMARKS.md.
+    if HAVE_NUMPY:
+        from repro.geometry.primitives import EPS
+        from repro.parallel_exec import build_envelope_parallel
+
+        m_par = max(ms)
+        segs = _e9_segments(m_par)
+        env_size = build_envelope(segs, engine="numpy").envelope.size
+        for w in (2, 4):
+            # Warm the pool so fork cost is not billed to a repeat.
+            warm = build_envelope_parallel(
+                segs, eps=EPS, workers=w, min_segments=0
+            )
+            if warm is None:  # pragma: no cover - platform without fork
+                continue
+            best = _time_interleaved(
+                {
+                    "inproc": lambda: build_envelope(segs, engine="numpy"),
+                    "pool": lambda w=w: build_envelope_parallel(
+                        segs, eps=EPS, workers=w, min_segments=0
+                    ),
+                },
+                seq_repeats,
+            )
+            rows.append(
+                dict(
+                    workload=f"parallel-build-w{w}",
+                    m=m_par,
+                    env_size=env_size,
+                    python_ms=best["inproc"] * 1e3,
+                    numpy_ms=best["pool"] * 1e3,
+                    speedup=best["inproc"] / best["pool"],
+                )
+            )
+            t.add(**rows[-1])
+
+    # Service throughput: m coalesced queries through one
+    # ViewshedSession.query_batch launch vs m sequential query()
+    # calls against the same cached horizon (answers bit-exact).
+    if HAVE_NUMPY:
+        from repro.service import EnvelopeCache, ViewshedSession
+        from repro.terrain.generators import fractal_terrain
+
+        # size=65: a horizon large enough that per-query dispatch
+        # overhead (the thing coalescing amortises) is the dominant
+        # sequential cost, as in the service's intended deployment.
+        terrain = fractal_terrain(size=65, seed=7)
+        session = ViewshedSession(terrain, cache=EnvelopeCache())
+        horizon = session.envelope()
+        ys = [v.y for v in terrain.vertices]
+        lo, hi = min(ys), max(ys)
+        span = hi - lo
+        m_q = max(ms)
+        rng = random.Random(53)
+        queries = []
+        for _ in range(m_q):
+            a = rng.uniform(lo, hi - span / 16)
+            queries.append(
+                (a, rng.uniform(-5, 15), a + span / 16, rng.uniform(-5, 15))
+            )
+
+        def sequential_queries():
+            for q in queries:
+                session.query(q)
+
+        best = _time_interleaved(
+            {
+                "sequential": sequential_queries,
+                "batched": lambda: session.query_batch(queries),
+            },
+            seq_repeats,
+        )
+        rows.append(
+            dict(
+                workload="service-qps",
+                m=m_q,
+                env_size=horizon.size,
+                python_ms=best["sequential"] * 1e3,
+                numpy_ms=best["batched"] * 1e3,
+                speedup=best["sequential"] / best["batched"],
+            )
+        )
+        t.add(**rows[-1])
+
     t.notes.append(
         "engines produce identical pieces/crossings/ops (enforced by"
         " tests/test_envelope_flat.py and"
@@ -671,6 +774,22 @@ def run_envelope_bench(
         " column, the default); speedup just below 1 is the guard"
         " overhead — ship gate for default-on guards is <= 3%% at the"
         " largest size, best-of-%d" % seq_repeats
+    )
+    t.notes.append(
+        "parallel-build-wN times build_envelope_parallel with N"
+        " worker processes (shared-memory inputs, floors zeroed,"
+        " pool pre-warmed) against the in-process numpy build"
+        " (python_ms column); results are bit-exact"
+        " (tests/test_parallel_exec.py).  Speedup below 1 means the"
+        " recording machine had fewer than N schedulable cores and"
+        " the row is measuring IPC overhead — see docs/BENCHMARKS.md"
+        " for the core-count caveat and scaling decomposition"
+    )
+    t.notes.append(
+        "service-qps times m sequential ViewshedSession.query calls"
+        " (python_ms column) vs one coalesced query_batch launch"
+        " (numpy_ms column) against the same cached fractal-terrain"
+        " horizon; answers are bit-exact (tests/test_service.py)"
     )
     t.notes.append(
         "timings are best-of-%d, engines interleaved" % repeats

@@ -6,6 +6,7 @@ Commands
 ``run``       hidden-surface removal on a terrain file or generator
 ``render``    SVG / ASCII rendering of a scene's visible image
 ``bench``     alias for ``python -m repro.bench``
+``serve``     batched viewshed query service (JSON lines over TCP)
 ``info``      library version and experiment inventory
 """
 
@@ -94,6 +95,31 @@ def build_parser() -> argparse.ArgumentParser:
             "JSON output path for the 'envelope' comparison (default:"
             " BENCH_envelope.json in the current directory)"
         ),
+    )
+
+    srv = sub.add_parser(
+        "serve", help="batched viewshed query service (repro.service)"
+    )
+    srv.add_argument(
+        "terrain", help="terrain file (.json/.obj) or generator kind"
+    )
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8642)
+    srv.add_argument(
+        "--engine", choices=["auto", "python", "numpy"], default="auto"
+    )
+    srv.add_argument(
+        "--workers",
+        default="1",
+        help="process count for the envelope build ('auto' = all cores)",
+    )
+    srv.add_argument("--max-batch", type=int, default=256)
+    srv.add_argument(
+        "--coalesce-ms",
+        type=float,
+        default=1.0,
+        help="gathering window for query coalescing (0 = drain-only)",
     )
 
     sub.add_parser("info", help="version + experiment inventory")
@@ -231,6 +257,34 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.config import HsrConfig
+    from repro.service import ViewshedSession, serve
+
+    terrain = _load_terrain(args.terrain, args.seed)
+    workers = args.workers if args.workers == "auto" else int(args.workers)
+    config = HsrConfig(
+        engine=None if args.engine == "auto" else args.engine,
+        workers=workers,
+    )
+    session = ViewshedSession(terrain, config=config)
+    try:
+        asyncio.run(
+            serve(
+                session,
+                host=args.host,
+                port=args.port,
+                max_batch=args.max_batch,
+                coalesce_ms=args.coalesce_ms,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     from repro.bench.experiments import ALL_EXPERIMENTS
     from repro.terrain import GENERATORS
@@ -262,6 +316,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             + (["--full"] if args.full else [])
             + argv_out
         )
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "info":
         return _cmd_info(args)
     raise SystemExit(2)  # pragma: no cover - argparse enforces choices

@@ -1,0 +1,174 @@
+"""The unified run configuration: one frozen object through every front door.
+
+Every public entry point — :class:`~repro.hsr.sequential.SequentialHSR`,
+:class:`~repro.hsr.parallel.ParallelHSR`,
+:func:`~repro.envelope.build.build_envelope`, the
+:mod:`repro.hsr.queries` helpers and the
+:class:`~repro.service.ViewshedSession` query service — accepts a
+``config=`` :class:`HsrConfig`.  The dataclass replaces the keyword
+sprawl that had accreted across constructors (``engine=`` here,
+``eps=`` there, module-global toggles monkeypatched in tests, worker
+counts read from the environment) with a single immutable, hashable
+value that can be threaded through a whole pipeline, cached on, and
+compared.
+
+Resolution rule
+---------------
+Every optional field defaults to ``None`` meaning *use the library
+default*.  The library defaults remain the documented module globals —
+:data:`repro.envelope.engine.USE_PACKED_PROFILE`,
+:data:`repro.envelope.flat_splice.USE_FUSED_INSERT`, the
+``FLAT_*_CUTOFF`` constants — so existing ablation hooks (and the
+bench toggles) keep working, and a default-constructed ``HsrConfig()``
+changes nothing.  A field that *is* set wins over the global for the
+call it is threaded through, without mutating any process-wide state:
+two sessions with different configs can interleave safely.
+
+``workers`` selects real multi-process execution
+(:mod:`repro.parallel_exec`): ``1`` (default) stays in-process,
+``N > 1`` dispatches independent D&C merge groups to a process pool,
+``"auto"`` asks :func:`repro.parallel_exec.available_workers` (which
+honours ``REPRO_WORKERS``, the one environment override retained —
+documented in ``docs/API.md``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.geometry.primitives import EPS
+
+__all__ = ["HsrConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class HsrConfig:
+    """Immutable configuration for HSR runs and viewshed queries.
+
+    Parameters
+    ----------
+    engine:
+        Envelope kernel: ``"python"``, ``"numpy"``, or ``None``/
+        ``"auto"`` for the default (numpy when importable).
+    eps:
+        Geometric tolerance shared by every predicate.
+    workers:
+        Process count for the :mod:`repro.parallel_exec` layers; ``1``
+        means in-process, ``"auto"`` resolves via
+        :func:`repro.parallel_exec.available_workers`.
+    use_packed_profile / use_fused_insert / use_scalar_fastpaths:
+        Sequential-path kernel toggles; ``None`` defers to the module
+        globals (the documented defaults).
+    flat_merge_cutoff / flat_visibility_cutoff / flat_fused_cutoff:
+        Scalar-vs-array dispatch boundaries; ``None`` defers to the
+        measured defaults in :mod:`repro.envelope.engine`.
+    parallel_min_segments / parallel_min_pieces:
+        Input-size floors below which the parallel executor declines
+        (IPC would dominate); ``None`` defers to
+        :mod:`repro.parallel_exec` defaults.  Tests set them to ``0``
+        to exercise the pool on small fixtures.
+    """
+
+    engine: Optional[str] = None
+    eps: float = EPS
+    workers: Union[int, str] = 1
+    use_packed_profile: Optional[bool] = None
+    use_fused_insert: Optional[bool] = None
+    use_scalar_fastpaths: Optional[bool] = None
+    flat_merge_cutoff: Optional[int] = None
+    flat_visibility_cutoff: Optional[int] = None
+    flat_fused_cutoff: Optional[int] = None
+    parallel_min_segments: Optional[int] = None
+    parallel_min_pieces: Optional[int] = None
+
+    # -- resolution helpers (read the documented defaults lazily, so a
+    # -- default config always tracks the live module globals) --------
+
+    def resolved_engine(self) -> str:
+        from repro.envelope.engine import resolve_engine
+
+        return resolve_engine(self.engine)
+
+    def resolved_workers(self) -> int:
+        if self.workers == "auto":
+            from repro.parallel_exec import available_workers
+
+            return available_workers()
+        return max(1, int(self.workers))
+
+    def packed_profile(self) -> bool:
+        if self.use_packed_profile is not None:
+            return self.use_packed_profile
+        import repro.envelope.engine as _engine
+
+        return _engine.USE_PACKED_PROFILE
+
+    def fused_insert(self) -> bool:
+        if self.use_fused_insert is not None:
+            return self.use_fused_insert
+        import repro.envelope.flat_splice as _splice
+
+        return _splice.USE_FUSED_INSERT
+
+    def scalar_fastpaths(self) -> bool:
+        if self.use_scalar_fastpaths is not None:
+            return self.use_scalar_fastpaths
+        import repro.envelope.flat_splice as _splice
+
+        return _splice.USE_SCALAR_FASTPATHS
+
+    def merge_cutoff(self) -> int:
+        if self.flat_merge_cutoff is not None:
+            return self.flat_merge_cutoff
+        import repro.envelope.engine as _engine
+
+        return _engine.FLAT_MERGE_CUTOFF
+
+    def visibility_cutoff(self) -> int:
+        if self.flat_visibility_cutoff is not None:
+            return self.flat_visibility_cutoff
+        import repro.envelope.engine as _engine
+
+        return _engine.FLAT_VISIBILITY_CUTOFF
+
+    def fused_cutoff(self) -> int:
+        if self.flat_fused_cutoff is not None:
+            return self.flat_fused_cutoff
+        import repro.envelope.engine as _engine
+
+        return _engine.FLAT_FUSED_CUTOFF
+
+    # -- construction helpers -----------------------------------------
+
+    def replace(self, **changes: object) -> "HsrConfig":
+        """A copy with ``changes`` applied (frozen-dataclass idiom)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    @staticmethod
+    def resolve(
+        config: Optional["HsrConfig"],
+        *,
+        engine: Optional[str] = None,
+        eps: Optional[float] = None,
+    ) -> "HsrConfig":
+        """Normalise a front door's ``(config, engine=, eps=)`` inputs.
+
+        Explicit ``engine=`` / ``eps=`` keywords — kept on the
+        constructors as supported shorthand — override the
+        corresponding config fields; a missing config starts from
+        :data:`DEFAULT_CONFIG`.
+        """
+        out = config if config is not None else DEFAULT_CONFIG
+        changes: dict[str, object] = {}
+        if engine is not None:
+            changes["engine"] = engine
+        if eps is not None:
+            changes["eps"] = eps
+        return out.replace(**changes) if changes else out
+
+
+#: The all-defaults configuration (engine auto, in-process, module
+#: globals for every toggle).
+DEFAULT_CONFIG = HsrConfig()

@@ -30,7 +30,6 @@ import warnings
 from typing import Optional, Sequence
 
 from repro.envelope.chain import Envelope
-from repro.envelope.engine import resolve_engine
 from repro.envelope.merge import Crossing, MergeResult, merge_envelopes
 from repro.errors import EnvelopeError, KernelFault
 from repro.geometry.primitives import EPS
@@ -51,23 +50,43 @@ def build_envelope(
     segments: Sequence[ImageSegment],
     *,
     tracker: Optional[PramTracker] = None,
-    eps: float = EPS,
+    eps: Optional[float] = None,
     engine: Optional[str] = None,
+    config: Optional["HsrConfig"] = None,
 ) -> MergeResult:
     """Upper envelope of ``segments`` by parallel divide and conquer.
 
     Vertical projections are skipped (they have measure-zero image;
     see :meth:`Envelope.from_segment`).  Returns the envelope together
     with every crossing discovered on the way up and the total merge
-    work performed.  ``engine`` selects the merge kernel; both engines
-    return identical results and tracker charges.
+    work performed.  ``config`` (:class:`repro.config.HsrConfig`) is
+    the front door for engine/eps/worker selection; the ``engine=`` /
+    ``eps=`` keywords remain as shorthand and override the config.
+    Both engines return identical results and tracker charges.
+
+    A config with ``workers > 1`` dispatches the D&C subtrees to the
+    :mod:`repro.parallel_exec` process pool (bit-exact, guard site
+    ``parallel_exec``), falling back here when workers are unavailable
+    or the input is small.  Tracked runs stay in-process: the charge
+    replay needs the per-node ops the chunked build does not retain.
 
     The numpy path runs under guard site ``build_sweep``: its final
     envelope is validated (and any kernel exception caught) *before*
     crossings are collected or the tracker is replayed, so a faulted
     sweep degrades to the reference recursion with no double-charging.
     """
-    if resolve_engine(engine) == "numpy":
+    from repro.config import HsrConfig
+
+    cfg = HsrConfig.resolve(config, engine=engine, eps=eps)
+    eps = cfg.eps
+    if cfg.resolved_engine() == "numpy":
+        if tracker is None and cfg.resolved_workers() > 1:
+            from repro.parallel_exec import maybe_build_envelope
+
+            par = maybe_build_envelope(segments, eps=eps, config=cfg)
+            if par is not None:
+                fe, crossings, total_ops = par
+                return MergeResult(fe.to_envelope(), crossings, total_ops)
         if not _guard.GUARDS_ENABLED:
             return _build_envelope_numpy(segments, tracker=tracker, eps=eps)
         if not (

@@ -486,6 +486,8 @@ def _insert_fused(
     hi: int,
     win: int,
     eps: float,
+    fused_cutoff: "int | None" = None,
+    scalar_fastpaths: "bool | None" = None,
 ) -> "FlatInsertResult | None":
     """The fused visibility+merge insert (one sweep instead of a
     visibility pass plus a merge pass; see
@@ -507,8 +509,12 @@ def _insert_fused(
             return FlatInsertResult(new, vis, 2)
         return FlatInsertResult(profile, VisibilityResult([], [], 1), 1)
 
-    small = win < _engine.FLAT_FUSED_CUTOFF
-    if small and USE_SCALAR_FASTPATHS:
+    if fused_cutoff is None:
+        fused_cutoff = _engine.FLAT_FUSED_CUTOFF
+    if scalar_fastpaths is None:
+        scalar_fastpaths = USE_SCALAR_FASTPATHS
+    small = win < fused_cutoff
+    if small and scalar_fastpaths:
         return _insert_fused_small(
             profile, seg, lo, hi, win, y1, z1, y2, z2, eps, fused
         )
@@ -776,24 +782,45 @@ def _insert_segment_flat_impl(
     profile: FlatProfile,
     seg: ImageSegment,
     eps: float,
+    config=None,
 ) -> FlatInsertResult:
     """The kernel cascade behind :func:`insert_segment_flat` (fused
-    sweep / vectorized visibility / flat merge, cutoff-dispatched)."""
+    sweep / vectorized visibility / flat merge, cutoff-dispatched).
+
+    ``config`` (:class:`repro.config.HsrConfig`) overrides the module
+    toggles/cutoffs for this call; ``None`` reads the live globals —
+    the documented defaults, kept consultable per call so ablations
+    (and tests) that set them still apply.
+    """
     if seg.is_vertical:
         vis = _visible_vertical_flat(profile, seg, eps)
         return FlatInsertResult(profile, vis, vis.ops)
+
+    if config is None:
+        fused_on = USE_FUSED_INSERT
+        vis_cutoff = _engine.FLAT_VISIBILITY_CUTOFF
+        merge_cutoff = _engine.FLAT_MERGE_CUTOFF
+        fused_cutoff = scalar_fp = None
+    else:
+        fused_on = config.fused_insert()
+        vis_cutoff = config.visibility_cutoff()
+        merge_cutoff = config.merge_cutoff()
+        fused_cutoff = config.fused_cutoff()
+        scalar_fp = config.scalar_fastpaths()
 
     y1, z1, y2, z2 = seg.y1, seg.z1, seg.y2, seg.z2
     lo, hi = profile.pieces_overlapping(y1, y2)
     win = hi - lo
 
-    if USE_FUSED_INSERT and seg.source >= 0:
-        res = _insert_fused(profile, seg, lo, hi, win, eps)
+    if fused_on and seg.source >= 0:
+        res = _insert_fused(
+            profile, seg, lo, hi, win, eps, fused_cutoff, scalar_fp
+        )
         if res is not None:
             return res
 
     wlists = None
-    if win >= _engine.FLAT_VISIBILITY_CUTOFF:
+    if win >= vis_cutoff:
         vis = _engine.visibility_dispatch(
             seg, None, eps=eps, engine="numpy", window=profile.window(lo, hi)
         )
@@ -803,7 +830,7 @@ def _insert_segment_flat_impl(
     if not vis.parts:  # fully hidden: no splice, profile shared
         return FlatInsertResult(profile, vis, vis.ops)
 
-    if win + 1 >= _engine.FLAT_MERGE_CUTOFF:
+    if win + 1 >= merge_cutoff:
         res = _guarded_flat_merge(profile, seg, lo, hi, vis, eps)
         if res is not None:
             return res
@@ -971,6 +998,7 @@ def insert_segment_flat(
     seg: ImageSegment,
     *,
     eps: float = EPS,
+    config=None,
 ) -> FlatInsertResult:
     """Insert ``seg`` into ``profile``; see the module docstring.
 
@@ -988,7 +1016,7 @@ def insert_segment_flat(
     path, bit-exact.  ``REPRO_GUARDS=0`` strips the envelope.
     """
     if not _guard.GUARDS_ENABLED:
-        return _insert_segment_flat_impl(profile, seg, eps)
+        return _insert_segment_flat_impl(profile, seg, eps, config)
 
     global _tick
     _tick += 1
@@ -1002,7 +1030,7 @@ def insert_segment_flat(
         with _fi.suppressed():
             return _insert_reference(profile, seg, eps)
     try:
-        return _insert_segment_flat_impl(profile, seg, eps)
+        return _insert_segment_flat_impl(profile, seg, eps, config)
     except KernelFault:
         raise
     except Exception as exc:

@@ -20,7 +20,7 @@ from repro.hsr.intersect import all_intersections_lemma32
 from repro.hsr.naive import NaiveHSR
 from repro.hsr.parallel import ParallelHSR
 from repro.hsr.pct import PCT, build_pct
-from repro.hsr.queries import VisibilityOracle, point_visible
+from repro.hsr.queries import VisibilityOracle, point_visible, visible_many
 from repro.hsr.phase2 import PHASE2_MODES, Phase2Result, run_phase2
 from repro.hsr.result import (
     HsrResult,
@@ -54,6 +54,7 @@ __all__ = [
     "point_visible",
     "run_phase2",
     "visibility_graph",
+    "visible_many",
     "winner_regions",
 ]
 

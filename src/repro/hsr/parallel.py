@@ -23,7 +23,6 @@ import math
 import time
 from typing import Optional, Sequence
 
-from repro.geometry.primitives import EPS
 from repro.hsr.pct import build_pct
 from repro.hsr.phase2 import PHASE2_MODES, run_phase2
 from repro.hsr.result import HsrResult, HsrStats, VisibilityMap
@@ -47,11 +46,19 @@ class ParallelHSR:
         (treap splice merges; default) or ``"acg"`` (hull-pruned
         searches on the shared persistent structure — the paper's
         full machinery).  All three produce the same visibility map.
+    config:
+        :class:`repro.config.HsrConfig` — the unified front door.  A
+        config with ``workers > 1`` executes the Phase-1 and Phase-2
+        level merges across real cores (:mod:`repro.parallel_exec`),
+        bit-exact with the in-process run.  The ``eps=`` / ``engine=``
+        keywords remain as shorthand and override the config fields.
     eps:
         Geometric tolerance.
     backend:
-        Optional :class:`repro.pram.pool.ExecutionBackend` to execute
-        Phase-1 layers in real parallel processes.
+        Deprecated — the per-node pickling
+        :class:`repro.pram.pool.ExecutionBackend` lost to the batched
+        sweeps (experiment E8); use ``config=HsrConfig(workers=N)``
+        for real multi-core execution.  Still honoured when passed.
     measure_sharing:
         Record the Fig.-1/Fig.-3 sharing statistics (adds a full-tree
         traversal per layer; off by default).
@@ -66,20 +73,32 @@ class ParallelHSR:
         self,
         *,
         mode: str = "persistent",
-        eps: float = EPS,
+        eps: Optional[float] = None,
         backend: Optional[ExecutionBackend] = None,
         measure_sharing: bool = False,
         engine: Optional[str] = None,
+        config: Optional["HsrConfig"] = None,
     ):
+        from repro._compat import warn_once
+        from repro.config import HsrConfig
+
         if mode not in PHASE2_MODES:
             raise ValueError(
                 f"unknown mode {mode!r}; choose from {PHASE2_MODES}"
             )
+        if backend is not None:
+            warn_once(
+                "ParallelHSR.backend",
+                "ParallelHSR(backend=...) is deprecated; use"
+                " config=HsrConfig(workers=N) for multi-core"
+                " execution via repro.parallel_exec",
+            )
         self.mode = mode
-        self.eps = eps
+        self.config = HsrConfig.resolve(config, engine=engine, eps=eps)
+        self.eps = self.config.eps
         self.backend = backend
         self.measure_sharing = measure_sharing
-        self.engine = engine
+        self.engine = self.config.engine
 
     def run(
         self,
@@ -126,6 +145,7 @@ class ParallelHSR:
                         backend=self.backend,
                         measure_sharing=self.measure_sharing,
                         engine=self.engine,
+                        config=self.config,
                     )
                 with tracker.phase("phase2"):
                     ph2 = run_phase2(
@@ -136,6 +156,7 @@ class ParallelHSR:
                         tracker=tracker,
                         measure_sharing=self.measure_sharing,
                         engine=self.engine,
+                        config=self.config,
                     )
             else:
                 pct = build_pct(
@@ -145,6 +166,7 @@ class ParallelHSR:
                     backend=self.backend,
                     measure_sharing=self.measure_sharing,
                     engine=self.engine,
+                    config=self.config,
                 )
                 ph2 = run_phase2(
                     pct,
@@ -153,6 +175,7 @@ class ParallelHSR:
                     eps=self.eps,
                     measure_sharing=self.measure_sharing,
                     engine=self.engine,
+                    config=self.config,
                 )
 
         vmap = VisibilityMap()

@@ -110,6 +110,7 @@ def build_pct(
     backend: Optional[ExecutionBackend] = None,
     measure_sharing: bool = False,
     engine: Optional[str] = None,
+    config=None,
 ) -> PCT:
     """Run Phase 1 over ``tree``.
 
@@ -122,9 +123,14 @@ def build_pct(
     model is charged identically either way.  ``engine`` selects the
     merge kernel (see :mod:`repro.envelope.engine`); without a
     process-pool backend the NumPy engine batches each layer into one
-    array sweep.
+    array sweep.  A ``config`` (:class:`repro.config.HsrConfig`) with
+    ``workers > 1`` splits each layer's batched sweep across the
+    :mod:`repro.parallel_exec` process pool, bit-exact.
     """
     use_batch = resolve_engine(engine) == "numpy" and backend is None
+    use_pool = (
+        use_batch and config is not None and config.resolved_workers() > 1
+    )
     backend = backend or SerialBackend()
     pct = PCT(tree)
 
@@ -169,9 +175,21 @@ def build_pct(
                         for node in internals
                     ]
                 )
-                res = batch_merge(
-                    lefts, rights, eps=eps, record_crossings=False
-                )
+                res = None
+                if use_pool:
+                    from repro.parallel_exec import maybe_batch_merge
+
+                    res = maybe_batch_merge(
+                        lefts,
+                        rights,
+                        eps=eps,
+                        record_crossings=False,
+                        config=config,
+                    )
+                if res is None:
+                    res = batch_merge(
+                        lefts, rights, eps=eps, record_crossings=False
+                    )
                 ops_list = res.ops.tolist()
                 for g, node in enumerate(internals):
                     pct.flat_envelopes[node.index] = res.merged.group(g)

@@ -101,20 +101,25 @@ def run_phase2(
     tracker: Optional[PramTracker] = None,
     measure_sharing: bool = False,
     engine: Optional[str] = None,
+    config=None,
 ) -> Phase2Result:
     """Run Phase 2 over a built PCT (see module docstring).
 
     ``engine`` selects the envelope merge kernel for the ``direct``
     mode's array merges (see :mod:`repro.envelope.engine`); the
     persistent/ACG modes splice treap versions and take no kernel
-    choice.
+    choice.  A ``config`` (:class:`repro.config.HsrConfig`) with
+    ``workers > 1`` splits the ``direct`` mode's level merges across
+    the :mod:`repro.parallel_exec` process pool, bit-exact.
     """
     if mode not in PHASE2_MODES:
         raise HsrError(
             f"unknown phase-2 mode {mode!r}; choose from {PHASE2_MODES}"
         )
     if mode == "direct":
-        return _phase2_direct(pct, image_segments, eps, tracker, engine)
+        return _phase2_direct(
+            pct, image_segments, eps, tracker, engine, config
+        )
     return _phase2_persistent(
         pct,
         image_segments,
@@ -135,9 +140,10 @@ def _phase2_direct(
     eps: float,
     tracker: Optional[PramTracker],
     engine: Optional[str] = None,
+    config=None,
 ) -> Phase2Result:
     if resolve_engine(engine) == "numpy":
-        return _phase2_direct_flat(pct, image_segments, eps, tracker)
+        return _phase2_direct_flat(pct, image_segments, eps, tracker, config)
     tree = pct.tree
     out = Phase2Result()
     inherited: dict[int, Envelope] = {tree.root.index: Envelope.empty()}
@@ -183,6 +189,7 @@ def _phase2_direct_flat(
     image_segments: Sequence[ImageSegment],
     eps: float,
     tracker: Optional[PramTracker],
+    config=None,
 ) -> Phase2Result:
     """``direct`` mode on the NumPy kernel.
 
@@ -210,7 +217,16 @@ def _phase2_direct_flat(
     )
     from repro.envelope.flat_visibility import batch_visible_parts
 
-    if _engine.USE_PACKED_PROFILE:
+    packed = (
+        config.packed_profile()
+        if config is not None
+        else _engine.USE_PACKED_PROFILE
+    )
+    use_pool = config is not None and config.resolved_workers() > 1
+    if use_pool:
+        from repro.parallel_exec import maybe_batch_merge
+
+    if packed:
         from repro.envelope.packed import PackedProfile
     else:
         PackedProfile = None
@@ -261,7 +277,13 @@ def _phase2_direct_flat(
                     ]
                 )
                 rights = stack_envelopes([inters[i] for i in live])
-                res = batch_merge(lefts, rights, eps=eps)
+                res = None
+                if use_pool:
+                    res = maybe_batch_merge(
+                        lefts, rights, eps=eps, config=config
+                    )
+                if res is None:
+                    res = batch_merge(lefts, rights, eps=eps)
                 live_ops = res.ops.tolist()
                 live_cross = np.diff(
                     np.searchsorted(

@@ -10,53 +10,203 @@ to its height at its image ordinate, i.e. iff
 
 (strictly in front: edge xy-projection passes ``p.y`` at larger x).
 
-Two implementations are provided:
+Three implementations are provided:
 
 * :func:`point_visible` — direct evaluation: scan the edges once,
   O(n) per query, exact.  The reference.
+* :func:`visible_many` — the batch form: under ``engine="numpy"``
+  the per-edge scan vectorises over observer blocks (bit-exact with
+  the scalar scan — the running maximum is order-independent and the
+  interpolation replicates :meth:`~repro.geometry.segments.MapSegment.
+  x_at` / ``z_at`` including their endpoint shortcuts); under
+  ``engine="python"`` it is the scalar loop.
 * :class:`VisibilityOracle` — batch preprocessing: sorts edges front
   to back once and builds *prefix profiles* at checkpoints, answering
   each query from the nearest checkpoint profile plus a local scan —
   O(n/c · 1 + log) per query for ``c`` checkpoints, trading memory
   for query time.  Cross-checked against the reference in tests.
+
+All three take the observer either as a
+:class:`~repro.geometry.primitives.Point3` or as any ``(x, y, z)``
+sequence — the same observer type :class:`repro.service.
+ViewshedSession` accepts — and an :class:`repro.config.HsrConfig`;
+the old per-function ``eps=`` keyword still works but is deprecated
+(one warning per process) in favour of ``config``.
 """
 
 from __future__ import annotations
 
 import bisect
 import math
-from typing import Sequence
+from typing import Optional, Sequence, Union
 
+from repro._compat import warn_once
 from repro.envelope.chain import Envelope
 from repro.envelope.splice import insert_segment
-from repro.geometry.primitives import EPS, NEG_INF, Point3
+from repro.geometry.primitives import NEG_INF, Point3
 from repro.ordering.sweep import front_to_back_order
 from repro.terrain.model import Terrain
 
-__all__ = ["point_visible", "VisibilityOracle"]
+__all__ = ["point_visible", "visible_many", "VisibilityOracle", "Observer"]
+
+#: Any observer spec the query layer accepts: a ``Point3`` or a plain
+#: ``(x, y, z)`` sequence (the JSON shape the service receives).
+Observer = Union[Point3, Sequence[float]]
+
+
+def as_observer(p: Observer) -> Point3:
+    """Normalise an observer spec to :class:`Point3`."""
+    if isinstance(p, Point3):
+        return p
+    x, y, z = p
+    return Point3(float(x), float(y), float(z))
+
+
+def _resolve(config, eps, key: str):
+    """Shared ``(config, deprecated eps=)`` normalisation."""
+    from repro.config import HsrConfig
+
+    if eps is not None:
+        warn_once(
+            key,
+            f"{key}(..., eps=...) is deprecated; pass"
+            " config=HsrConfig(eps=...) instead",
+        )
+    return HsrConfig.resolve(config, eps=eps)
 
 
 def point_visible(
-    terrain: Terrain, p: Point3, *, eps: float = EPS
+    terrain: Terrain,
+    p: Observer,
+    *,
+    eps: Optional[float] = None,
+    config=None,
 ) -> bool:
     """True when ``p`` is visible from ``x = +inf`` (see module doc).
 
     Points strictly above every occluder are visible; a point exactly
-    on a front surface (within ``eps``) counts as visible — it *is*
-    the surface being seen.
+    on a front surface (within the config's ``eps``) counts as
+    visible — it *is* the surface being seen.
     """
+    cfg = _resolve(config, eps, "point_visible")
+    p = as_observer(p)
+    eps_v = cfg.eps
     best = NEG_INF
     for e in range(terrain.n_edges):
         m = terrain.map_segment(e)
         if not (m.y1 <= p.y <= m.y2):
             continue
-        if m.x_at(p.y) <= p.x + eps:
+        if m.x_at(p.y) <= p.x + eps_v:
             continue  # not strictly in front
         s = terrain.image_segment(e)
         z = s.z_at(p.y)
         if z > best:
             best = z
-    return best == NEG_INF or p.z >= best - eps
+    return best == NEG_INF or p.z >= best - eps_v
+
+
+#: Observers per vectorized block: bounds the (block × edges) broadcast
+#: temporaries to a few MB on realistic terrains.
+_POINT_BLOCK = 256
+
+
+def visible_many(
+    terrain: Terrain,
+    observers: Sequence[Observer],
+    *,
+    config=None,
+) -> list[bool]:
+    """Batch :func:`point_visible` over many observers.
+
+    Under the numpy engine the scan runs as blocked array sweeps over
+    (observer × edge) panels; results are bit-exact with the scalar
+    reference (asserted in ``tests/test_service.py``).
+    """
+    from repro.config import HsrConfig
+
+    cfg = HsrConfig.resolve(config)
+    points = [as_observer(p) for p in observers]
+    if cfg.resolved_engine() != "numpy" or terrain.n_edges == 0:
+        return [point_visible(terrain, p, config=cfg) for p in points]
+    return _visible_many_numpy(terrain, points, cfg.eps)
+
+
+def _terrain_query_arrays(terrain: Terrain):
+    """The per-edge lanes the vectorized point kernel scans: map-
+    segment endpoints (front test) and image-segment endpoints
+    (height evaluation), one row per edge."""
+    import numpy as np
+
+    n = terrain.n_edges
+    mat = np.empty((n, 8), dtype=np.float64)
+    for e in range(n):
+        m = terrain.map_segment(e)
+        s = terrain.image_segment(e)
+        mat[e] = (m.x1, m.y1, m.x2, m.y2, s.y1, s.z1, s.y2, s.z2)
+    return mat
+
+
+def _visible_many_numpy(
+    terrain: Terrain, points: Sequence[Point3], eps: float
+) -> list[bool]:
+    """Blocked vectorization of the reference scan.
+
+    Replicates the scalar float arithmetic exactly: ``lerp``'s
+    ``t == 0 / t == 1`` endpoint shortcuts become ``where`` selects
+    (``y == y1`` makes ``t`` exactly ``0.0`` and ``y == y2`` exactly
+    ``1.0``, so selecting on ``t`` covers the ``x_at``/``z_at``
+    shortcuts too), horizontal map segments and vertical image
+    segments take their max-endpoint branches, and every divide runs
+    on a masked-safe denominator (the numpy CI leg promotes
+    RuntimeWarning to error).  The reference's running ``max`` is
+    order-independent, so one array reduction matches it bitwise.
+    """
+    import numpy as np
+
+    mat = _terrain_query_arrays(terrain)
+    mx1, my1, mx2, my2 = mat[:, 0], mat[:, 1], mat[:, 2], mat[:, 3]
+    sy1, sz1, sy2, sz2 = mat[:, 4], mat[:, 5], mat[:, 6], mat[:, 7]
+    m_horiz = my1 == my2
+    s_vert = sy1 == sy2
+    m_top = np.maximum(mx1, mx2)
+    s_top = np.maximum(sz1, sz2)
+    md = np.where(m_horiz, 1.0, my2 - my1)
+    sd = np.where(s_vert, 1.0, sy2 - sy1)
+
+    out: list[bool] = []
+    for base in range(0, len(points), _POINT_BLOCK):
+        block = points[base : base + _POINT_BLOCK]
+        py = np.array([p.y for p in block])[:, None]
+        px = np.array([p.x for p in block])[:, None]
+        pz = np.array([p.z for p in block])[:, None]
+
+        covers = (my1 <= py) & (py <= my2)
+        tm = (py - my1) / md
+        xv = np.where(
+            m_horiz,
+            m_top,
+            np.where(
+                tm == 0.0,
+                mx1,
+                np.where(tm == 1.0, mx2, mx1 + (mx2 - mx1) * tm),
+            ),
+        )
+        front = covers & (xv > px + eps)
+
+        ts = (py - sy1) / sd
+        zv = np.where(
+            s_vert,
+            s_top,
+            np.where(
+                ts == 0.0,
+                sz1,
+                np.where(ts == 1.0, sz2, sz1 + (sz2 - sz1) * ts),
+            ),
+        )
+        best = np.where(front, zv, NEG_INF).max(axis=1)
+        vis = (best == NEG_INF) | (pz[:, 0] >= best - eps)
+        out.extend(bool(v) for v in vis)
+    return out
 
 
 class VisibilityOracle:
@@ -69,6 +219,9 @@ class VisibilityOracle:
     checkpoints:
         Number of prefix profiles to materialise (defaults to
         ``~sqrt(n)``, balancing memory against per-query scan length).
+    config:
+        :class:`repro.config.HsrConfig`; the old ``eps=`` keyword is
+        deprecated in its favour.
     """
 
     def __init__(
@@ -76,10 +229,13 @@ class VisibilityOracle:
         terrain: Terrain,
         *,
         checkpoints: int | None = None,
-        eps: float = EPS,
+        eps: Optional[float] = None,
+        config=None,
     ):
+        cfg = _resolve(config, eps, "VisibilityOracle")
         self.terrain = terrain
-        self.eps = eps
+        self.config = cfg
+        self.eps = cfg.eps
         self.order = front_to_back_order(terrain)
         n = len(self.order)
         c = checkpoints or max(1, int(math.isqrt(n)))
@@ -103,7 +259,7 @@ class VisibilityOracle:
             next_cut = next(cut_iter, None)  # type: ignore[assignment]
         for pos, edge in enumerate(self.order, start=1):
             env = insert_segment(
-                env, terrain.image_segment(edge), eps=eps
+                env, terrain.image_segment(edge), eps=self.eps
             ).envelope
             if next_cut is not None and pos == next_cut:
                 self._profiles.append(env)
@@ -117,7 +273,7 @@ class VisibilityOracle:
     def n_checkpoints(self) -> int:
         return len(self._profiles)
 
-    def visible(self, p: Point3) -> bool:
+    def visible(self, p: Observer) -> bool:
         """Visibility of ``p`` (matches :func:`point_visible`).
 
         Every ordered edge before the first one that covers ``p.y``
@@ -131,6 +287,7 @@ class VisibilityOracle:
         ray-shooting machinery of Reif–Sen that the paper's parallel
         structure replaces.
         """
+        p = as_observer(p)
         n = len(self.order)
         first_bad = n
         for i, m in enumerate(self._map_segs):
@@ -151,6 +308,6 @@ class VisibilityOracle:
                 best = z
         return best == NEG_INF or p.z >= best - self.eps
 
-    def visible_many(self, points: Sequence[Point3]) -> list[bool]:
+    def visible_many(self, points: Sequence[Observer]) -> list[bool]:
         """Batch query."""
         return [self.visible(p) for p in points]

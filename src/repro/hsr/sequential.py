@@ -21,9 +21,7 @@ import time
 from typing import Optional, Sequence
 
 from repro.envelope.chain import Envelope
-from repro.envelope.engine import resolve_engine
 from repro.envelope.splice import insert_segment
-from repro.geometry.primitives import EPS
 from repro.hsr.result import HsrResult, HsrStats, VisibilityMap
 from repro.ordering.sweep import front_to_back_order
 from repro.reliability import reliability_run
@@ -37,6 +35,11 @@ class SequentialHSR:
 
     Parameters
     ----------
+    config:
+        :class:`repro.config.HsrConfig` — the unified front door for
+        engine/eps/toggle selection.  The ``eps=`` / ``engine=``
+        keywords below remain as supported shorthand and override the
+        corresponding config fields.
     eps:
         Geometric tolerance (see :mod:`repro.envelope.visibility` for
         the visibility conventions).
@@ -62,10 +65,17 @@ class SequentialHSR:
     """
 
     def __init__(
-        self, *, eps: float = EPS, engine: Optional[str] = None
+        self,
+        *,
+        eps: Optional[float] = None,
+        engine: Optional[str] = None,
+        config: Optional["HsrConfig"] = None,
     ):
-        self.eps = eps
-        self.engine = engine
+        from repro.config import HsrConfig
+
+        self.config = HsrConfig.resolve(config, engine=engine, eps=eps)
+        self.eps = self.config.eps
+        self.engine = self.config.engine
 
     def _insert_loop(
         self,
@@ -80,15 +90,15 @@ class SequentialHSR:
         the run boundary.
         """
         eps = self.eps
-        flat = resolve_engine(self.engine) == "numpy"
+        config = self.config
+        flat = config.resolved_engine() == "numpy"
         if flat:
-            import repro.envelope.engine as _engine
             from repro.envelope.flat_splice import (
                 FlatProfile,
                 insert_segment_flat,
             )
 
-            if _engine.USE_PACKED_PROFILE:
+            if config.packed_profile():
                 from repro.envelope.packed import PackedProfile
 
                 # One buffer owned for the whole run: every insert
@@ -105,7 +115,7 @@ class SequentialHSR:
         for edge in order:
             seg = terrain.image_segment(edge)
             if flat:
-                res = insert_segment_flat(env, seg, eps=eps)
+                res = insert_segment_flat(env, seg, eps=eps, config=config)
                 env = res.profile
             else:
                 res = insert_segment(

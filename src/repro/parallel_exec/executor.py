@@ -1,0 +1,564 @@
+"""Multi-core execution of the level-batched D&C layers.
+
+Two parallel kernels, both bit-exact with the in-process engines:
+
+:func:`build_envelope_parallel`
+    The divide-and-conquer envelope build split at the reference
+    recursion's own ``mid = (lo + hi) // 2`` boundaries: the top
+    ``log2(chunks)`` tree levels stay in the parent, every subtree
+    below them builds in a worker process
+    (:func:`repro.envelope.flat.build_envelope_flat` on its contiguous
+    segment range — the relative splits coincide with the global ones
+    because ``(2·lo + n) // 2 == lo + n // 2``), and the parent merges
+    the chunk envelopes up with
+    :func:`~repro.envelope.flat.merge_envelopes_flat`.  Crossings
+    concatenate in the reference post-order (left subtree, right
+    subtree, node), and ``ops`` telescopes to leaf charges plus every
+    merge's elementary-interval count — the exact
+    :func:`~repro.envelope.build.build_envelope` contract.
+
+:func:`parallel_batch_merge`
+    One D&C level's independent merge groups
+    (:func:`repro.envelope.flat.batch_merge` semantics) partitioned
+    into contiguous, piece-balanced group ranges, one range per
+    worker.  Group independence is the existing batch invariant, so a
+    chunked run returns byte-identical arrays to the single sweep.
+
+Inputs ride :mod:`multiprocessing.shared_memory` blocks
+(:class:`~repro.parallel_exec.shm.ShmBundle`): the flat SoA arrays are
+written once and workers map the same pages, so per-task pickling is
+limited to a block name, a few ints, and the (small) result metadata.
+Workers are a lazily-created, process-wide ``fork``-context pool —
+forked children inherit the already-imported numpy and repro modules,
+making warm dispatch latency sub-millisecond.
+
+Failure model (the PR-6 guard-site pattern, site ``parallel_exec``):
+*unavailability* — no ``fork`` start method, pool creation failure, or
+an input below the IPC-amortisation floors — declines silently and the
+caller's in-process path runs; a *worker fault* mid-task is recorded
+via :func:`repro.reliability.guard.handle_fault` (strict mode raises
+:class:`~repro.errors.KernelFault`; guarded mode falls back bit-exact,
+and the circuit breaker quarantines the site after repeated faults).
+``REPRO_FAULT_INJECT=parallel_exec:raise:N`` exercises the whole
+recovery path in tests.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import KernelFault
+from repro.geometry.primitives import EPS
+from repro.geometry.segments import ImageSegment
+from repro.parallel_exec.shm import ShmBundle
+from repro.reliability import faultinject as _fi
+from repro.reliability import guard as _guard
+
+__all__ = [
+    "available_workers",
+    "build_envelope_parallel",
+    "parallel_batch_merge",
+    "maybe_build_envelope",
+    "maybe_batch_merge",
+    "shutdown",
+    "parallel_stats",
+    "reset_stats",
+    "PARALLEL_BUILD_MIN_SEGMENTS",
+    "PARALLEL_MERGE_MIN_PIECES",
+]
+
+_F = np.float64
+_I = np.int64
+
+SITE = "parallel_exec"
+
+#: Below these input sizes the in-process batched sweeps win outright
+#: (pool dispatch + page mapping cost ~100µs per level); measured on
+#: the E9 build workload, see ``docs/BENCHMARKS.md``.  Overridable per
+#: run via :class:`repro.config.HsrConfig` (tests set them to 0).
+PARALLEL_BUILD_MIN_SEGMENTS: int = 2048
+PARALLEL_MERGE_MIN_PIECES: int = 8192
+
+#: Observability counters (reset with :func:`reset_stats`): how often
+#: the pool engaged, declined, or faulted — the parity tests assert the
+#: parallel path actually executed rather than silently falling back.
+parallel_stats: dict[str, int] = {
+    "builds": 0,
+    "batched_merges": 0,
+    "chunks": 0,
+    "declined": 0,
+    "faults": 0,
+}
+
+
+def reset_stats() -> None:
+    for key in parallel_stats:
+        parallel_stats[key] = 0
+
+
+def available_workers() -> int:
+    """Worker count honouring ``REPRO_WORKERS`` (default: the CPUs this
+    process may schedule on).
+
+    The canonical home of the helper formerly in
+    :mod:`repro.pram.pool` — the one environment override the config
+    redesign retains, because "how many cores may I use" is a
+    deployment property, not an algorithm parameter.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+# -- pool lifecycle ----------------------------------------------------
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+
+
+def _get_pool(workers: int) -> Optional[ProcessPoolExecutor]:
+    """The process-wide fork pool, grown on demand; ``None`` when real
+    workers are unavailable on this platform."""
+    global _pool, _pool_workers
+    if _pool is not None and _pool_workers >= workers:
+        return _pool
+    import multiprocessing as mp
+
+    if "fork" not in mp.get_all_start_methods():  # pragma: no cover
+        return None
+    try:
+        pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=mp.get_context("fork")
+        )
+    except Exception:  # pragma: no cover - resource exhaustion
+        return None
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+    _pool = pool
+    _pool_workers = workers
+    return _pool
+
+
+def shutdown() -> None:
+    """Tear down the worker pool (idempotent; a later dispatch simply
+    re-creates it)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown)
+
+
+# -- worker tasks (module level: picklable by reference) ---------------
+
+_STACK_FIELDS = ("ya", "za", "yb", "zb", "source", "offsets")
+
+
+def _build_chunk_task(args: tuple) -> tuple:
+    """Worker: build the envelope of one contiguous segment chunk.
+
+    Returns ``(bundle_name, bundle_spec, crossings, ops)`` — the chunk
+    envelope rides a worker-created shared-memory block (the parent
+    attaches and unlinks it), crossings (already in the chunk subtree's
+    post-order) and the scalar ops total ride the result pickle.
+    """
+    name, spec, lo, hi, eps, record = args
+    from repro.envelope.flat import _postorder_index, build_envelope_flat
+
+    bundle = ShmBundle.attach(name, spec)
+    try:
+        rows = bundle["segments"][lo:hi].tolist()
+    finally:
+        bundle.close()
+    segs = [
+        ImageSegment(r[0], r[1], r[2], r[3], int(r[4])) for r in rows
+    ]
+    fb = build_envelope_flat(segs, eps=eps, record_crossings=record)
+    env = fb.envelope
+    out = ShmBundle.create(
+        {
+            "ya": env.ya,
+            "za": env.za,
+            "yb": env.yb,
+            "zb": env.zb,
+            "source": env.source,
+        }
+    )
+    out_name, out_spec = out.name, out.spec
+    out.close()  # keep the block; the parent unlinks it
+    if record:
+        order = _postorder_index(fb.n_segments)
+        crossings = fb.collect_crossings(
+            sorted(fb.node_crossings, key=order.__getitem__)
+        )
+    else:
+        crossings = []
+    return (out_name, out_spec, crossings, fb.n_segments + fb.total_merge_ops)
+
+
+def _slice_stack(stack, g_lo: int, g_hi: int):
+    """Groups ``[g_lo, g_hi)`` of a stacked set as a zero-copy
+    sub-stack with rebased offsets."""
+    from repro.envelope.flat import _Stacked
+
+    lo = int(stack.offsets[g_lo])
+    hi = int(stack.offsets[g_hi])
+    return _Stacked(
+        stack.ya[lo:hi],
+        stack.za[lo:hi],
+        stack.yb[lo:hi],
+        stack.zb[lo:hi],
+        stack.source[lo:hi],
+        np.asarray(stack.offsets[g_lo : g_hi + 1]) - lo,
+    )
+
+
+def _merge_chunk_task(args: tuple) -> tuple:
+    """Worker: run one contiguous group range of a batched merge.
+
+    The output arrays of :func:`~repro.envelope.flat.batch_merge` are
+    freshly allocated (never views of the input block), so they return
+    through the result pickle after the input mapping closes.
+    """
+    name, spec, g_lo, g_hi, eps, record = args
+    from repro.envelope.flat import _Stacked, batch_merge
+
+    bundle = ShmBundle.attach(name, spec)
+    try:
+        a = _slice_stack(
+            _Stacked(*(bundle["a_" + f] for f in _STACK_FIELDS)), g_lo, g_hi
+        )
+        b = _slice_stack(
+            _Stacked(*(bundle["b_" + f] for f in _STACK_FIELDS)), g_lo, g_hi
+        )
+        res = batch_merge(a, b, eps=eps, record_crossings=record)
+        m = res.merged
+        return (
+            np.ascontiguousarray(m.ya),
+            np.ascontiguousarray(m.za),
+            np.ascontiguousarray(m.yb),
+            np.ascontiguousarray(m.zb),
+            np.ascontiguousarray(m.source),
+            np.ascontiguousarray(m.offsets),
+            res.ops,
+            res.cross_group,
+            res.cross_y,
+            res.cross_z,
+            res.cross_front,
+            res.cross_back,
+        )
+    finally:
+        bundle.close()
+
+
+# -- parallel D&C build ------------------------------------------------
+
+
+def _chunk_bounds(lo: int, hi: int, depth: int) -> list[tuple[int, int]]:
+    """Leaf ranges of the top ``depth`` levels of the reference
+    recursion (split at ``(lo + hi) // 2``, exactly)."""
+    if depth == 0:
+        return [(lo, hi)]
+    mid = (lo + hi) // 2
+    return _chunk_bounds(lo, mid, depth - 1) + _chunk_bounds(
+        mid, hi, depth - 1
+    )
+
+
+def build_envelope_parallel(
+    segments: Sequence[ImageSegment],
+    *,
+    eps: float = EPS,
+    workers: int,
+    record_crossings: bool = True,
+    min_segments: Optional[int] = None,
+) -> Optional[tuple]:
+    """Multi-core upper-envelope build; see the module docstring.
+
+    Returns ``(FlatEnvelope, crossings, total_ops)`` — bit-exact with
+    :func:`repro.envelope.build.build_envelope` — or ``None`` when the
+    pool is unavailable or the input is below the IPC floor (the caller
+    runs its in-process path).  Worker exceptions propagate; wrap via
+    :func:`maybe_build_envelope` for the guarded front door.
+    """
+    from repro.envelope.flat import (
+        FlatEnvelope,
+        _tuples_to_matrix,
+        merge_envelopes_flat,
+    )
+
+    floor = (
+        PARALLEL_BUILD_MIN_SEGMENTS if min_segments is None else min_segments
+    )
+    all_mat = (
+        _tuples_to_matrix(segments)
+        if len(segments)
+        else np.empty((0, 5), _F)
+    )
+    seg_mat = np.ascontiguousarray(all_mat[all_mat[:, 0] != all_mat[:, 2]])
+    m = len(seg_mat)
+    if workers < 2 or m < max(floor, 8):
+        parallel_stats["declined"] += 1
+        return None
+    depth = max(1, math.ceil(math.log2(min(workers, m // 2))))
+    while (1 << depth) * 2 > m:  # every chunk keeps >= 2 segments
+        depth -= 1
+    if depth < 1:
+        parallel_stats["declined"] += 1
+        return None
+    pool = _get_pool(min(workers, 1 << depth))
+    if pool is None:  # pragma: no cover - platform without fork
+        parallel_stats["declined"] += 1
+        return None
+
+    bounds = _chunk_bounds(0, m, depth)
+    bundle = ShmBundle.create({"segments": seg_mat})
+    try:
+        futures = [
+            pool.submit(
+                _build_chunk_task,
+                (bundle.name, bundle.spec, lo, hi, eps, record_crossings),
+            )
+            for lo, hi in bounds
+        ]
+        results = [f.result() for f in futures]
+    finally:
+        bundle.unlink()
+
+    chunk_envs: dict[tuple[int, int], tuple] = {}
+    child_bundles = []
+    try:
+        for (lo, hi), (out_name, out_spec, crossings, ops) in zip(
+            bounds, results
+        ):
+            child = ShmBundle.attach(out_name, out_spec)
+            child_bundles.append(child)
+            env = FlatEnvelope(
+                child["ya"],
+                child["za"],
+                child["yb"],
+                child["zb"],
+                child["source"],
+            )
+            chunk_envs[(lo, hi)] = (env, crossings, ops)
+
+        def assemble(lo: int, hi: int, d: int) -> tuple:
+            if d == 0:
+                return chunk_envs[(lo, hi)]
+            mid = (lo + hi) // 2
+            env_l, cross_l, ops_l = assemble(lo, mid, d - 1)
+            env_r, cross_r, ops_r = assemble(mid, hi, d - 1)
+            res = merge_envelopes_flat(
+                env_l, env_r, eps=eps, record_crossings=record_crossings
+            )
+            return (
+                res.envelope,
+                cross_l + cross_r + res.crossings,
+                ops_l + ops_r + res.ops,
+            )
+
+        # Non-empty chunks make every top merge allocate fresh output
+        # arrays, so the final envelope never aliases worker memory.
+        env, crossings, total_ops = assemble(0, m, depth)
+    finally:
+        for child in child_bundles:
+            child.unlink()
+
+    parallel_stats["builds"] += 1
+    parallel_stats["chunks"] += len(bounds)
+    return env, crossings, total_ops
+
+
+# -- parallel batched level merge --------------------------------------
+
+
+def parallel_batch_merge(
+    a,
+    b,
+    *,
+    eps: float = EPS,
+    record_crossings: bool = True,
+    workers: int,
+    min_pieces: Optional[int] = None,
+):
+    """One level's independent merge groups across real cores.
+
+    Byte-identical to :func:`repro.envelope.flat.batch_merge` on the
+    same stacks (group independence is the batch invariant); returns
+    ``None`` when the pool is unavailable or the level is below the
+    IPC floor.  Worker exceptions propagate; wrap via
+    :func:`maybe_batch_merge` for the guarded call sites.
+    """
+    from repro.envelope.flat import _BatchOut, _Stacked
+
+    G = a.n_groups
+    total_pieces = len(a.ya) + len(b.ya)
+    floor = PARALLEL_MERGE_MIN_PIECES if min_pieces is None else min_pieces
+    if workers < 2 or G < 2 or total_pieces < max(floor, 2):
+        parallel_stats["declined"] += 1
+        return None
+
+    # Contiguous group ranges balanced by total piece count (a level's
+    # group sizes are highly skewed near the recursion root).
+    weights = np.diff(np.asarray(a.offsets)) + np.diff(
+        np.asarray(b.offsets)
+    )
+    cum = np.cumsum(weights)
+    n_chunks = min(workers, G)
+    targets = np.arange(1, n_chunks) * (float(cum[-1]) / n_chunks)
+    cuts = np.searchsorted(cum, targets, side="left") + 1
+    bounds_g = sorted({0, G, *(int(c) for c in cuts if 0 < int(c) < G)})
+    pairs = list(zip(bounds_g[:-1], bounds_g[1:]))
+    if len(pairs) < 2:
+        parallel_stats["declined"] += 1
+        return None
+    pool = _get_pool(min(workers, len(pairs)))
+    if pool is None:  # pragma: no cover - platform without fork
+        parallel_stats["declined"] += 1
+        return None
+
+    payload = {}
+    for prefix, stack in (("a_", a), ("b_", b)):
+        for field in _STACK_FIELDS:
+            payload[prefix + field] = np.ascontiguousarray(
+                getattr(stack, field)
+            )
+    bundle = ShmBundle.create(payload)
+    try:
+        futures = [
+            pool.submit(
+                _merge_chunk_task,
+                (bundle.name, bundle.spec, g_lo, g_hi, eps, record_crossings),
+            )
+            for g_lo, g_hi in pairs
+        ]
+        results = [f.result() for f in futures]
+    finally:
+        bundle.unlink()
+
+    off_parts = [np.zeros(1, _I)]
+    base = 0
+    for r in results:
+        off = r[5]
+        off_parts.append(off[1:] + base)
+        base += int(off[-1])
+    merged = _Stacked(
+        np.concatenate([r[0] for r in results]),
+        np.concatenate([r[1] for r in results]),
+        np.concatenate([r[2] for r in results]),
+        np.concatenate([r[3] for r in results]),
+        np.concatenate([r[4] for r in results]),
+        np.concatenate(off_parts),
+    )
+    ops = np.concatenate([r[6] for r in results])
+    cross_group = np.concatenate(
+        [r[7] + g_lo for r, (g_lo, _g_hi) in zip(results, pairs)]
+    )
+    out = _BatchOut(
+        merged,
+        ops,
+        cross_group,
+        np.concatenate([r[8] for r in results]),
+        np.concatenate([r[9] for r in results]),
+        np.concatenate([r[10] for r in results]),
+        np.concatenate([r[11] for r in results]),
+    )
+    parallel_stats["batched_merges"] += 1
+    parallel_stats["chunks"] += len(pairs)
+    return out
+
+
+# -- guarded front doors ----------------------------------------------
+
+
+def maybe_build_envelope(
+    segments: Sequence[ImageSegment], *, eps: float, config
+) -> Optional[tuple]:
+    """Guard-site wrapper around :func:`build_envelope_parallel` for
+    :func:`repro.envelope.build.build_envelope`: ``None`` means "use
+    the in-process path" (declined, quarantined, or a recorded worker
+    fault in guarded mode)."""
+    workers = config.resolved_workers()
+    if workers < 2:
+        return None
+    if _guard.GUARDS_ENABLED and (
+        _guard.ANY_QUARANTINED and _guard.is_quarantined(SITE)
+    ):
+        return None
+    try:
+        if _fi.ARMED:
+            _fi.trip(SITE)
+        res = build_envelope_parallel(
+            segments,
+            eps=eps,
+            workers=workers,
+            record_crossings=True,
+            min_segments=config.parallel_min_segments,
+        )
+        if res is not None and _guard.GUARDS_ENABLED:
+            env = res[0]
+            if _fi.ARMED:
+                env = _fi.corrupt_flat(SITE, env)
+                res = (env, res[1], res[2])
+            _guard.check_flat(SITE, env.ya, env.za, env.yb, env.zb)
+        return res
+    except KernelFault:
+        raise
+    except Exception as exc:
+        if not _guard.GUARDS_ENABLED:
+            raise
+        _guard.handle_fault(SITE, exc)
+        parallel_stats["faults"] += 1
+        return None
+
+
+def maybe_batch_merge(
+    a, b, *, eps: float, record_crossings: bool = True, config=None
+):
+    """Guard-site wrapper around :func:`parallel_batch_merge` for the
+    Phase-1/Phase-2 level merges: ``None`` means "run the in-process
+    :func:`~repro.envelope.flat.batch_merge`"."""
+    workers = config.resolved_workers() if config is not None else 1
+    if workers < 2:
+        return None
+    if _guard.GUARDS_ENABLED and (
+        _guard.ANY_QUARANTINED and _guard.is_quarantined(SITE)
+    ):
+        return None
+    try:
+        if _fi.ARMED:
+            _fi.trip(SITE)
+        return parallel_batch_merge(
+            a,
+            b,
+            eps=eps,
+            record_crossings=record_crossings,
+            workers=workers,
+            min_pieces=(
+                config.parallel_min_pieces if config is not None else None
+            ),
+        )
+    except KernelFault:
+        raise
+    except Exception as exc:
+        if not _guard.GUARDS_ENABLED:
+            raise
+        _guard.handle_fault(SITE, exc)
+        parallel_stats["faults"] += 1
+        return None

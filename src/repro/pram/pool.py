@@ -14,7 +14,6 @@ measures exactly this).
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Protocol, Sequence, TypeVar
 
@@ -46,14 +45,19 @@ class ExecutionBackend(Protocol):
 
 
 def available_workers() -> int:
-    """Worker count honouring ``REPRO_WORKERS`` (default: CPU count)."""
-    env = os.environ.get("REPRO_WORKERS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
-    return os.cpu_count() or 1
+    """Deprecated alias — the helper moved to
+    :func:`repro.parallel_exec.available_workers` with the real
+    multi-core executor.  This shim forwards (and warns once)."""
+    from repro._compat import warn_once
+    from repro.parallel_exec import available_workers as _impl
+
+    warn_once(
+        "pram.pool.available_workers",
+        "repro.pram.pool.available_workers moved to"
+        " repro.parallel_exec.available_workers; the old import path"
+        " will be removed in a future release",
+    )
+    return _impl()
 
 
 class SerialBackend:
@@ -80,7 +84,13 @@ class ProcessBackend:
     """
 
     def __init__(self, workers: int | None = None):
-        self.workers = workers or available_workers()
+        if workers is None:
+            from repro.parallel_exec import (
+                available_workers as _available_workers,
+            )
+
+            workers = _available_workers()
+        self.workers = workers
         self._pool = ProcessPoolExecutor(max_workers=self.workers)
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:

@@ -65,6 +65,7 @@ SITES = (
     "fused_insert",
     "packed_splice",
     "build_sweep",
+    "parallel_exec",
     "phase2_merge",
     "phase2_visibility",
     "profile",

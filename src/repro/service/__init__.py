@@ -1,0 +1,27 @@
+"""The batched viewshed query service.
+
+The production face of the reproduction: a synchronous query core
+(:class:`~repro.service.session.ViewshedSession` — horizon envelope
+per terrain, cached by content hash, queries answered by the batched
+visibility kernels) and a stdlib-asyncio JSON-lines server
+(:mod:`repro.service.server`) that coalesces concurrent client
+queries into single batched launches.  Start one from the CLI with
+``repro serve``.
+"""
+
+from repro.service.session import (
+    DEFAULT_CACHE,
+    EnvelopeCache,
+    ViewshedSession,
+    terrain_fingerprint,
+)
+from repro.service.server import ViewshedServer, serve
+
+__all__ = [
+    "ViewshedSession",
+    "ViewshedServer",
+    "EnvelopeCache",
+    "DEFAULT_CACHE",
+    "terrain_fingerprint",
+    "serve",
+]

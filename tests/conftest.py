@@ -29,6 +29,7 @@ if not HAVE_NUMPY:  # pragma: no cover - numpy ships in the toolchain
         "test_hsr_property.py",
         "test_hsr_queries.py",
         "test_hsr_zbuffer.py",
+        "test_parallel_exec.py",
         "test_ordering.py",
         "test_adversarial.py",
         "test_reliability.py",

@@ -1,0 +1,140 @@
+"""Tests for :class:`repro.config.HsrConfig` — the unified front door."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, HsrConfig
+
+
+class TestValueSemantics:
+    def test_frozen(self):
+        cfg = HsrConfig()
+        with pytest.raises(Exception):
+            cfg.eps = 1.0  # type: ignore[misc]
+
+    def test_hashable_and_comparable(self):
+        assert HsrConfig(workers=2) == HsrConfig(workers=2)
+        assert HsrConfig(workers=2) != HsrConfig(workers=3)
+        assert hash(HsrConfig(eps=1e-9)) == hash(HsrConfig(eps=1e-9))
+        assert len({HsrConfig(), HsrConfig(), HsrConfig(engine="python")}) == 2
+
+    def test_replace(self):
+        cfg = HsrConfig(engine="python")
+        out = cfg.replace(workers=4)
+        assert out.engine == "python" and out.workers == 4
+        assert cfg.workers == 1  # original untouched
+
+
+class TestResolve:
+    def test_none_is_default(self):
+        assert HsrConfig.resolve(None) is DEFAULT_CONFIG
+
+    def test_passthrough_without_overrides(self):
+        cfg = HsrConfig(workers=2)
+        assert HsrConfig.resolve(cfg) is cfg
+
+    def test_keyword_overrides_win(self):
+        cfg = HsrConfig(engine="numpy", eps=1e-9)
+        out = HsrConfig.resolve(cfg, engine="python", eps=1e-6)
+        assert out.engine == "python" and out.eps == 1e-6
+        assert cfg.engine == "numpy"  # original untouched
+
+    def test_resolved_workers(self):
+        assert HsrConfig(workers=3).resolved_workers() == 3
+        assert HsrConfig(workers=0).resolved_workers() == 1
+
+    def test_workers_auto_honours_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert HsrConfig(workers="auto").resolved_workers() == 5
+
+    def test_resolved_engine_python(self):
+        assert HsrConfig(engine="python").resolved_engine() == "python"
+
+    def test_resolved_engine_auto(self):
+        pytest.importorskip("numpy")
+        assert HsrConfig().resolved_engine() == "numpy"
+
+
+class TestToggleDeferral:
+    """``None`` fields track the live module globals; set fields win
+    without mutating any process-wide state."""
+
+    def test_packed_profile_tracks_global(self, monkeypatch):
+        import repro.envelope.engine as engine
+
+        cfg = HsrConfig()
+        monkeypatch.setattr(engine, "USE_PACKED_PROFILE", True)
+        assert cfg.packed_profile() is True
+        monkeypatch.setattr(engine, "USE_PACKED_PROFILE", False)
+        assert cfg.packed_profile() is False
+
+    def test_explicit_field_wins(self, monkeypatch):
+        import repro.envelope.engine as engine
+
+        monkeypatch.setattr(engine, "USE_PACKED_PROFILE", False)
+        assert HsrConfig(use_packed_profile=True).packed_profile() is True
+        assert engine.USE_PACKED_PROFILE is False  # global untouched
+
+    def test_cutoffs_defer_to_engine_defaults(self):
+        import repro.envelope.engine as engine
+
+        cfg = HsrConfig()
+        assert cfg.merge_cutoff() == engine.FLAT_MERGE_CUTOFF
+        assert cfg.visibility_cutoff() == engine.FLAT_VISIBILITY_CUTOFF
+        assert cfg.fused_cutoff() == engine.FLAT_FUSED_CUTOFF
+        assert HsrConfig(flat_merge_cutoff=7).merge_cutoff() == 7
+
+    def test_fused_toggles_defer_to_splice(self):
+        pytest.importorskip("numpy")
+        import repro.envelope.flat_splice as splice
+
+        cfg = HsrConfig()
+        assert cfg.fused_insert() == splice.USE_FUSED_INSERT
+        assert cfg.scalar_fastpaths() == splice.USE_SCALAR_FASTPATHS
+        assert HsrConfig(use_fused_insert=False).fused_insert() is False
+
+
+class TestConfigThreading:
+    """Toggle ablations via config fields (no monkeypatching) stay
+    bit-exact with the defaults."""
+
+    @pytest.fixture
+    def terrain(self):
+        pytest.importorskip("numpy")
+        from repro.terrain.generators import fractal_terrain
+
+        return fractal_terrain(size=9, seed=5)
+
+    def test_sequential_packed_toggle_parity(self, terrain):
+        from repro.hsr.sequential import SequentialHSR
+
+        base = SequentialHSR(config=HsrConfig(engine="python")).run(terrain)
+        for packed in (False, True):
+            cfg = HsrConfig(engine="numpy", use_packed_profile=packed)
+            res = SequentialHSR(config=cfg).run(terrain)
+            assert res.k == base.k
+            assert (
+                res.visibility_map.segments == base.visibility_map.segments
+            )
+
+    def test_parallel_engine_config_parity(self, terrain):
+        from repro.hsr.parallel import ParallelHSR
+
+        ref = ParallelHSR(mode="direct", engine="python").run(terrain)
+        via_cfg = ParallelHSR(
+            mode="direct", config=HsrConfig(engine="numpy")
+        ).run(terrain)
+        assert via_cfg.k == ref.k
+        assert (
+            via_cfg.visibility_map.segments == ref.visibility_map.segments
+        )
+
+    def test_eps_threads_through_constructor(self):
+        from repro.hsr.sequential import SequentialHSR
+
+        algo = SequentialHSR(config=HsrConfig(eps=1e-7))
+        assert algo.eps == 1e-7
+        # keyword shorthand overrides the config field
+        algo = SequentialHSR(eps=1e-5, config=HsrConfig(eps=1e-7))
+        assert algo.eps == 1e-5

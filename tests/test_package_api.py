@@ -4,29 +4,52 @@ from __future__ import annotations
 
 import subprocess
 import sys
+import warnings
 
 import pytest
 
 import repro
 from repro import errors
+from repro._compat import reset_deprecation_registry
+
+#: The complete top-level surface — an exact pin, so accidental
+#: additions and removals both fail loudly.
+EXPECTED_ALL = [
+    "__version__",
+    "HsrConfig",
+    "DEFAULT_CONFIG",
+    "Terrain",
+    "generate_terrain",
+    "ParallelHSR",
+    "SequentialHSR",
+    "NaiveHSR",
+    "VisibilityMap",
+    "point_visible",
+    "visible_many",
+    "VisibilityOracle",
+    "batch_visible_parts",
+    "ViewshedSession",
+    "ViewshedServer",
+    "PramTracker",
+    "Envelope",
+    "ReliabilityReport",
+    "reliability_run",
+    "validate_terrain",
+    "validate_segments",
+]
 
 
 class TestLazyTopLevel:
     def test_version(self):
         assert repro.__version__ == "1.0.0"
 
+    def test_exact_public_surface(self):
+        assert sorted(repro.__all__) == sorted(EXPECTED_ALL)
+
     def test_lazy_exports_resolve(self):
-        for name in (
-            "Terrain",
-            "generate_terrain",
-            "ParallelHSR",
-            "SequentialHSR",
-            "NaiveHSR",
-            "VisibilityMap",
-            "PramTracker",
-            "Envelope",
-        ):
-            assert getattr(repro, name) is not None
+        pytest.importorskip("numpy")  # batch_visible_parts needs arrays
+        for name in EXPECTED_ALL:
+            assert getattr(repro, name) is not None, name
 
     def test_unknown_attribute(self):
         with pytest.raises(AttributeError, match="no attribute"):
@@ -52,6 +75,105 @@ class TestLazyTopLevel:
             check=True,
         )
         assert "lazy-ok" in out.stdout
+
+
+class TestImportIsWarningClean:
+    def test_import_clean_under_error_deprecation(self):
+        # The acceptance bar from the API redesign: importing the
+        # package (and resolving the whole lazy surface) never emits
+        # a DeprecationWarning — only deprecated *usage* does.
+        code = (
+            "import repro\n"
+            "for name in repro.__all__:\n"
+            "    getattr(repro, name)\n"
+            "print('clean')\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning", "-c", code],
+            capture_output=True,
+            text=True,
+        )
+        assert out.returncode == 0, out.stderr
+        assert "clean" in out.stdout
+
+
+class TestDeprecatedPathsWarnOnce:
+    """Each superseded call path emits exactly one DeprecationWarning
+    per process (warn-once registry), then stays silent."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_registry(self):
+        reset_deprecation_registry()
+        yield
+        reset_deprecation_registry()
+
+    @staticmethod
+    def _count_deprecations(fn):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fn()
+            fn()  # second call must be silent
+        return sum(
+            1 for w in caught if issubclass(w.category, DeprecationWarning)
+        )
+
+    def test_pram_pool_available_workers(self):
+        from repro.pram import pool
+
+        assert self._count_deprecations(pool.available_workers) == 1
+
+    def test_parallel_hsr_backend_kwarg(self):
+        from repro.hsr.parallel import ParallelHSR
+        from repro.pram.pool import SerialBackend
+
+        assert (
+            self._count_deprecations(
+                lambda: ParallelHSR(backend=SerialBackend())
+            )
+            == 1
+        )
+
+    def test_point_visible_eps_kwarg(self):
+        pytest.importorskip("numpy")
+        from repro.hsr.queries import point_visible
+        from repro.terrain.generators import fractal_terrain
+
+        terrain = fractal_terrain(size=5, seed=0)
+        assert (
+            self._count_deprecations(
+                lambda: point_visible(terrain, (1.0, 1.0, 99.0), eps=1e-9)
+            )
+            == 1
+        )
+
+    def test_visibility_oracle_eps_kwarg(self):
+        pytest.importorskip("numpy")
+        from repro.hsr.queries import VisibilityOracle
+        from repro.terrain.generators import fractal_terrain
+
+        terrain = fractal_terrain(size=5, seed=0)
+        assert (
+            self._count_deprecations(
+                lambda: VisibilityOracle(terrain, eps=1e-9)
+            )
+            == 1
+        )
+
+    def test_config_path_never_warns(self):
+        pytest.importorskip("numpy")
+        from repro.config import HsrConfig
+        from repro.hsr.queries import point_visible
+        from repro.terrain.generators import fractal_terrain
+
+        terrain = fractal_terrain(size=5, seed=0)
+        assert (
+            self._count_deprecations(
+                lambda: point_visible(
+                    terrain, (1.0, 1.0, 99.0), config=HsrConfig(eps=1e-9)
+                )
+            )
+            == 0
+        )
 
 
 class TestErrorHierarchy:
@@ -87,13 +209,15 @@ class TestSubpackageAll:
             "repro.hsr",
             "repro.render",
             "repro.bench",
+            "repro.service",
+            "repro.parallel_exec",
         ],
     )
     def test_all_names_exist(self, module_name):
         import importlib
 
-        if module_name == "repro.bench":
-            # The experiment harness drives the full pipeline.
+        if module_name in ("repro.bench", "repro.parallel_exec"):
+            # The experiment harness and the executor are array-based.
             pytest.importorskip("numpy")
         mod = importlib.import_module(module_name)
         for name in mod.__all__:
