@@ -6,14 +6,14 @@ from __future__ import annotations
 from benchmarks.conftest import attach_table
 from repro.bench.harness import run_experiment
 from repro.hsr.parallel import ParallelHSR
-from repro.persistence import treap
 
 
 def test_e5_persistent_phase2(benchmark, fractal_small):
     def run():
-        before = treap.allocation_count()
-        ParallelHSR(mode="persistent").run(fractal_small)
-        return treap.allocation_count() - before
+        # Backend-agnostic: phase 2 reports its own allocation delta
+        # (treap nodes or rope chunk slots — same unit).
+        res = ParallelHSR(mode="persistent").run(fractal_small)
+        return res.stats.extra["nodes_allocated"]
 
     allocated = benchmark(run)
     benchmark.extra_info["nodes_allocated"] = allocated

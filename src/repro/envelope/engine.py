@@ -83,6 +83,8 @@ __all__ = [
     "FLAT_VISIBILITY_CUTOFF",
     "FLAT_FUSED_CUTOFF",
     "USE_PACKED_PROFILE",
+    "USE_CHUNKED_PROFILE",
+    "CHUNKED_PROFILE_CUTOFF",
 ]
 
 try:  # pragma: no cover - exercised implicitly on import
@@ -128,6 +130,24 @@ FLAT_FUSED_CUTOFF: int = 64
 #: layouts produce bit-identical results; the switch is wall-clock
 #: (and allocation-behaviour) only.
 USE_PACKED_PROFILE: bool = True
+
+#: Promote the live packed profile to the chunked gap-buffer layout
+#: (:class:`repro.envelope.packed.ChunkedProfile`) once it holds at
+#: least :data:`CHUNKED_PROFILE_CUTOFF` pieces.  The chunked layout
+#: bounds a size-changing splice's data movement by the chunk size
+#: instead of the packed buffer's O(min(head, tail)) side shift —
+#: asymptotically better on large clustered-splice profiles, but it
+#: pays two-level Python lookups on every query.  Measured on the
+#: recorded machine's wide-strip family it does not beat the packed
+#: memmove at the bench sizes (the ``sequential-chunked-ablation``
+#: row tracks it), so the default stays off; results are bit-exact
+#: either way.
+USE_CHUNKED_PROFILE: bool = False
+
+#: Live-profile piece count at which :data:`USE_CHUNKED_PROFILE`
+#: promotes the packed buffer to chunks (below it the single memmove
+#: always wins).
+CHUNKED_PROFILE_CUTOFF: int = 1024
 
 
 def resolve_engine(engine: Optional[str]) -> str:

@@ -103,6 +103,65 @@ STREAM_MERGE_MIN_EVENTS = 4096
 #: the honest negative result is kept measurable.
 USE_RUN_EMISSION = False
 
+#: Ablation switch for the per-level event-buffer arena in
+#: :func:`_sweep` (ROADMAP item 5): a divide-and-conquer build calls
+#: the sweep once per level and each call used to ``np.empty`` four
+#: event-sized buffers; the arena reuses one grown-on-demand
+#: allocation across levels instead.  Both paths produce identical
+#: results — every borrowed buffer is fully consumed (copied out by
+#: fancy indexing) before the sweep returns.  Measured on the
+#: recorded machine the arena is ~2% *slower* at m=8192 (the
+#: ``build-sweep-scratch-ablation`` bench row tracks it): glibc
+#: already recycles the level-sized blocks malloc-side, and the
+#: arena's extra ``fill(-1)`` pass plus slice bookkeeping costs more
+#: than the avoided ``np.empty`` — so, like :data:`USE_RUN_EMISSION`,
+#: the default stays off and the negative result stays measurable.
+USE_SWEEP_SCRATCH = False
+
+
+class _SweepScratch:
+    """Grown-on-demand event buffers shared across :func:`_sweep`
+    calls (one float64, two int64, one bool row — exactly the per-call
+    transient set of both the leaf and the stream-merge path).  The
+    ``busy`` flag makes re-entrant borrowing fall back to fresh
+    allocations rather than alias a live buffer."""
+
+    __slots__ = ("f", "ia", "ib", "b", "busy")
+
+    def __init__(self) -> None:
+        self.f = np.empty(0, _F)
+        self.ia = np.empty(0, _I)
+        self.ib = np.empty(0, _I)
+        self.b = np.empty(0, bool)
+        self.busy = False
+
+    def take(self, n: int):
+        """Borrow ``(float, int, int, bool)`` rows of length ``n``
+        plus a flag saying whether :meth:`release` must be called."""
+        if not USE_SWEEP_SCRATCH or self.busy:
+            return (
+                np.empty(n, _F),
+                np.empty(n, _I),
+                np.empty(n, _I),
+                np.empty(n, bool),
+                False,
+            )
+        if len(self.f) < n:
+            cap = max(n, 2 * len(self.f))
+            self.f = np.empty(cap, _F)
+            self.ia = np.empty(cap, _I)
+            self.ib = np.empty(cap, _I)
+            self.b = np.empty(cap, bool)
+        self.busy = True
+        return (self.f[:n], self.ia[:n], self.ib[:n], self.b[:n], True)
+
+    def release(self, borrowed: bool) -> None:
+        if borrowed:
+            self.busy = False
+
+
+_SWEEP_SCRATCH = _SweepScratch()
+
 
 class FlatEnvelope:
     """Structure-of-arrays envelope: parallel ``ya/za/yb/zb/source``.
@@ -819,30 +878,33 @@ def _sweep(
         m2 = np.minimum(a1, b1)
         c1 = np.minimum(m1, m2)
         c2 = np.maximum(m1, m2)
-        ev = np.empty(4 * n_live, _F)
-        ev[0::4] = c0
-        ev[1::4] = c1
-        ev[2::4] = c2
-        ev[3::4] = c3
-        keep = np.empty(4 * n_live, bool)
-        keep[0::4] = True
-        keep[1::4] = c1 != c0
-        keep[2::4] = c2 != c1
-        keep[3::4] = c3 != c2
-        ga = np.arange(n_live, dtype=_I)
-        grp4 = np.repeat(ga, 4)
-        # The single candidate piece of a side covers a bound exactly
-        # when it starts at or before it (value-based, so duplicate
-        # events collapse consistently with the generic run-end rule).
-        bca = np.empty(4 * n_live, _I)
-        bcb = np.empty(4 * n_live, _I)
-        for k, ck in enumerate((c0, c1, c2, c3)):
-            bca[k::4] = np.where(ck >= a0, ga, -1)
-            bcb[k::4] = np.where(ck >= b0, ga, -1)
-        ysu = ev[keep]
-        gsu = grp4[keep]
-        bound_cand_a = bca[keep]
-        bound_cand_b = bcb[keep]
+        ev, bca, bcb, keep, _scr = _SWEEP_SCRATCH.take(4 * n_live)
+        try:
+            ev[0::4] = c0
+            ev[1::4] = c1
+            ev[2::4] = c2
+            ev[3::4] = c3
+            keep[0::4] = True
+            keep[1::4] = c1 != c0
+            keep[2::4] = c2 != c1
+            keep[3::4] = c3 != c2
+            ga = np.arange(n_live, dtype=_I)
+            grp4 = np.repeat(ga, 4)
+            # The single candidate piece of a side covers a bound
+            # exactly when it starts at or before it (value-based, so
+            # duplicate events collapse consistently with the generic
+            # run-end rule).
+            for k, ck in enumerate((c0, c1, c2, c3)):
+                bca[k::4] = np.where(ck >= a0, ga, -1)
+                bcb[k::4] = np.where(ck >= b0, ga, -1)
+            # Boolean-mask gathers below copy out of the scratch rows,
+            # so the arena can be released at the end of this step.
+            ysu = ev[keep]
+            gsu = grp4[keep]
+            bound_cand_a = bca[keep]
+            bound_cand_b = bcb[keep]
+        finally:
+            _SWEEP_SCRATCH.release(_scr)
     else:
         # Generic path: one sorted event sequence per level.  It
         # doubles as the point-location structure: a running maximum
@@ -866,65 +928,74 @@ def _sweep(
         # stream-offset arithmetic — no per-event group array is ever
         # materialised.  The ablation toggle keeps the composite
         # argsort path of PR 1 measurable.
-        if USE_STREAM_MERGE and n_ev >= STREAM_MERGE_MIN_EVENTS:
-            a_off = _group_offsets(ga_s, n_live)
-            b_off = _group_offsets(gb_s, n_live)
-            pos_a, pos_b = _merge_stream_positions(
-                ea, ga_s, eb, gb_s, n_live, a_off, b_off
-            )
-            ys_s = np.empty(n_ev, _F)
-            ys_s[pos_a] = ea
-            ys_s[pos_b] = eb
-            mark_a = np.full(n_ev, -1, _I)
-            mark_a[pos_a] = ma
-            mark_b = np.full(n_ev, -1, _I)
-            mark_b[pos_b] = mb
-            # Merged group segment g is [a_off[g]+b_off[g], ...); every
-            # live group has events, so all boundaries are in range.
-            ev_off = a_off + b_off
-            keep = np.empty(n_ev, bool)
-            keep[0] = True
-            keep[1:] = ys_s[1:] != ys_s[:-1]
-            keep[ev_off[:-1]] = True  # group starts always survive
-            starts = np.flatnonzero(keep)
-            ends = np.concatenate([starts[1:], [n_ev]]) - 1
-            ysu = ys_s[starts]
-            # Group of each unique bound, from the (exact) positions
-            # of the group boundaries among the kept events.
-            ub_off = np.searchsorted(starts, ev_off)
-            gsu = np.repeat(
-                np.arange(n_live, dtype=_I), np.diff(ub_off)
-            )
-        else:
-            ys = np.concatenate([ea, eb])
-            gs = np.concatenate([ga_s, gb_s])
-            order = _composite_argsort(ys, gs, n_live)
-            ys_s = ys[order]
-            gs_s = gs[order]
-            mark_a = np.full(n_ev, -1, _I)
-            mark_a[: len(ea)] = ma
-            mark_a = mark_a[order]
-            mark_b = np.full(n_ev, -1, _I)
-            mark_b[len(ea) :] = mb
-            mark_b = mark_b[order]
-            keep = np.empty(n_ev, bool)
-            keep[0] = True
-            keep[1:] = (ys_s[1:] != ys_s[:-1]) | (
-                gs_s[1:] != gs_s[:-1]
-            )
-            starts = np.flatnonzero(keep)
-            ends = np.concatenate([starts[1:], [n_ev]]) - 1
-            ysu = ys_s[starts]
-            gsu = gs_s[starts]
-        # Piece indices increase along the sorted order within a group
-        # (stacks are (group, ya)-sorted), so the running max is "the
-        # most recent"; taking it at the *end* of each equal-(g, y)
-        # run makes a piece starting exactly at ``u`` cover ``u``
-        # (``p.ya <= u`` inclusive).
-        cum_a = np.maximum.accumulate(mark_a)
-        cum_b = np.maximum.accumulate(mark_b)
-        bound_cand_a = cum_a[ends]
-        bound_cand_b = cum_b[ends]
+        _scr = False
+        try:
+            if USE_STREAM_MERGE and n_ev >= STREAM_MERGE_MIN_EVENTS:
+                a_off = _group_offsets(ga_s, n_live)
+                b_off = _group_offsets(gb_s, n_live)
+                pos_a, pos_b = _merge_stream_positions(
+                    ea, ga_s, eb, gb_s, n_live, a_off, b_off
+                )
+                ys_s, mark_a, mark_b, keep, _scr = _SWEEP_SCRATCH.take(
+                    n_ev
+                )
+                ys_s[pos_a] = ea
+                ys_s[pos_b] = eb
+                mark_a.fill(-1)
+                mark_a[pos_a] = ma
+                mark_b.fill(-1)
+                mark_b[pos_b] = mb
+                # Merged group segment g is [a_off[g]+b_off[g], ...);
+                # every live group has events, so all boundaries are
+                # in range.
+                ev_off = a_off + b_off
+                keep[0] = True
+                keep[1:] = ys_s[1:] != ys_s[:-1]
+                keep[ev_off[:-1]] = True  # group starts always survive
+                starts = np.flatnonzero(keep)
+                ends = np.concatenate([starts[1:], [n_ev]]) - 1
+                ysu = ys_s[starts]
+                # Group of each unique bound, from the (exact)
+                # positions of the group boundaries among the kept
+                # events.
+                ub_off = np.searchsorted(starts, ev_off)
+                gsu = np.repeat(
+                    np.arange(n_live, dtype=_I), np.diff(ub_off)
+                )
+            else:
+                ys = np.concatenate([ea, eb])
+                gs = np.concatenate([ga_s, gb_s])
+                order = _composite_argsort(ys, gs, n_live)
+                ys_s = ys[order]
+                gs_s = gs[order]
+                mark_a = np.full(n_ev, -1, _I)
+                mark_a[: len(ea)] = ma
+                mark_a = mark_a[order]
+                mark_b = np.full(n_ev, -1, _I)
+                mark_b[len(ea) :] = mb
+                mark_b = mark_b[order]
+                keep = np.empty(n_ev, bool)
+                keep[0] = True
+                keep[1:] = (ys_s[1:] != ys_s[:-1]) | (
+                    gs_s[1:] != gs_s[:-1]
+                )
+                starts = np.flatnonzero(keep)
+                ends = np.concatenate([starts[1:], [n_ev]]) - 1
+                ysu = ys_s[starts]
+                gsu = gs_s[starts]
+            # Piece indices increase along the sorted order within a
+            # group (stacks are (group, ya)-sorted), so the running
+            # max is "the most recent"; taking it at the *end* of each
+            # equal-(g, y) run makes a piece starting exactly at ``u``
+            # cover ``u`` (``p.ya <= u`` inclusive).  The accumulates
+            # and gathers copy out of any scratch rows, after which
+            # the arena is free for the next level.
+            cum_a = np.maximum.accumulate(mark_a)
+            cum_b = np.maximum.accumulate(mark_b)
+            bound_cand_a = cum_a[ends]
+            bound_cand_b = cum_b[ends]
+        finally:
+            _SWEEP_SCRATCH.release(_scr)
 
     # 2. Elementary intervals (u, v) within each group.
     iv = np.flatnonzero(gsu[1:] == gsu[:-1])

@@ -1015,6 +1015,20 @@ def insert_segment_flat(
     recorded and the whole insert retried on the scalar reference
     path, bit-exact.  ``REPRO_GUARDS=0`` strips the envelope.
     """
+    if (
+        _engine.USE_CHUNKED_PROFILE
+        and type(profile).__name__ == "PackedProfile"
+        and profile.size >= _engine.CHUNKED_PROFILE_CUTOFF
+    ):
+        # One-time promotion to the chunked gap-buffer layout (the
+        # caller re-binds to the returned profile, so the promoted
+        # object rides every subsequent insert).  Name-based check:
+        # ``packed`` imports this module, so it cannot be imported
+        # here at module scope.
+        from repro.envelope.packed import ChunkedProfile
+
+        profile = ChunkedProfile.promote(profile)
+
     if not _guard.GUARDS_ENABLED:
         return _insert_segment_flat_impl(profile, seg, eps, config)
 

@@ -1,0 +1,306 @@
+"""Chunk-augmented Chazelle–Guibas search on rope profile versions.
+
+The rope analogue of :mod:`repro.hsr.acg`: where the treap memoises a
+hull augmentation per *node*, the rope memoises one per *chunk*
+(:attr:`repro.persistence.rope.Chunk._aug`).  Chunks are immutable and
+shared between versions, so — exactly like the treap's node
+augmentations — a chunk augmentation computed for one profile version
+is reused by every layer-mate sharing that chunk (the paper's "single
+ACG structure for all the profiles", §3.1).
+
+The search itself is a pruned scan over the (short) chunk spine
+instead of a tree descent: a chunk wholly inside the query range whose
+lower hull lies strictly above the segment's supporting line (or upper
+hull strictly below) is skipped without opening its pieces; only
+inconclusive chunks are opened.  Junction candidates at chunk seams
+are always checked — a pruned chunk's *interior* junctions cannot
+straddle the line (every vertex is strictly on one side), but its
+boundary vertex pairs with a neighbouring chunk's vertex, which may
+sit on the other side.
+
+Event emission differs from the treap walk only in degenerate
+tangencies (the treap clamps candidate endpoints by ancestor spans,
+which is tree-shape-dependent); region outputs agree — the phase-2
+mode tests compare visibility across all engines.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import NamedTuple, Optional
+
+from repro.envelope.chain import Envelope, Piece
+from repro.envelope.merge import Crossing, MergeResult
+from repro.geometry.convex import (
+    lower_hull_presorted,
+    upper_hull_presorted,
+)
+from repro.geometry.primitives import EPS, Point2
+from repro.geometry.segments import ImageSegment
+from repro.hsr.acg import _hull_max, _hull_min, _ProbeCounter
+from repro.persistence.rope import (
+    Chunk,
+    Rope,
+    rope_from_envelope,
+    rope_splice_merge,
+    rope_value_at,
+)
+
+__all__ = [
+    "ChunkAugment",
+    "chunk_augment",
+    "collect_gaps_rope",
+    "collect_flip_candidates_rope",
+    "winner_regions_rope",
+    "acg_rope_splice_merge",
+]
+
+
+class ChunkAugment(NamedTuple):
+    """Memoised chunk summary (the treap's per-node ``Augment``,
+    lifted to a whole chunk)."""
+
+    ya_min: float
+    za_first: float
+    yb_max: float
+    zb_last: float
+    contiguous: bool
+    lower: tuple[Point2, ...]
+    upper: tuple[Point2, ...]
+
+
+def chunk_augment(chunk: Chunk) -> ChunkAugment:
+    """The chunk's augmentation, computed on first use and cached on
+    the (immutable, version-shared) chunk."""
+    aug = chunk._aug
+    if aug is not None:
+        return aug
+    pieces = chunk.pieces
+    pts: list[Point2] = []
+    for p in pieces:
+        pts.append(Point2(p.ya, p.za))
+        pts.append(Point2(p.yb, p.zb))
+    aug = ChunkAugment(
+        pieces[0].ya,
+        pieces[0].za,
+        pieces[-1].yb,
+        pieces[-1].zb,
+        all(
+            pieces[k].yb == pieces[k + 1].ya
+            for k in range(len(pieces) - 1)
+        ),
+        tuple(lower_hull_presorted(pts)),
+        tuple(upper_hull_presorted(pts)),
+    )
+    chunk._aug = aug
+    return aug
+
+
+def _first_chunk(rope: Rope, lo: float) -> int:
+    """Index of the first chunk that can overlap ``(lo, ...)``."""
+    return max(0, bisect_right(rope.starts, lo) - 1)
+
+
+def collect_gaps_rope(
+    rope: Rope,
+    lo: float,
+    hi: float,
+    counter: Optional[_ProbeCounter] = None,
+) -> list[tuple[float, float]]:
+    """Maximal sub-intervals of ``[lo, hi]`` not covered by any piece —
+    the rope analogue of :func:`repro.hsr.acg.collect_gaps`.  Cost
+    O(log chunks + touched chunks); contiguous chunks are skipped
+    without opening their pieces."""
+    out: list[tuple[float, float]] = []
+    a = lo
+    n = len(rope.chunks)
+    c = _first_chunk(rope, lo)
+    while c < n and a < hi:
+        if counter is not None:
+            counter.probes += 1
+        chunk = rope.chunks[c]
+        aug = chunk_augment(chunk)
+        if aug.yb_max <= a:
+            c += 1
+            continue
+        if aug.ya_min >= hi:
+            break
+        if a < aug.ya_min:
+            out.append((a, min(hi, aug.ya_min)))
+            a = aug.ya_min
+        if aug.contiguous:
+            a = max(a, min(hi, aug.yb_max))
+        else:
+            for p in chunk.pieces:
+                if counter is not None:
+                    counter.probes += 1
+                if a >= hi:
+                    break
+                if p.yb <= a:
+                    continue
+                if p.ya >= hi:
+                    break
+                if a < p.ya:
+                    out.append((a, min(hi, p.ya)))
+                a = max(a, min(hi, p.yb))
+        c += 1
+    if a < hi:
+        out.append((a, hi))
+    return out
+
+
+def collect_flip_candidates_rope(
+    rope: Rope,
+    seg: ImageSegment,
+    lo: float,
+    hi: float,
+    *,
+    eps: float = EPS,
+    counter: Optional[_ProbeCounter] = None,
+) -> list[float]:
+    """y-values in ``(lo, hi)`` where ``seg`` may exchange dominance
+    with the profile — transversal crossings, tangential contacts and
+    straddled jump junctions, hull-pruned per chunk (Lemma 3.6's
+    search on the chunk spine)."""
+    sa = seg.slope
+    sb = seg.z1 - sa * seg.y1
+    out: list[float] = []
+
+    def junction(p1: Piece, p2: Piece) -> None:
+        y = p1.yb
+        if p2.ya == y and lo < y < hi:
+            z1, z2 = p1.zb, p2.za
+            sy = sa * y + sb
+            if min(z1, z2) - eps <= sy <= max(z1, z2) + eps:
+                out.append(y)
+
+    n = len(rope.chunks)
+    c = _first_chunk(rope, lo)
+    prev_piece: Optional[Piece] = (
+        rope.chunks[c - 1].pieces[-1] if c > 0 else None
+    )
+    while c < n:
+        if counter is not None:
+            counter.probes += 1
+        chunk = rope.chunks[c]
+        aug = chunk_augment(chunk)
+        if aug.yb_max <= lo:
+            prev_piece = chunk.pieces[-1]
+            c += 1
+            continue
+        if aug.ya_min >= hi:
+            break
+        # Chunk-seam junction: checked even when a side is pruned (a
+        # pruned chunk's boundary vertex can still straddle the line
+        # paired with its neighbour's).
+        if prev_piece is not None:
+            junction(prev_piece, chunk.pieces[0])
+        pruned = False
+        if aug.ya_min >= lo and aug.yb_max <= hi:
+            # Chunk wholly inside the query range: hulls decide.
+            if _hull_min(aug.lower, sa, sb) > eps:
+                pruned = True  # strictly above the line: no flips
+            elif _hull_max(aug.upper, sa, sb) < -eps:
+                pruned = True  # strictly below: flips only at gaps
+        if not pruned:
+            pieces = chunk.pieces
+            for k, piece in enumerate(pieces):
+                if piece.yb <= lo:
+                    continue
+                if piece.ya >= hi:
+                    break
+                if counter is not None:
+                    counter.probes += 1
+                pu = max(lo, piece.ya)
+                pv = min(hi, piece.yb)
+                if pu < pv:
+                    du = piece.z_at(pu) - (sa * pu + sb)
+                    dv = piece.z_at(pv) - (sa * pv + sb)
+                    su = 0 if abs(du) <= eps else (1 if du > 0 else -1)
+                    sv = 0 if abs(dv) <= eps else (1 if dv > 0 else -1)
+                    if su * sv < 0:
+                        t = du / (du - dv)
+                        w = pu + t * (pv - pu)
+                        if pu < w < pv:
+                            out.append(w)
+                    # Tangential contacts (see the treap version): emit
+                    # the endpoint so region-midpoint probes never land
+                    # on a zero of the difference.
+                    if su == 0 and lo < pu < hi:
+                        out.append(pu)
+                    if sv == 0 and lo < pv < hi:
+                        out.append(pv)
+                if k > 0:
+                    junction(pieces[k - 1], piece)
+        prev_piece = chunk.pieces[-1]
+        c += 1
+    return sorted(out)
+
+
+def winner_regions_rope(
+    rope: Rope, seg: ImageSegment, *, eps: float = EPS
+) -> tuple[list[tuple[float, float, bool]], list[float], int]:
+    """Partition ``[seg.y1, seg.y2]`` into maximal regions where
+    either the profile or the segment dominates — the rope analogue of
+    :func:`repro.hsr.acg.winner_regions`, same return convention
+    ``(regions, crossings, probes)``."""
+    counter = _ProbeCounter()
+    lo, hi = seg.y1, seg.y2
+    events: set = {lo, hi}
+    for ga, gb in collect_gaps_rope(rope, lo, hi, counter):
+        events.add(ga)
+        events.add(gb)
+    flips = collect_flip_candidates_rope(
+        rope, seg, lo, hi, eps=eps, counter=counter
+    )
+    events.update(flips)
+    ys = sorted(events)
+    raw: list[tuple[float, float, bool]] = []
+    for u, v in zip(ys, ys[1:]):
+        if v - u <= 0:
+            continue
+        m = 0.5 * (u + v)
+        counter.probes += 1
+        seg_wins = seg.z_at(m) - rope_value_at(rope, m) > eps
+        if raw and raw[-1][2] == seg_wins and raw[-1][1] == u:
+            raw[-1] = (raw[-1][0], v, seg_wins)
+        else:
+            raw.append((u, v, seg_wins))
+    boundaries = {r[0] for r in raw[1:]}
+    crossings = [y for y in flips if y in boundaries]
+    return raw, crossings, counter.probes
+
+
+def acg_rope_splice_merge(
+    rope: Rope, other: Envelope, *, eps: float = EPS
+) -> tuple[Rope, MergeResult]:
+    """Merge ``other`` into a rope version using chunk-ACG searches —
+    the rope analogue of :func:`repro.hsr.acg.acg_splice_merge`
+    (functionally identical results; the test suite asserts parity
+    against the plain merge)."""
+    if not other.pieces:
+        return rope, MergeResult(Envelope.empty(), [], 0)
+    if rope.total == 0:
+        return rope_from_envelope(other), MergeResult(other, [], other.size)
+    ops = 0
+    crossings: list[Crossing] = []
+    new_rope = rope
+    for piece in other.pieces:
+        seg = piece.as_segment()
+        if seg.is_vertical:  # pieces are never vertical, defensive
+            continue
+        regions, cross_ys, probes = winner_regions_rope(
+            new_rope, seg, eps=eps
+        )
+        ops += probes
+        for y in cross_ys:
+            crossings.append(Crossing(y, seg.z_at(y), -1, piece.source))
+        for (ra, rb, seg_wins) in regions:
+            if not seg_wins or rb <= ra:
+                continue
+            clip = piece.clipped(max(ra, piece.ya), min(rb, piece.yb))
+            new_rope, res = rope_splice_merge(
+                new_rope, Envelope([clip]), eps=eps
+            )
+            ops += res.ops
+    return new_rope, MergeResult(Envelope([]), crossings, ops)

@@ -24,16 +24,21 @@ cost profile — experiment E11's ablation):
     reported as ``pieces_materialised`` — the cost the persistent
     representation is there to avoid).
 ``persistent``
-    Profiles are persistent-treap versions; a merge splices only the
+    Profiles are persistent versions; a merge splices only the
     y-range of the intermediate profile and shares the rest (paper
     Figs. 1/3 — this is where the persistent structure earns the
     output-sensitive work bound).  Left children share their parent's
-    version outright: zero copying.
+    version outright: zero copying.  Two store backends
+    (:data:`repro.persistence.envelope_store.BACKENDS`): the default
+    chunked **rope** drives each layer's merges and leaf queries
+    through the batched numpy kernels on the chunks' cached lane
+    blocks; the per-node **treap** is the scalar parity oracle.
 ``acg``
     Like ``persistent``, but crossings inside the spliced range are
     located by hull-pruned searches on the augmented (Chazelle–Guibas
-    style) structure instead of a linear sweep —
-    see :mod:`repro.hsr.acg`.
+    style) structure instead of a linear sweep — per treap node
+    (:mod:`repro.hsr.acg`) or per rope chunk
+    (:mod:`repro.hsr.acg_rope`).
 """
 
 from __future__ import annotations
@@ -42,7 +47,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.envelope.chain import Envelope
+from repro.envelope.chain import Envelope, Piece
 from repro.envelope.engine import resolve_engine
 from repro.envelope.splice import splice_merge
 from repro.envelope.visibility import VisibilityResult, visible_parts
@@ -50,10 +55,12 @@ from repro.errors import HsrError
 from repro.geometry.primitives import EPS
 from repro.geometry.segments import ImageSegment
 from repro.hsr.pct import PCT
+from repro.persistence import rope as _rope
 from repro.persistence import treap
 from repro.persistence.envelope_store import (
     penv_splice_merge,
     penv_visible_parts,
+    resolve_backend,
 )
 from repro.pram.tracker import PramTracker
 from repro.reliability import faultinject as _fi
@@ -86,7 +93,8 @@ class Phase2Result:
     ops: int = 0
     crossings: int = 0
     layers: list[LayerStats] = field(default_factory=list)
-    #: persistent modes: treap nodes allocated during phase 2.
+    #: persistent modes: piece slots allocated during phase 2 (treap
+    #: nodes, or slots written into fresh rope chunks — same unit).
     nodes_allocated: int = 0
     #: direct mode: envelope pieces materialised (the copying cost).
     pieces_materialised: int = 0
@@ -102,15 +110,19 @@ def run_phase2(
     measure_sharing: bool = False,
     engine: Optional[str] = None,
     config=None,
+    backend: Optional[str] = None,
 ) -> Phase2Result:
     """Run Phase 2 over a built PCT (see module docstring).
 
     ``engine`` selects the envelope merge kernel for the ``direct``
-    mode's array merges (see :mod:`repro.envelope.engine`); the
-    persistent/ACG modes splice treap versions and take no kernel
-    choice.  A ``config`` (:class:`repro.config.HsrConfig`) with
-    ``workers > 1`` splits the ``direct`` mode's level merges across
-    the :mod:`repro.parallel_exec` process pool, bit-exact.
+    mode's array merges and for the rope backend's batched layer
+    merges (see :mod:`repro.envelope.engine`).  ``backend`` selects
+    the persistent store for the ``persistent``/``acg`` modes
+    (``"rope"``/``"treap"``; defaults to the process-wide
+    :data:`~repro.persistence.envelope_store.PERSISTENT_BACKEND`).
+    A ``config`` (:class:`repro.config.HsrConfig`) with ``workers > 1``
+    splits the ``direct`` mode's level merges across the
+    :mod:`repro.parallel_exec` process pool, bit-exact.
     """
     if mode not in PHASE2_MODES:
         raise HsrError(
@@ -119,6 +131,16 @@ def run_phase2(
     if mode == "direct":
         return _phase2_direct(
             pct, image_segments, eps, tracker, engine, config
+        )
+    if resolve_backend(backend) == "rope":
+        return _phase2_persistent_rope(
+            pct,
+            image_segments,
+            eps,
+            tracker,
+            use_acg=(mode == "acg"),
+            measure_sharing=measure_sharing,
+            engine=engine,
         )
     return _phase2_persistent(
         pct,
@@ -491,5 +513,292 @@ def _phase2_persistent(
 
 def _locate_cost(root: treap.Root) -> int:
     """O(log n) tree-descent charge for splice boundary location."""
-    n = treap.size(root)
+    return _size_locate_cost(treap.size(root))
+
+
+def _size_locate_cost(n: int) -> int:
+    """The boundary-location charge as a function of the profile's
+    piece count only — identical for both persistent backends (the
+    rope's two-level bisect is the same O(log n)), keeping the
+    phase-2 ``ops`` accounting bit-exact across them."""
     return max(1, int(math.log2(n + 1)))
+
+
+def _phase2_persistent_rope(
+    pct: PCT,
+    image_segments: Sequence[ImageSegment],
+    eps: float,
+    tracker: Optional[PramTracker],
+    *,
+    use_acg: bool,
+    measure_sharing: bool,
+    engine: Optional[str] = None,
+) -> Phase2Result:
+    """``persistent``/``acg`` modes on the rope backend.
+
+    Identical propagation and accounting to the treap implementation
+    (`ops` adds the same :func:`_size_locate_cost` charge; sharing is
+    metered piece-weighted by
+    :func:`~repro.persistence.rope.count_shared_chunks`), but on the
+    numpy engine a layer's splice merges run as *one*
+    :func:`~repro.envelope.flat.batch_merge` over the ropes' chunk-
+    block windows and a layer's leaf queries as one
+    :func:`~repro.envelope.flat_visibility.batch_visible_parts` —
+    the windows never round-trip through per-piece python.  Each
+    node's commit is the ordinary chunk-granular path copy (guard
+    site ``rope_splice``).
+    """
+    if use_acg:
+        from repro.hsr.acg_rope import acg_rope_splice_merge
+
+    batched = not use_acg and resolve_engine(engine) == "numpy"
+    tree = pct.tree
+    out = Phase2Result()
+    alloc_before = _rope.allocation_count()
+    inherited: dict[int, _rope.Rope] = {tree.root.index: _rope.EMPTY}
+
+    for level in tree.levels():
+        stats = LayerStats(depth=level[0].depth)
+        par_ctx = tracker.parallel() if tracker is not None else None
+        par = par_ctx.__enter__() if par_ctx is not None else None
+
+        merges: dict[int, tuple[_rope.Rope, int, int]] = {}
+        leaf_vis: dict[int, VisibilityResult] = {}
+        if batched:
+            merges = _rope_layer_merges(
+                pct, level, inherited, eps,
+                measure_sharing=measure_sharing,
+            )
+            leaf_vis = _rope_layer_visibility(
+                tree, level, inherited, image_segments, eps
+            )
+
+        for node in level:
+            root = inherited.pop(node.index)
+            if node.is_leaf:
+                edge = tree.order[node.lo]
+                if node.index in leaf_vis:
+                    vis = leaf_vis[node.index]
+                else:
+                    vis = _rope.rope_visible_parts(
+                        root, image_segments[edge], eps=eps
+                    )
+                out.visibility[edge] = vis
+                cost = vis.ops + _size_locate_cost(root.total)
+                out.ops += cost
+                stats.ops += cost
+                if par is not None:
+                    par.spawn(cost, _merge_depth(cost))
+            else:
+                assert node.left is not None and node.right is not None
+                inherited[node.left.index] = root  # shared version
+                if node.index in merges:
+                    new_root, ops, n_cross = merges[node.index]
+                else:
+                    intermediate = pct.envelope_of(node.left)
+                    if use_acg:
+                        new_root, res = acg_rope_splice_merge(
+                            root, intermediate, eps=eps
+                        )
+                    else:
+                        new_root, res = _rope.rope_splice_merge(
+                            root, intermediate, eps=eps
+                        )
+                    ops, n_cross = res.ops, len(res.crossings)
+                inherited[node.right.index] = new_root
+                cost = ops + _size_locate_cost(root.total)
+                out.ops += cost
+                out.crossings += n_cross
+                stats.merges += 1
+                stats.ops += cost
+                stats.crossings += n_cross
+                if par is not None:
+                    par.spawn(cost, _merge_depth(cost))
+        if par_ctx is not None:
+            par_ctx.__exit__(None, None, None)
+        if measure_sharing:
+            total, shared = _rope.count_shared_pieces(
+                *inherited.values()
+            )
+            stats.total_nodes = total
+            stats.shared_nodes = shared
+        out.layers.append(stats)
+    out.nodes_allocated = _rope.allocation_count() - alloc_before
+    return out
+
+
+def _rope_layer_merges(
+    pct: PCT,
+    level,
+    inherited: dict[int, "_rope.Rope"],
+    eps: float,
+    *,
+    measure_sharing: bool = False,
+) -> dict[int, tuple["_rope.Rope", int, int]]:
+    """One batched sweep for all of a layer's splice merges.
+
+    Returns ``{node.index: (new_rope, ops, n_crossings)}`` for every
+    internal node of the level.  The sweep runs under the
+    ``phase2_merge`` guard (fallback: per-node scalar merges over the
+    same windows — bit-identical results); each commit then runs the
+    normal chunk path copy under its own ``rope_splice`` guard.
+
+    On the happy path each merged run stays in lane form end to end —
+    :func:`~repro.persistence.rope.commit_splice_lanes` slices the
+    successor's fresh chunks out of one commit block without ever
+    materialising a :class:`Piece`.  Under ``measure_sharing`` the
+    commits switch to the scalar piece path: E5's layer sharing meter
+    (:func:`~repro.persistence.rope.count_shared_pieces`) counts piece
+    *object* identity, which only exists when boundary slots refold as
+    the same tuples — results are bit-exact either way, only the
+    sharing accounting granularity differs.
+    """
+    import numpy as np
+
+    from repro.envelope.flat import (
+        FlatEnvelope,
+        batch_merge,
+        stack_envelopes,
+    )
+
+    results: dict[int, tuple["_rope.Rope", int, int]] = {}
+    live: list[tuple] = []  # (node, root, SpliceRange, inter, flat)
+    for node in level:
+        if node.is_leaf:
+            continue
+        root = inherited[node.index]
+        inter = pct.envelope_of(node.left)
+        if not inter.pieces:
+            results[node.index] = (root, 0, 0)
+            continue
+        if root.total == 0:
+            results[node.index] = (
+                _rope.rope_from_envelope(inter),
+                inter.size,
+                0,
+            )
+            continue
+        ya, yb = inter.y_span()
+        flat = pct.flat_envelopes.get(node.left.index)
+        if flat is None:  # PCT built by the python engine
+            flat = FlatEnvelope.from_envelope(inter)
+        live.append((node, root, _rope.SpliceRange(root, ya, yb), flat))
+    if not live:
+        return results
+
+    def kernel():
+        lefts = stack_envelopes(
+            [FlatEnvelope(*sr.window_lanes()) for _, _, sr, _ in live]
+        )
+        rights = stack_envelopes([flat for *_, flat in live])
+        res = batch_merge(lefts, rights, eps=eps)
+        ops = res.ops.tolist()
+        cross = np.diff(
+            np.searchsorted(res.cross_group, np.arange(len(live) + 1))
+        ).tolist()
+        groups = [res.merged.group(g) for g in range(len(live))]
+        if _fi.ARMED:
+            groups = _fi.corrupt_env_list("phase2_merge", groups)
+        for m in groups:
+            _guard.check_flat("phase2_merge", m.ya, m.za, m.yb, m.zb)
+        out = []
+        for g, m in enumerate(groups):
+            if measure_sharing:
+                payload = list(
+                    map(
+                        Piece,
+                        m.ya.tolist(),
+                        m.za.tolist(),
+                        m.yb.tolist(),
+                        m.zb.tolist(),
+                        m.source.tolist(),
+                    )
+                )
+            else:
+                payload = (m.ya, m.za, m.yb, m.zb, m.source)
+            out.append((payload, ops[g], cross[g]))
+        return out
+
+    def fallback():
+        # Scalar sweeps per node over the same extracted windows —
+        # exactly what rope_splice_merge runs on the python engine.
+        from repro.envelope.merge import merge_envelopes
+
+        out = []
+        for _, _, sr, flat in live:
+            res = merge_envelopes(
+                Envelope(sr.mid_pieces()), flat.to_envelope(), eps=eps
+            )
+            out.append(
+                (list(res.envelope.pieces), res.ops, len(res.crossings))
+            )
+        return out
+
+    per_node = _guard.guarded_call("phase2_merge", kernel, fallback)
+    for (node, root, sr, _), (payload, ops, n_cross) in zip(
+        live, per_node
+    ):
+        carry = sr.carry
+        if carry is not None and not (carry.ya < carry.yb):
+            carry = None
+        if isinstance(payload, tuple):  # lane-native happy path
+            new_root = _rope.commit_splice_lanes(root, sr, payload, carry)
+        else:  # scalar pieces: measure_sharing, or the guard fallback
+            pieces = payload + [carry] if carry is not None else payload
+            new_root = _rope.commit_splice(root, sr, pieces)
+        results[node.index] = (new_root, ops, n_cross)
+    return results
+
+
+def _rope_layer_visibility(
+    tree,
+    level,
+    inherited: dict[int, "_rope.Rope"],
+    image_segments: Sequence[ImageSegment],
+    eps: float,
+) -> dict[int, VisibilityResult]:
+    """One batched visibility query for all of a layer's leaves, over
+    the ropes' range-extracted chunk-block windows (guard site
+    ``phase2_visibility``; fallback: scalar per-leaf queries)."""
+    import numpy as np
+
+    from repro.envelope.flat import FlatEnvelope, stack_envelopes
+    from repro.envelope.flat_visibility import batch_visible_parts
+
+    leaves = [node for node in level if node.is_leaf]
+    if not leaves:
+        return {}
+    segs = [image_segments[tree.order[node.lo]] for node in leaves]
+    windows = []
+    for node, seg in zip(leaves, segs):
+        root = inherited[node.index]
+        if seg.is_vertical:
+            ya, yb = seg.y1, seg.y1 + 1e-12
+        else:
+            ya, yb = seg.y1, seg.y2
+        windows.append(FlatEnvelope(*_rope.range_lanes(root, ya, yb)))
+
+    def kernel():
+        res = batch_visible_parts(
+            stack_envelopes(windows),
+            segs,
+            groups=np.arange(len(leaves)),
+            eps=eps,
+        ).results()
+        if _fi.ARMED:
+            res = _fi.corrupt_vis_list("phase2_visibility", res)
+        for s, v in zip(segs, res):
+            _guard.check_visibility(
+                "phase2_visibility", v, s.y1, s.y2, eps
+            )
+        return res
+
+    def fallback():
+        # Scalar per-leaf queries — the python engine's path.
+        return [
+            _rope.rope_visible_parts(inherited[n.index], s, eps=eps)
+            for n, s in zip(leaves, segs)
+        ]
+
+    vis = _guard.guarded_call("phase2_visibility", kernel, fallback)
+    return {n.index: v for n, v in zip(leaves, vis)}

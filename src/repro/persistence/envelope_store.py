@@ -1,35 +1,82 @@
-"""Persistent envelopes: treap-backed profile versions.
+"""Persistent envelopes: versioned profile store with two backends.
 
 Phase 2 of the algorithm materialises one *actual profile* per PCT
 node, and profiles at the same layer share all structure outside the
 y-range of the intermediate profile merged in (paper Fig. 1: "profiles
 may be shared among the layers").  Array envelopes would copy
-everything; here a profile version is a persistent-treap root keyed by
-piece start, and a merge **splices** only the affected y-range —
-``O(log n)`` fresh nodes plus the genuinely new pieces.
+everything; here a profile version shares structure with its
+predecessor and a merge **splices** only the affected y-range.
 
-Experiment E5 measures the resulting node sharing and compares memory
-against the copying alternative.
+Two backends implement the store, bit-exact against each other
+(``tests/test_persistence_rope.py`` fuzzes the parity):
+
+``"rope"`` (default)
+    :mod:`repro.persistence.rope` — a two-level rope of immutable
+    packed chunks with path copying at chunk granularity.  The
+    flat-native representation; phase 2 drives its per-layer merges
+    through the numpy kernels on the chunks' cached lane blocks.
+``"treap"``
+    The original per-piece persistent treap
+    (:mod:`repro.persistence.treap` + the ``penv_*`` functions below)
+    — retained as the parity oracle and for the per-node experiments.
+
+Select per call (``backend=`` on the :class:`PersistentEnvelope`
+constructors), per process (:data:`PERSISTENT_BACKEND`), or via the
+environment (``REPRO_PERSISTENT_BACKEND``).  Experiments E5/E11
+measure the resulting structure sharing and compare memory against
+the copying alternative; both backends report allocations in the same
+unit (piece slots — one treap node, or one slot in a fresh chunk, per
+piece).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+from typing import Optional, Union
 
 from repro.envelope.chain import Envelope, Piece
 from repro.envelope.merge import MergeResult, merge_envelopes
+from repro.errors import PersistenceError
 from repro.geometry.primitives import EPS, NEG_INF
+from repro.persistence import rope as _rope
 from repro.persistence import treap
+from repro.persistence.rope import Rope
 from repro.persistence.treap import Root
 
 __all__ = [
     "PersistentEnvelope",
+    "BACKENDS",
+    "PERSISTENT_BACKEND",
+    "resolve_backend",
     "penv_from_envelope",
     "penv_value_at",
     "penv_range_pieces",
     "penv_splice_merge",
     "penv_visible_parts",
 ]
+
+#: Store implementations, parity-tested against each other.
+BACKENDS = ("rope", "treap")
+
+
+def _backend_from_env() -> str:
+    raw = os.environ.get("REPRO_PERSISTENT_BACKEND", "").strip().lower()
+    return raw if raw in BACKENDS else "rope"
+
+
+#: Process-wide default backend (env ``REPRO_PERSISTENT_BACKEND``).
+PERSISTENT_BACKEND: str = _backend_from_env()
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a ``backend=`` argument (``None``/``"auto"`` → the
+    process default)."""
+    b = PERSISTENT_BACKEND if backend in (None, "auto") else backend
+    if b not in BACKENDS:
+        raise PersistenceError(
+            f"unknown persistent backend {backend!r}; choose from {BACKENDS}"
+        )
+    return b
 
 
 def penv_from_envelope(env: Envelope) -> Root:
@@ -86,14 +133,21 @@ def penv_visible_parts(root: Root, seg, *, eps: float = EPS):
 
 
 def _trim_boundary_piece(root: Root, cut: float) -> Root:
-    """Given a version whose keys are all ``< cut``, trim its last piece
-    so nothing extends past ``cut``."""
+    """Trim a version's last piece so nothing extends past ``cut``.
+
+    Splice callers pass roots whose keys are all ``< cut`` (a
+    ``treap.split`` left half), but eps-tie inputs can hand direct
+    callers a last piece starting *exactly at* the cut — its trim
+    would be zero-width, so the piece is deleted outright (the
+    delete must run before any ``clipped`` call, which rejects empty
+    spans).  Pinned by ``tests/test_persistence_envelope.py``.
+    """
     if root is None:
         return None
     last = treap.kth(root, treap.size(root) - 1)
     piece: Piece = last.value
     if piece.yb > cut:
-        if piece.ya >= cut:  # pragma: no cover - keys < cut guarantees
+        if piece.ya >= cut:
             return treap.delete(root, piece.ya)
         return treap.insert(root, piece.ya, piece.clipped(piece.ya, cut))
     return root
@@ -126,9 +180,7 @@ def penv_splice_merge(
         piece: Piece = last.value
         if piece.yb > ya:
             straddle = piece
-            left = treap.insert(left, piece.ya, piece.clipped(piece.ya, ya))
-            if left is not None and piece.ya >= ya:  # pragma: no cover
-                left = treap.delete(left, piece.ya)
+            left = _trim_boundary_piece(left, ya)
     mid, right = treap.split(rest, yb)
     mid_pieces: list[Piece] = [p for _, p in treap.to_list(mid)]
     if straddle is not None:
@@ -154,42 +206,69 @@ def penv_splice_merge(
 
 
 class PersistentEnvelope:
-    """Convenience wrapper pairing a treap root with envelope queries.
+    """Convenience wrapper pairing a version root with envelope queries.
 
-    Instances are immutable values: ``merged_with`` returns a fresh
-    instance sharing structure with ``self``.
+    ``root`` is either a :class:`~repro.persistence.rope.Rope` or a
+    treap root — queries dispatch on the concrete type, so a wrapper
+    built by either backend answers the same API.  Instances are
+    immutable values: ``merged_with`` returns a fresh instance sharing
+    structure with ``self``.
     """
 
     __slots__ = ("root",)
 
-    def __init__(self, root: Root = None):
+    def __init__(self, root: Union[Root, Rope] = None):
         self.root = root
 
     @staticmethod
-    def from_envelope(env: Envelope) -> "PersistentEnvelope":
+    def from_envelope(
+        env: Envelope, *, backend: Optional[str] = None
+    ) -> "PersistentEnvelope":
+        if resolve_backend(backend) == "rope":
+            return PersistentEnvelope(_rope.rope_from_envelope(env))
         return PersistentEnvelope(penv_from_envelope(env))
 
     @staticmethod
-    def empty() -> "PersistentEnvelope":
+    def empty(*, backend: Optional[str] = None) -> "PersistentEnvelope":
+        if resolve_backend(backend) == "rope":
+            return PersistentEnvelope(_rope.EMPTY)
         return PersistentEnvelope(None)
 
     @property
+    def backend(self) -> str:
+        return "rope" if isinstance(self.root, Rope) else "treap"
+
+    @property
     def size(self) -> int:
+        if isinstance(self.root, Rope):
+            return self.root.total
         return treap.size(self.root)
 
     def value_at(self, y: float) -> float:
+        if isinstance(self.root, Rope):
+            return _rope.rope_value_at(self.root, y)
         return penv_value_at(self.root, y)
 
     def to_envelope(self) -> Envelope:
+        if isinstance(self.root, Rope):
+            return Envelope(self.root.to_pieces())
         return Envelope([p for _, p in treap.to_list(self.root)])
 
     def merged_with(
         self, other: Envelope, *, eps: float = EPS
     ) -> tuple["PersistentEnvelope", MergeResult]:
-        new_root, res = penv_splice_merge(self.root, other, eps=eps)
+        if isinstance(self.root, Rope):
+            new_root, res = _rope.rope_splice_merge(self.root, other, eps=eps)
+        else:
+            new_root, res = penv_splice_merge(self.root, other, eps=eps)
         return PersistentEnvelope(new_root), res
 
     def node_count(self) -> int:
+        """Distinct piece slots reachable from this version (treap:
+        distinct nodes; rope: total pieces — every slot is distinct
+        within one version)."""
+        if isinstance(self.root, Rope):
+            return self.root.total
         return treap.count_nodes(self.root)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

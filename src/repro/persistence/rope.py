@@ -1,0 +1,868 @@
+"""Flat-native persistent envelopes: a two-level rope of packed chunks.
+
+The treap store (:mod:`repro.persistence.envelope_store`) made profile
+versions cheap to *share* but expensive to *walk*: every query and
+splice chases one heap-allocated node per piece — the pointer tax the
+flat SoA stack eliminated everywhere else (the ``phase2-persistent``
+bench row measured it at 8.7× direct-flat).  This module keeps the
+sharing and drops the pointers.
+
+A profile version is a :class:`Rope`: an immutable *spine* (a tuple)
+of immutable :class:`Chunk` objects, each chunk a small frozen block
+of consecutive pieces in the ``PackedProfile`` field layout — five
+columns ``ya/za/yb/zb/source``, materialised on demand as one frozen
+``(5, k)`` float64 block whose ``source`` row is the same bytes viewed
+as int64 (exactly the packed live-profile layout, so phase-2's batched
+kernels consume chunk views directly).
+
+Path copying happens at **chunk granularity**: a splice over
+``[ya, yb]`` rebuilds only the chunks overlapping that range plus the
+spine, so a version costs ``O(affected chunks + spine)`` fresh
+allocations and every untouched chunk is shared between versions.
+Version checkout is O(1): a version *is* its spine object — no
+copying, no node materialisation (pinned by an allocation-counter test,
+not wall clock).
+
+Sharing accounting mirrors the treap's:
+
+* :func:`allocation_count` counts **piece slots written into freshly
+  built chunks** — the unit comparable to the treap's one-node-per-
+  piece allocations that experiments E5/E11 report.
+* :func:`count_shared_pieces` counts piece *objects* reachable from
+  several versions (splices reuse the same tuples outside the merged
+  range) — the direct analogue of
+  :func:`repro.persistence.treap.count_shared_nodes`, and the layer
+  sharing meter phase 2 reports.
+* :func:`count_shared_chunks` is the coarser chunk-granular view
+  (piece-weighted), measuring the structural block sharing itself.
+
+The splice path is a guard site (``rope_splice``) of
+:mod:`repro.reliability`: the freshly merged piece run is validated
+(sorted, non-overlapping, finite) *before* the new spine is assembled,
+and any fault degrades to an unshared full rebuild from the intact
+piece lists — results identical, sharing sacrificed for that one
+version (see ``docs/RELIABILITY.md``).
+
+This module is numpy-free at import time and fully functional without
+numpy (the chunk blocks are a lazy, optional acceleration), so the
+no-numpy CI leg runs the whole rope↔treap parity suite.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Optional
+
+from repro.envelope.chain import Envelope, Piece
+from repro.envelope.merge import MergeResult, merge_envelopes
+from repro.geometry.primitives import EPS, NEG_INF
+from repro.reliability import faultinject as _fi
+from repro.reliability import guard as _guard
+
+__all__ = [
+    "CHUNK_TARGET",
+    "Chunk",
+    "EMPTY",
+    "Rope",
+    "SpliceRange",
+    "range_lanes",
+    "rope_from_envelope",
+    "rope_from_pieces",
+    "rope_value_at",
+    "rope_range_pieces",
+    "rope_visible_parts",
+    "rope_splice_merge",
+    "commit_splice",
+    "commit_splice_lanes",
+    "allocation_count",
+    "reset_allocation_count",
+    "count_chunks",
+    "count_shared_chunks",
+    "count_shared_pieces",
+]
+
+#: Pieces per freshly built chunk.  Small enough that a narrow splice
+#: rewrites little, large enough that spines stay short and the
+#: per-chunk python overhead amortises.  Fresh runs are *balanced*
+#: into ``ceil(n / CHUNK_TARGET)`` near-equal chunks, so no splice
+#: leaves single-piece runts behind.
+CHUNK_TARGET = 32
+
+#: Piece slots written into freshly constructed chunks — the rope's
+#: allocation meter, comparable to the treap's node counter.
+_ALLOCATED = 0
+
+
+def allocation_count() -> int:
+    """Total piece slots written into fresh chunks so far."""
+    return _ALLOCATED
+
+
+def reset_allocation_count() -> None:
+    global _ALLOCATED
+    _ALLOCATED = 0
+
+
+class Chunk:
+    """An immutable run of consecutive envelope pieces.
+
+    A chunk is born in one of two equivalent forms: from scalar
+    :class:`Piece` tuples (the canonical, numpy-free path) or — on the
+    batched phase-2 commit path — straight from a ``(5, k)`` column
+    slice of a frozen lane block, with **no per-piece python at all**.
+    Whichever form is absent is derived lazily and cached: ``pieces``
+    / ``starts`` materialise from the block on first access (and stay
+    cached, so piece-identity sharing accounting keeps seeing one
+    object per slot), and the block materialises from the pieces.  The
+    chunk-level ACG augmentation (:mod:`repro.hsr.acg_rope`) caches on
+    ``_aug``.  Because chunks are immutable and shared across
+    versions, every cache is computed once per chunk — all versions
+    sharing the chunk reuse them.
+    """
+
+    __slots__ = ("_pieces", "_starts", "_block", "_lanes", "_n",
+                 "_key", "_last_yb", "_aug")
+
+    def __init__(self, pieces: tuple[Piece, ...]):
+        global _ALLOCATED
+        self._pieces = pieces
+        self._starts = None
+        self._block = None
+        self._lanes = None
+        self._n = len(pieces)
+        self._key = pieces[0].ya
+        self._last_yb = pieces[-1].yb
+        self._aug = None
+        _ALLOCATED += len(pieces)
+
+    @classmethod
+    def from_block(cls, block) -> "Chunk":
+        """A chunk over a read-only ``(5, k)`` column block (typically
+        a slice view of one frozen commit buffer) — the lane-native
+        constructor; no :class:`Piece` objects are touched."""
+        global _ALLOCATED
+        self = object.__new__(cls)
+        self._pieces = None
+        self._starts = None
+        self._block = block
+        self._lanes = None
+        self._n = block.shape[1]
+        self._key = float(block[0, 0])
+        self._last_yb = float(block[2, -1])
+        self._aug = None
+        _ALLOCATED += self._n
+        return self
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def pieces(self) -> tuple[Piece, ...]:
+        ps = self._pieces
+        if ps is None:
+            lanes = self.lanes()
+            ps = tuple(
+                map(
+                    Piece,
+                    lanes[0].tolist(),
+                    lanes[1].tolist(),
+                    lanes[2].tolist(),
+                    lanes[3].tolist(),
+                    lanes[4].tolist(),
+                )
+            )
+            self._pieces = ps
+        return ps
+
+    @property
+    def starts(self) -> tuple[float, ...]:
+        st = self._starts
+        if st is None:
+            if self._pieces is not None:
+                st = tuple(p.ya for p in self._pieces)
+            else:
+                st = tuple(self._block[0].tolist())
+            self._starts = st
+        return st
+
+    @property
+    def ya_min(self) -> float:
+        return self._key
+
+    @property
+    def yb_max(self) -> float:
+        return self._last_yb
+
+    def piece_local(self, j: int) -> Piece:
+        """Piece ``j`` of this chunk *without* materialising the whole
+        piece tuple — boundary probes (splice decomposition, range
+        straddle checks) touch one or two slots of a lane-born chunk
+        and must not pay for all of them."""
+        ps = self._pieces
+        if ps is not None:
+            return ps[j]
+        lanes = self.lanes()
+        return Piece(
+            lanes[0][j].item(),
+            lanes[1][j].item(),
+            lanes[2][j].item(),
+            lanes[3][j].item(),
+            lanes[4][j].item(),
+        )
+
+    def block(self):
+        """The chunk as one read-only ``(5, k)`` float64 block in the
+        packed-profile layout (``source`` row: same bytes as int64),
+        built once and shared by every version holding this chunk."""
+        b = self._block
+        if b is None:
+            import numpy as np
+
+            k = self._n
+            buf = np.empty((5, k), np.float64)
+            ibuf = buf.view(np.int64)
+            for j, p in enumerate(self._pieces):
+                buf[0, j] = p.ya
+                buf[1, j] = p.za
+                buf[2, j] = p.yb
+                buf[3, j] = p.zb
+                ibuf[4, j] = p.source
+            buf.flags.writeable = False
+            self._block = buf
+            b = buf
+        return b
+
+    def lanes(self):
+        """The chunk as five frozen column arrays
+        ``(ya, za, yb, zb, source)`` — views into :meth:`block`."""
+        lanes = self._lanes
+        if lanes is None:
+            import numpy as np
+
+            b = self.block()
+            lanes = (b[0], b[1], b[2], b[3], b.view(np.int64)[4])
+            self._lanes = lanes
+        return lanes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Chunk({self._n} pieces @ {self._key:.4g})"
+
+
+class Rope:
+    """One profile version: an immutable spine of shared chunks.
+
+    ``starts[c]`` is chunk ``c``'s first key and ``offsets[c]`` its
+    first global piece index (``offsets[-1] == total``); both power the
+    two-level bisection locate.  Instances are values — every operation
+    returns a new ``Rope`` sharing all untouched chunks.
+    """
+
+    __slots__ = ("chunks", "starts", "offsets", "total")
+
+    def __init__(self, chunks: Iterable[Chunk]):
+        self.chunks = tuple(chunks)
+        self.starts = tuple(c.ya_min for c in self.chunks)
+        offsets = [0]
+        for c in self.chunks:
+            offsets.append(offsets[-1] + len(c))
+        self.offsets = tuple(offsets)
+        self.total = offsets[-1]
+
+    def __len__(self) -> int:
+        return self.total
+
+    def piece_at(self, i: int) -> Piece:
+        """Global piece ``i`` (two bisect-free index steps)."""
+        c = bisect_right(self.offsets, i) - 1
+        return self.chunks[c].piece_local(i - self.offsets[c])
+
+    def pieces_between(self, i: int, j: int) -> list[Piece]:
+        """Pieces ``[i, j)`` in y-order, walking whole chunks."""
+        if i >= j:
+            return []
+        out: list[Piece] = []
+        c = bisect_right(self.offsets, i) - 1
+        while i < j:
+            chunk = self.chunks[c]
+            base = self.offsets[c]
+            lo = i - base
+            hi = min(j - base, len(chunk))
+            if lo == 0 and hi == len(chunk):
+                out.extend(chunk.pieces)
+            else:
+                out.extend(chunk.pieces[lo:hi])
+            i = base + hi
+            c += 1
+        return out
+
+    def to_pieces(self) -> list[Piece]:
+        out: list[Piece] = []
+        for c in self.chunks:
+            out.extend(c.pieces)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Rope({self.total} pieces in {len(self.chunks)} chunks)"
+
+
+#: The canonical empty version (safe to share: ropes are immutable).
+EMPTY = Rope(())
+
+
+def _chunked(pieces: list[Piece]) -> list[Chunk]:
+    """Balance a fresh piece run into near-equal chunks of at most
+    :data:`CHUNK_TARGET` pieces (no runts: 33 pieces become 17+16, not
+    32+1)."""
+    n = len(pieces)
+    if n == 0:
+        return []
+    parts = -(-n // CHUNK_TARGET)  # ceil
+    out: list[Chunk] = []
+    base, extra = divmod(n, parts)
+    i = 0
+    for p in range(parts):
+        k = base + (1 if p < extra else 0)
+        out.append(Chunk(tuple(pieces[i : i + k])))
+        i += k
+    return out
+
+
+def rope_from_pieces(pieces: Iterable[Piece]) -> Rope:
+    """Build a version from sorted, non-overlapping pieces in O(n)."""
+    pieces = list(pieces)
+    if not pieces:
+        return EMPTY
+    return Rope(_chunked(pieces))
+
+
+def rope_from_envelope(env: Envelope) -> Rope:
+    return rope_from_pieces(env.pieces)
+
+
+# ---------------------------------------------------------------------------
+# Two-level locate.  Keys (piece ``ya`` starts) are globally strictly
+# increasing, so both global bisections decompose into a spine bisect
+# followed by a within-chunk bisect.
+# ---------------------------------------------------------------------------
+
+
+def _index_ge(rope: Rope, y: float) -> int:
+    """Global index of the first piece with key ``>= y``
+    (``bisect_left`` over the concatenated keys)."""
+    c = bisect_right(rope.starts, y) - 1
+    if c < 0:
+        return 0
+    return rope.offsets[c] + bisect_left(rope.chunks[c].starts, y)
+
+
+def _index_gt(rope: Rope, y: float) -> int:
+    """Global index of the first piece with key ``> y``
+    (``bisect_right`` over the concatenated keys)."""
+    c = bisect_right(rope.starts, y) - 1
+    if c < 0:
+        return 0
+    return rope.offsets[c] + bisect_right(rope.chunks[c].starts, y)
+
+
+def rope_value_at(rope: Rope, y: float) -> float:
+    """Profile height at ``y`` (``-inf`` in gaps).
+
+    Exact replica of the treap descent's convention
+    (:func:`~repro.persistence.envelope_store.penv_value_at`): the
+    candidate is the piece with the greatest key ``<= y``, taken only
+    when its closed span contains ``y``.
+    """
+    i = _index_gt(rope, y) - 1
+    if i < 0:
+        return NEG_INF
+    p = rope.piece_at(i)
+    if p.ya <= y <= p.yb:
+        return p.z_at(y)
+    return NEG_INF
+
+
+def rope_range_pieces(rope: Rope, ya: float, yb: float) -> list[Piece]:
+    """Pieces whose closed span intersects ``[ya, yb]``, in y-order —
+    the version's keys in ``[ya, yb)`` plus the one possible straddling
+    predecessor (exact
+    :func:`~repro.persistence.envelope_store.penv_range_pieces`
+    semantics)."""
+    out: list[Piece] = []
+    i0 = _index_ge(rope, ya)
+    if i0 > 0:
+        p = rope.piece_at(i0 - 1)
+        if p.yb >= ya:
+            out.append(p)
+    out.extend(rope.pieces_between(i0, _index_ge(rope, yb)))
+    return out
+
+
+def rope_visible_parts(rope: Rope, seg, *, eps: float = EPS):
+    """Visible parts of an image segment against a rope version —
+    range-extract the overlapped window, reuse the array scan."""
+    from repro.envelope.visibility import visible_parts
+
+    if seg.is_vertical:
+        local = Envelope(rope_range_pieces(rope, seg.y1, seg.y1 + 1e-12))
+        return visible_parts(seg, local, eps=eps)
+    local = Envelope(rope_range_pieces(rope, seg.y1, seg.y2))
+    return visible_parts(seg, local, eps=eps)
+
+
+# ---------------------------------------------------------------------------
+# Splice: path copying at chunk granularity.
+# ---------------------------------------------------------------------------
+
+
+class SpliceRange:
+    """The decomposition of a version around a splice span ``[ya, yb]``.
+
+    ``i0``/``i1`` bound the keys in ``[ya, yb)``; ``left_cut`` is the
+    trimmed replacement for a piece straddling ``ya`` (it stays on the
+    left, clipped at the cut — the straddle's in-range part,
+    ``straddle_clip``, rides into the merge range); ``carry`` is the
+    overhang of the last in-range piece past ``yb``, kept out of the
+    merge (``tail_trim`` replaces it there) and re-attached after.
+
+    The in-range pieces themselves are *not* materialised here — the
+    scalar path takes :meth:`mid_pieces`, phase 2's batched path takes
+    :meth:`window_lanes` straight off the chunk blocks.
+    """
+
+    __slots__ = (
+        "rope",
+        "yb",
+        "i0",
+        "i1",
+        "left_cut",
+        "straddle_clip",
+        "tail_trim",
+        "carry",
+    )
+
+    def __init__(self, rope: Rope, ya: float, yb: float):
+        self.rope = rope
+        self.yb = yb
+        i0 = _index_ge(rope, ya)
+        left_cut: Optional[Piece] = None
+        straddle_clip: Optional[Piece] = None
+        if i0 > 0:
+            piece = rope.piece_at(i0 - 1)
+            if piece.yb > ya:
+                # The straddler's key is < ya, so the trim is never
+                # empty; a piece starting exactly at the cut is in the
+                # mid range already (key >= ya), never here.
+                left_cut = piece.clipped(piece.ya, ya)
+                straddle_clip = piece.clipped(ya, piece.yb)
+        i1 = _index_ge(rope, yb)
+        # The last in-range piece may extend beyond yb; keep the
+        # overhang out of the merge and re-attach it afterwards.  When
+        # the whole range sits inside the straddler the overhanging
+        # piece *is* the straddle clip.
+        if i1 > i0:
+            last: Optional[Piece] = rope.piece_at(i1 - 1)
+        else:
+            last = straddle_clip
+        carry: Optional[Piece] = None
+        tail_trim: Optional[Piece] = None
+        if last is not None and last.yb > yb:
+            tail_trim = last.clipped(last.ya, yb)
+            carry = last.clipped(yb, last.yb)
+        self.i0 = i0
+        self.i1 = i1
+        self.left_cut = left_cut
+        self.straddle_clip = straddle_clip
+        self.tail_trim = tail_trim
+        self.carry = carry
+
+    def mid_pieces(self) -> list[Piece]:
+        """The merge-range pieces as scalar tuples (boundary trims
+        applied) — bit-identical to the treap oracle's extraction."""
+        mid = self.rope.pieces_between(self.i0, self.i1)
+        if self.straddle_clip is not None:
+            mid.insert(0, self.straddle_clip)
+        if self.tail_trim is not None and mid:
+            mid[-1] = self.tail_trim
+        return mid
+
+    def window_lanes(self):
+        """The merge-range pieces as five fresh numpy lanes
+        ``(ya, za, yb, zb, source)``, assembled from the chunks'
+        cached blocks (one concatenate, two scalar boundary fixups) —
+        value-identical to :meth:`mid_pieces`, no per-piece python."""
+        win, iwin = _block_between(
+            self.rope, self.i0, self.i1, head=self.straddle_clip
+        )
+        if self.tail_trim is not None:
+            t = self.tail_trim
+            win[2, -1] = t.yb
+            win[3, -1] = t.zb
+        return win[0], win[1], win[2], win[3], iwin[4]
+
+
+def _block_between(rope: Rope, i: int, j: int, head: Optional[Piece] = None):
+    """A fresh, writable ``(5, n)`` block (plus its int64 view) of the
+    pieces ``[i, j)``, optionally preceded by a ``head`` piece column —
+    copied from the chunks' cached read-only lane blocks."""
+    import numpy as np
+
+    blocks = []
+    if head is not None:
+        col = np.empty((5, 1), np.float64)
+        col[0, 0] = head.ya
+        col[1, 0] = head.za
+        col[2, 0] = head.yb
+        col[3, 0] = head.zb
+        col.view(np.int64)[4, 0] = head.source
+        blocks.append(col)
+    c = bisect_right(rope.offsets, i) - 1 if i < j else 0
+    while i < j:
+        chunk = rope.chunks[c]
+        base = rope.offsets[c]
+        lo = i - base
+        hi = min(j - base, len(chunk))
+        block = chunk.block()  # materialise + cache the (5, k) block
+        blocks.append(block if lo == 0 and hi == len(chunk)
+                      else block[:, lo:hi])
+        i = base + hi
+        c += 1
+    if not blocks:
+        buf = np.empty((5, 0), np.float64)
+    elif len(blocks) > 1:
+        buf = np.concatenate(blocks, axis=1)
+    else:
+        buf = np.array(blocks[0])  # fresh copy: chunk blocks are frozen
+    return buf, buf.view(np.int64)
+
+
+def range_lanes(rope: Rope, ya: float, yb: float):
+    """The :func:`rope_range_pieces` window as five fresh numpy lanes —
+    the straddling predecessor rides along *whole* (it is piece
+    ``i0 - 1``), so the window is one contiguous global index range."""
+    i0 = _index_ge(rope, ya)
+    if i0 > 0 and rope.piece_at(i0 - 1).yb >= ya:
+        i0 -= 1
+    buf, ibuf = _block_between(rope, i0, _index_ge(rope, yb))
+    return buf[0], buf[1], buf[2], buf[3], ibuf[4]
+
+
+def _check_splice_pieces(
+    pieces: list[Piece], prev_yb: float, next_ya: float
+) -> None:
+    """Post-condition check for the ``rope_splice`` guard: the fresh
+    run is sorted, non-overlapping, finite, and fits between its
+    neighbours.  Scalar and numpy-free — the site must stay checkable
+    on the pure-python leg."""
+    prev = prev_yb
+    for j, p in enumerate(pieces):
+        if not (prev <= p.ya < p.yb) or p.za != p.za or p.zb != p.zb:
+            _guard.violation(
+                "rope_splice",
+                f"fresh piece {j} ({p.ya!r}..{p.yb!r}) unsorted,"
+                " overlapping or non-finite",
+            )
+        prev = p.yb
+    if prev > next_ya:
+        _guard.violation(
+            "rope_splice",
+            f"fresh run overruns right neighbour ({prev!r} > {next_ya!r})",
+        )
+
+
+def _splice_frags(rope: Rope, sr: SpliceRange):
+    """The shared commit prologue: keep bounds, whole shared chunks on
+    both sides, and the boundary-chunk piece fragments that refold into
+    the fresh run (``left_frag`` already carries ``sr.left_cut``)."""
+    keep_left = sr.i0 - (1 if sr.left_cut is not None else 0)
+    keep_right = sr.i1
+    offsets = rope.offsets
+    # Whole chunks strictly inside the kept prefix / suffix.
+    cl = bisect_right(offsets, keep_left) - 1
+    shared_left = rope.chunks[:cl]
+    left_frag = list(rope.chunks[cl].pieces[: keep_left - offsets[cl]]) if (
+        keep_left - offsets[cl]
+    ) else []
+    cr = bisect_right(offsets, keep_right) - 1
+    if cr == len(rope.chunks):  # splice reaches the end
+        right_frag: list[Piece] = []
+        shared_right: tuple[Chunk, ...] = ()
+    else:
+        cut = keep_right - offsets[cr]
+        right_frag = list(rope.chunks[cr].pieces[cut:]) if cut else []
+        shared_right = rope.chunks[cr + 1 :] if cut else rope.chunks[cr:]
+    if sr.left_cut is not None:
+        left_frag.append(sr.left_cut)
+    return keep_left, keep_right, shared_left, left_frag, right_frag, shared_right
+
+
+def commit_splice(rope: Rope, sr: SpliceRange, merged: list[Piece]) -> Rope:
+    """Assemble the successor version: shared chunks outside the
+    affected span, balanced fresh chunks inside (boundary-chunk
+    fragments fold into the fresh run — they are new allocations
+    either way, and folding avoids runt chunks at the seams).
+
+    Guard site ``rope_splice``: the fresh run is validated against its
+    kept neighbours *before* any spine is built; a fault degrades to a
+    full unshared rebuild from the intact piece lists (identical
+    pieces, sharing lost for this one version).
+    """
+    (keep_left, keep_right, shared_left, left_frag,
+     right_frag, shared_right) = _splice_frags(rope, sr)
+
+    def kernel() -> Rope:
+        fresh = merged
+        if _fi.ARMED:
+            fresh = _fi.corrupt_piece_list("rope_splice", fresh)
+        prev_yb = shared_left[-1].yb_max if shared_left else NEG_INF
+        next_ya = (
+            shared_right[0].ya_min if shared_right else float("inf")
+        )
+        _check_splice_pieces(
+            left_frag + fresh + right_frag, prev_yb, next_ya
+        )
+        return Rope(
+            shared_left
+            + tuple(_chunked(left_frag + fresh + right_frag))
+            + shared_right
+        )
+
+    def fallback() -> Rope:
+        # Unshared rebuild from the intact scalar piece lists — the
+        # simple path sharing no spine arithmetic with the kernel.
+        pieces = rope.pieces_between(0, keep_left)
+        if sr.left_cut is not None:
+            pieces.append(sr.left_cut)
+        pieces.extend(merged)
+        pieces.extend(rope.pieces_between(keep_right, rope.total))
+        return rope_from_pieces(pieces)
+
+    return _guard.guarded_call("rope_splice", kernel, fallback)
+
+
+def _chunked_block(block) -> list[Chunk]:
+    """Balance a frozen ``(5, n)`` lane block into near-equal
+    :meth:`Chunk.from_block` column slices of at most
+    :data:`CHUNK_TARGET` pieces — the lane-native :func:`_chunked`."""
+    n = block.shape[1]
+    if n == 0:
+        return []
+    parts = -(-n // CHUNK_TARGET)  # ceil
+    out: list[Chunk] = []
+    base, extra = divmod(n, parts)
+    i = 0
+    for p in range(parts):
+        k = base + (1 if p < extra else 0)
+        out.append(Chunk.from_block(block[:, i : i + k]))
+        i += k
+    return out
+
+
+def _check_splice_lanes(buf, prev_yb: float, next_ya: float) -> None:
+    """Vectorised twin of :func:`_check_splice_pieces` over a fresh
+    ``(5, n)`` commit block: sorted, non-overlapping, NaN-free z, and
+    fits between the kept neighbours.  Same guard site, same
+    violations — only the arithmetic is batched."""
+    import numpy as np
+
+    ya, za, yb, zb = buf[0], buf[1], buf[2], buf[3]
+    n = buf.shape[1]
+    if n == 0:
+        return
+    ok = (
+        bool((ya < yb).all())
+        and bool((yb[:-1] <= ya[1:]).all())
+        and not bool(np.isnan(za).any())
+        and not bool(np.isnan(zb).any())
+        and prev_yb <= float(ya[0])
+    )
+    if not ok:
+        _guard.violation(
+            "rope_splice",
+            "fresh lane block unsorted, overlapping or non-finite",
+        )
+    if float(yb[-1]) > next_ya:
+        _guard.violation(
+            "rope_splice",
+            f"fresh run overruns right neighbour"
+            f" ({float(yb[-1])!r} > {next_ya!r})",
+        )
+
+
+def commit_splice_lanes(rope: Rope, sr: SpliceRange, lanes, carry) -> Rope:
+    """Lane-native :func:`commit_splice`: the merged run arrives as
+    five fresh arrays ``(ya, za, yb, zb, source)`` straight off the
+    batched merge kernel, and the successor version's fresh chunks are
+    column slices of one frozen commit block — **no** :class:`Piece`
+    tuple is materialised on the happy path.  ``carry`` is the
+    :class:`SpliceRange` overhang to re-attach past the merge (or
+    ``None``).
+
+    Same ``rope_splice`` guard envelope as the scalar commit: the
+    block is validated against its kept neighbours before the spine is
+    assembled, and any fault degrades to the unshared scalar rebuild
+    from the intact piece lists.
+    """
+    import numpy as np
+
+    keep_left = sr.i0 - (1 if sr.left_cut is not None else 0)
+    keep_right = sr.i1
+    offsets = rope.offsets
+    # Boundary-chunk fragments as block slices — no Piece round-trip.
+    cl = bisect_right(offsets, keep_left) - 1
+    shared_left = rope.chunks[:cl]
+    nl = keep_left - offsets[cl]
+    left_block = rope.chunks[cl].block()[:, :nl] if nl else None
+    cr = bisect_right(offsets, keep_right) - 1
+    if cr == len(rope.chunks):  # splice reaches the end
+        right_block = None
+        shared_right: tuple[Chunk, ...] = ()
+    else:
+        cut = keep_right - offsets[cr]
+        right_block = rope.chunks[cr].block()[:, cut:] if cut else None
+        shared_right = rope.chunks[cr + 1 :] if cut else rope.chunks[cr:]
+    mya, mza, myb, mzb, msrc = lanes
+    nm = len(mya)
+    nc = 1 if carry is not None else 0
+    nr = right_block.shape[1] if right_block is not None else 0
+
+    def _put_piece(buf, ibuf, j, p) -> None:
+        buf[0, j] = p.ya
+        buf[1, j] = p.za
+        buf[2, j] = p.yb
+        buf[3, j] = p.zb
+        ibuf[4, j] = p.source
+
+    def kernel() -> Rope:
+        nlc = 1 if sr.left_cut is not None else 0
+        buf = np.empty((5, nl + nlc + nm + nc + nr), np.float64)
+        ibuf = buf.view(np.int64)
+        if left_block is not None:
+            # Same-dtype row copies move the int64 source bits intact.
+            buf[:, :nl] = left_block
+        if sr.left_cut is not None:
+            _put_piece(buf, ibuf, nl, sr.left_cut)
+        a = nl + nlc
+        buf[0, a : a + nm] = mya
+        buf[1, a : a + nm] = mza
+        buf[2, a : a + nm] = myb
+        buf[3, a : a + nm] = mzb
+        ibuf[4, a : a + nm] = msrc
+        if carry is not None:
+            _put_piece(buf, ibuf, a + nm, carry)
+        if right_block is not None:
+            buf[:, a + nm + nc :] = right_block
+        if _fi.ARMED:
+            _fi.corrupt_lane_block("rope_splice", buf, ibuf)
+        prev_yb = shared_left[-1].yb_max if shared_left else NEG_INF
+        next_ya = shared_right[0].ya_min if shared_right else float("inf")
+        _check_splice_lanes(buf, prev_yb, next_ya)
+        buf.flags.writeable = False
+        return Rope(
+            shared_left + tuple(_chunked_block(buf)) + shared_right
+        )
+
+    def fallback() -> Rope:
+        # Unshared scalar rebuild from the intact piece lists — shares
+        # no lane arithmetic with the kernel.
+        pieces = rope.pieces_between(0, keep_left)
+        if sr.left_cut is not None:
+            pieces.append(sr.left_cut)
+        pieces.extend(
+            map(Piece, mya.tolist(), mza.tolist(), myb.tolist(),
+                mzb.tolist(), msrc.tolist())
+        )
+        if carry is not None:
+            pieces.append(carry)
+        pieces.extend(rope.pieces_between(keep_right, rope.total))
+        return rope_from_pieces(pieces)
+
+    return _guard.guarded_call("rope_splice", kernel, fallback)
+
+
+def rope_splice_merge(
+    rope: Rope, other: Envelope, *, eps: float = EPS
+) -> tuple[Rope, MergeResult]:
+    """Merge an array envelope into a rope version.
+
+    Exact analogue of
+    :func:`~repro.persistence.envelope_store.penv_splice_merge` —
+    same straddle/carry decomposition, same
+    :func:`~repro.envelope.merge.merge_envelopes` sweep over the same
+    local range, so the returned :class:`MergeResult` (pieces, ops,
+    crossings) is bit-identical to the treap oracle's.  Only the
+    commit differs: chunk-granular path copying instead of per-node.
+    """
+    if not other.pieces:
+        return rope, MergeResult(Envelope.empty(), [], 0)
+    ya, yb = other.y_span()
+    if rope.total == 0:
+        return rope_from_envelope(other), MergeResult(other, [], other.size)
+    sr = SpliceRange(rope, ya, yb)
+    local = Envelope(sr.mid_pieces())
+    res = merge_envelopes(local, other, eps=eps)
+    merged = list(res.envelope.pieces)
+    if sr.carry is not None and sr.carry.ya < sr.carry.yb:
+        merged.append(sr.carry)
+    return commit_splice(rope, sr, merged), res
+
+
+# ---------------------------------------------------------------------------
+# Sharing accounting (the E5/E11 meters).
+# ---------------------------------------------------------------------------
+
+
+def count_chunks(rope: Optional[Rope]) -> int:
+    return len(rope.chunks) if rope is not None else 0
+
+
+def count_shared_pieces(*ropes: Optional[Rope]) -> tuple[int, int]:
+    """Piece-identity ``(total_distinct, shared)`` across versions —
+    the direct analogue of
+    :func:`repro.persistence.treap.count_shared_nodes` (one treap node
+    holds one piece, so the units match).  A splice reuses the *same*
+    :class:`~repro.envelope.chain.Piece` objects for every slot
+    outside the merged range — including slots refolded into fresh
+    boundary chunks — so identity counting sees exactly the memory
+    actually shared between layer-mates; the chunk-granular view is
+    :func:`count_shared_chunks`."""
+    per_rope: list[set[int]] = []
+    for r in ropes:
+        seen: set[int] = set()
+        if r is not None:
+            for c in r.chunks:
+                for p in c.pieces:
+                    seen.add(id(p))
+        per_rope.append(seen)
+    all_ids: set[int] = set().union(*per_rope) if per_rope else set()
+    shared = sum(
+        1
+        for i in all_ids
+        if sum(1 for s in per_rope if i in s) >= 2
+    )
+    return (len(all_ids), shared)
+
+
+def count_shared_chunks(*ropes: Optional[Rope]) -> tuple[int, int]:
+    """Piece-weighted ``(total_distinct, shared)`` across versions —
+    the rope analogue of
+    :func:`repro.persistence.treap.count_shared_nodes` (which counts
+    one node per piece, so piece weighting keeps the units
+    comparable).  ``shared`` sums the piece counts of chunk objects
+    reachable from at least two of the versions."""
+    per_rope: list[set[int]] = []
+    by_id: dict[int, Chunk] = {}
+    for r in ropes:
+        seen: set[int] = set()
+        if r is not None:
+            for c in r.chunks:
+                seen.add(id(c))
+                by_id[id(c)] = c
+        per_rope.append(seen)
+    all_ids: set[int] = set().union(*per_rope) if per_rope else set()
+    total = sum(len(by_id[i]) for i in all_ids)
+    shared = sum(
+        len(by_id[i])
+        for i in all_ids
+        if sum(1 for s in per_rope if i in s) >= 2
+    )
+    return (total, shared)

@@ -68,6 +68,7 @@ SITES = (
     "parallel_exec",
     "phase2_merge",
     "phase2_visibility",
+    "rope_splice",
     "profile",
 )
 
@@ -343,6 +344,49 @@ def poison_profile(site: str, profile) -> bool:
         profile.ya[0] = yb0 + 1.0
         profile.yb[0] = ya0
     return True
+
+
+def corrupt_piece_list(site: str, pieces: list) -> list:
+    """Corrupt a freshly-merged scalar :class:`Piece` run (the rope
+    splice commit's input).  Returns a new list — the intact input is
+    what the unshared-rebuild fallback recommits from."""
+    if not _fires(site, ("unsorted", "nan"), len(pieces) > 0):
+        return pieces
+    out = list(pieces)
+    if _PLAN.mode == "unsorted":  # type: ignore[union-attr]
+        if len(out) >= 2:
+            out[0], out[1] = out[1], out[0]
+        else:
+            p = out[0]
+            out[0] = p._replace(ya=p.yb + 1.0, yb=p.ya)
+    else:
+        i = _nan_index(len(out))
+        out[i] = out[i]._replace(za=float("nan"))
+    return out
+
+
+def corrupt_lane_block(site: str, buf, ibuf) -> None:
+    """Corrupt a freshly-assembled ``(5, n)`` rope commit block in
+    place (``buf`` float64 view, ``ibuf`` its int64 alias).  The block
+    is a fresh allocation — never a view of a live chunk — so the
+    fallback's rebuild from the intact piece lists is unaffected."""
+    n = buf.shape[1]
+    if not _fires(site, ("unsorted", "nan"), n > 0):
+        return
+    if _PLAN.mode == "unsorted":  # type: ignore[union-attr]
+        if n >= 2:
+            col0 = buf[:, 0].copy()
+            icol0 = ibuf[4, 0]
+            buf[:, 0] = buf[:, 1]
+            ibuf[4, 0] = ibuf[4, 1]
+            buf[:, 1] = col0
+            ibuf[4, 1] = icol0
+        else:
+            ya0, yb0 = float(buf[0, 0]), float(buf[2, 0])
+            buf[0, 0] = yb0 + 1.0
+            buf[2, 0] = ya0
+    else:
+        buf[1, _nan_index(n)] = float("nan")
 
 
 def corrupt_env_list(site: str, envs: list) -> list:

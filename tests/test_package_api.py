@@ -45,6 +45,7 @@ class TestLazyTopLevel:
 
     def test_exact_public_surface(self):
         assert sorted(repro.__all__) == sorted(EXPECTED_ALL)
+        assert len(repro.__all__) == 21
 
     def test_lazy_exports_resolve(self):
         pytest.importorskip("numpy")  # batch_visible_parts needs arrays
@@ -157,6 +158,30 @@ class TestDeprecatedPathsWarnOnce:
                 lambda: VisibilityOracle(terrain, eps=1e-9)
             )
             == 1
+        )
+
+    def test_persistence_treap_reexports(self):
+        # Treap-era primitives re-exported at package level are
+        # deprecated: one warning per name, repeat access silent, and
+        # the resolved object is the real treap function.
+        import repro.persistence as persistence
+        from repro.persistence import treap
+
+        assert self._count_deprecations(lambda: persistence.insert) == 1
+        assert persistence.insert is treap.insert  # repeat: silent
+
+    def test_persistence_import_warning_clean(self):
+        # Plain import (and the supported rope/store names) must not
+        # warn — only the deprecated treap re-exports do.
+        assert (
+            self._count_deprecations(
+                lambda: (
+                    __import__("repro.persistence"),
+                    repro.persistence.PersistentEnvelope,
+                    repro.persistence.Rope,
+                )
+            )
+            == 0
         )
 
     def test_config_path_never_warns(self):

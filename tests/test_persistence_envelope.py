@@ -140,6 +140,73 @@ class TestSpliceMerge:
         assert shared > 0.5 * treap.size(root)
 
 
+class TestBoundaryTrim:
+    """Regressions for ``_trim_boundary_piece`` / ``penv_splice_merge``
+    boundary handling: a piece starting exactly at the cut must be
+    deleted (a zero-width ``clipped`` would raise), and eps-tie splice
+    spans must keep the version identical to the array merge."""
+
+    def test_piece_at_cut_is_deleted(self):
+        from repro.envelope.chain import Piece
+        from repro.persistence.envelope_store import _trim_boundary_piece
+
+        root = treap.from_sorted(
+            [
+                (0.0, Piece(0.0, 1.0, 2.0, 1.0, 0)),
+                (2.0, Piece(2.0, 3.0, 4.0, 3.0, 1)),
+            ]
+        )
+        trimmed = _trim_boundary_piece(root, 2.0)
+        got = [p for _, p in treap.to_list(trimmed)]
+        assert got == [Piece(0.0, 1.0, 2.0, 1.0, 0)]
+        # Original version untouched (persistence).
+        assert treap.size(root) == 2
+
+    def test_trim_clips_straddler(self):
+        from repro.envelope.chain import Piece
+        from repro.persistence.envelope_store import _trim_boundary_piece
+
+        root = treap.from_sorted([(0.0, Piece(0.0, 1.0, 4.0, 5.0, 0))])
+        got = [p for _, p in treap.to_list(_trim_boundary_piece(root, 3.0))]
+        assert len(got) == 1
+        assert got[0].yb == 3.0 and got[0].ya == 0.0
+
+    def test_trim_noop_inside_cut(self):
+        from repro.envelope.chain import Piece
+        from repro.persistence.envelope_store import _trim_boundary_piece
+
+        root = treap.from_sorted([(0.0, Piece(0.0, 1.0, 2.0, 1.0, 0))])
+        assert _trim_boundary_piece(root, 3.0) is root
+        assert _trim_boundary_piece(None, 3.0) is None
+
+    def test_splice_span_starting_at_piece_key(self, rng):
+        # The merged span's left edge lands exactly on an existing
+        # piece start — the straddle path must not produce a
+        # zero-width trim.
+        base = env_of([ImageSegment(0.0, 5.0, 10.0, 5.0, 0)])
+        root = penv_from_envelope(base)
+        for ya in (0.0, 5.0):
+            other = env_of([ImageSegment(ya, 8.0, ya + 2.0, 8.0, 9)])
+            new_root, _ = penv_splice_merge(root, other)
+            got = Envelope([p for _, p in treap.to_list(new_root)])
+            want = merge_envelopes(base, other).envelope
+            assert got.approx_equal(want, eps=1e-9)
+
+    def test_splice_span_ending_at_piece_end(self, rng):
+        base = env_of(
+            [
+                ImageSegment(0.0, 5.0, 4.0, 5.0, 0),
+                ImageSegment(4.0, 3.0, 8.0, 3.0, 1),
+            ]
+        )
+        root = penv_from_envelope(base)
+        other = env_of([ImageSegment(2.0, 9.0, 4.0, 9.0, 9)])
+        new_root, _ = penv_splice_merge(root, other)
+        got = Envelope([p for _, p in treap.to_list(new_root)])
+        want = merge_envelopes(base, other).envelope
+        assert got.approx_equal(want, eps=1e-9)
+
+
 class TestPenvVisibility:
     def test_matches_array_visibility(self, rng):
         base = env_of(random_image_segments(rng, 25))
