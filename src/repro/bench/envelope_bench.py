@@ -105,52 +105,20 @@ from repro.envelope.chain import Envelope
 from repro.envelope.engine import HAVE_NUMPY
 from repro.envelope.merge import merge_envelopes
 from repro.envelope.visibility import visible_parts
-from repro.geometry.segments import ImageSegment
 
 __all__ = ["run_envelope_bench", "DEFAULT_OUTPUT"]
 
 DEFAULT_OUTPUT = Path("BENCH_envelope.json")
 
 
-def _e9_segments(m: int, seed: int = 17) -> list[ImageSegment]:
-    """The E9 workload family: random segments over a wide strip."""
-    rng = random.Random(seed)
-    out = []
-    for i in range(m):
-        y1 = rng.uniform(0, 1000)
-        out.append(
-            ImageSegment(
-                y1,
-                rng.uniform(0, 100),
-                y1 + rng.uniform(1, 60),
-                rng.uniform(0, 100),
-                i,
-            )
-        )
-    return out
-
-
-def _seq_segments(m: int, seed: int = 29) -> list[ImageSegment]:
-    """Churny wide-strip family for the sequential rows: the strip
-    scales with ``m`` so the live profile holds Θ(m) pieces, which is
-    the regime where the tuple-splice insert pays Θ(profile) copying
-    per edge (the E9 family keeps its profile small, hiding that
-    cost)."""
-    rng = random.Random(seed)
-    span = 8.0 * m
-    out = []
-    for i in range(m):
-        y1 = rng.uniform(0, span)
-        out.append(
-            ImageSegment(
-                y1,
-                rng.uniform(0, 100),
-                y1 + rng.uniform(1, 60),
-                rng.uniform(0, 100),
-                i,
-            )
-        )
-    return out
+# The workload families live in repro.scenarios.instances now (the
+# declarative scenario matrix is the single source of truth); these
+# aliases keep the historical private names and seeds (17 / 29) so
+# every recorded row stays reproducible bit-for-bit.
+from repro.scenarios.instances import (  # noqa: E402
+    e9_segments as _e9_segments,
+    wide_strip_segments as _seq_segments,
+)
 
 
 def _time_interleaved(fns: dict[str, "object"], repeats: int) -> dict[str, float]:
@@ -821,6 +789,41 @@ def run_envelope_bench(
         )
         t.add(**rows[-1])
 
+    # Scenario-matrix rows (declarative; see repro.scenarios and
+    # docs/SCENARIOS.md): every bench-role scenario of the packaged
+    # default spec, timed through the same interleaved best-of loop.
+    # Appended LAST on purpose — the phase2 pair must keep its
+    # fresh-process slot at the top (see the rationale there), and
+    # these rows feed the perf gate, which compares speedup *ratios*,
+    # not absolute times, so late-pipeline allocator state is benign.
+    if HAVE_NUMPY:
+        from repro.scenarios.instances import iter_bench_rows
+        from repro.scenarios.spec import default_spec
+
+        max_m = max(ms)
+        for row in iter_bench_rows(
+            default_spec(),
+            repeats=seq_repeats,
+            time_fn=_time_interleaved,
+            max_m=max_m,
+        ):
+            rows.append(row)
+            t.add(**row)
+        if quick:
+            t.notes.append(
+                "quick mode skips scenario instances with a declared"
+                " size factor above %d — run --full to record every"
+                " pinned perf-gate row" % max_m
+            )
+
+    t.notes.append(
+        "scenario:* rows expand the bench-role scenarios of the"
+        " packaged default spec (repro/scenarios/"
+        "default_scenarios.json); python_ms/numpy_ms time the"
+        " scenario's baseline/variant configs, best-of-%d"
+        " interleaved, and the pinned instances back `repro"
+        " perf-gate`" % seq_repeats
+    )
     t.notes.append(
         "engines produce identical pieces/crossings/ops (enforced by"
         " tests/test_envelope_flat.py and"

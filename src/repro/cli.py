@@ -2,12 +2,14 @@
 
 Commands
 --------
-``generate``  synthesize a terrain and save it (JSON/OBJ)
-``run``       hidden-surface removal on a terrain file or generator
-``render``    SVG / ASCII rendering of a scene's visible image
-``bench``     alias for ``python -m repro.bench``
-``serve``     batched viewshed query service (JSON lines over TCP)
-``info``      library version and experiment inventory
+``generate``   synthesize a terrain and save it (JSON/OBJ)
+``run``        hidden-surface removal on a terrain file or generator
+``render``     SVG / ASCII rendering of a scene's visible image
+``bench``      alias for ``python -m repro.bench``
+``serve``      batched viewshed query service (JSON lines over TCP)
+``scenarios``  inspect the declarative workload matrix (repro.scenarios)
+``perf-gate``  CI perf-regression gate over the pinned bench rows
+``info``       library version and experiment inventory
 """
 
 from __future__ import annotations
@@ -122,6 +124,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="gathering window for query coalescing (0 = drain-only)",
     )
 
+    scn = sub.add_parser(
+        "scenarios",
+        help="inspect the declarative scenario matrix (repro.scenarios)",
+    )
+    scn_sub = scn.add_subparsers(dest="scenarios_command", required=True)
+    scn_list = scn_sub.add_parser(
+        "list", help="one line per scenario: instances, configs, roles"
+    )
+    scn_list.add_argument(
+        "--spec",
+        type=Path,
+        default=None,
+        help="spec file (.json/.toml); default: the packaged matrix",
+    )
+    scn_show = scn_sub.add_parser(
+        "show", help="expand one scenario into its concrete instances"
+    )
+    scn_show.add_argument("name", help="scenario name (see 'list')")
+    scn_show.add_argument("--spec", type=Path, default=None)
+
+    gate = sub.add_parser(
+        "perf-gate",
+        help=(
+            "re-time the pinned scenario bench rows and fail on"
+            " speedup regression vs the recorded baseline"
+        ),
+    )
+    gate.add_argument(
+        "--spec", type=Path, default=None, help="scenario spec file"
+    )
+    gate.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="recorded bench JSON (default: BENCH_envelope.json)",
+    )
+    gate.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional drop below the recorded speedup",
+    )
+    gate.add_argument("--repeats", type=int, default=5)
+    gate.add_argument(
+        "--canary",
+        action="store_true",
+        help=(
+            "inject a deliberate regression (variant config replaced"
+            " by the baseline config); the gate must FAIL — CI runs"
+            " this leg to prove the gate has teeth"
+        ),
+    )
+
     sub.add_parser("info", help="version + experiment inventory")
     return parser
 
@@ -142,14 +197,18 @@ def _load_terrain(spec: str, seed: int):
     if spec in GENERATORS:
         kwargs = {"seed": seed}
         return generate_terrain(spec, **kwargs)
+    from repro.errors import TerrainError
+
     hint = (
         " — synthetic generators need numpy (install the 'numpy'"
         " extra) or pass a terrain file"
         if not GENERATORS
         else ""
     )
-    raise SystemExit(
-        f"error: {spec!r} is neither an existing terrain file nor a"
+    # A ReproError, not SystemExit: main() turns it into the one-line
+    # `error:` contract with exit code 2 (no traceback).
+    raise TerrainError(
+        f"{spec!r} is neither an existing terrain file nor a"
         f" generator kind (known: {sorted(GENERATORS)}){hint}"
     )
 
@@ -285,6 +344,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_spec_arg(spec_path: Optional[Path]):
+    from repro.scenarios import default_spec, load_spec
+
+    return load_spec(spec_path) if spec_path is not None else default_spec()
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    spec = _load_spec_arg(args.spec)
+    if args.scenarios_command == "list":
+        print(f"spec: {spec.source}")
+        for s in spec.scenarios:
+            print(
+                f"  {s.name:<20} {s.workload:<9}"
+                f" {s.n_instances:>3} instances x"
+                f" {len(s.configs)} configs"
+                f"  roles={','.join(sorted(s.roles))}"
+                + (f"  op={s.op}" if s.op else "")
+                + (f"  pinned={list(s.pinned)}" if s.pinned else "")
+            )
+        return 0
+    # show
+    s = spec.scenario(args.name)
+    print(f"{s.name}: workload={s.workload} roles={sorted(s.roles)}")
+    if s.fixed:
+        print(f"  fixed: {s.fixed}")
+    print(f"  configs: {s.config_ids()}")
+    if s.pinned:
+        print(f"  pinned: {list(s.pinned)}")
+    for inst in s.instances():
+        print(f"  {inst.instance_id}")
+    return 0
+
+
+def _cmd_perf_gate(args: argparse.Namespace) -> int:
+    from repro.scenarios.perfgate import DEFAULT_BASELINE, run_perf_gate
+
+    spec = _load_spec_arg(args.spec) if args.spec is not None else None
+    report = run_perf_gate(
+        spec,
+        baseline=(
+            args.baseline if args.baseline is not None else DEFAULT_BASELINE
+        ),
+        repeats=args.repeats,
+        tolerance=args.tolerance,
+        canary=args.canary,
+    )
+    print(report.format())
+    return 0 if report.passed else 1
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     from repro.bench.experiments import ALL_EXPERIMENTS
     from repro.terrain import GENERATORS
@@ -318,6 +427,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args)
+    if args.command == "perf-gate":
+        return _cmd_perf_gate(args)
     if args.command == "info":
         return _cmd_info(args)
     raise SystemExit(2)  # pragma: no cover - argparse enforces choices

@@ -18,6 +18,7 @@ __all__ = [
     "PersistenceError",
     "HsrError",
     "BenchmarkError",
+    "ScenarioError",
     "ValidationError",
     "KernelFault",
 ]
@@ -69,6 +70,13 @@ class HsrError(ReproError):
 
 class BenchmarkError(ReproError):
     """Benchmark harness misconfiguration."""
+
+
+class ScenarioError(ReproError):
+    """Malformed scenario spec or unknown scenario reference
+    (:mod:`repro.scenarios`): a spec file that is not valid JSON/TOML,
+    a scenario entry failing schema validation, or a lookup of a
+    scenario / baseline bench row that does not exist."""
 
 
 class ValidationError(ReproError):

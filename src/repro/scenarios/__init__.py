@@ -1,0 +1,37 @@
+"""Declarative scenario matrix: one spec file, three consumers.
+
+``repro.scenarios`` turns the repository's workload zoo into data: a
+single spec file (:data:`~repro.scenarios.spec.DEFAULT_SPEC_RESOURCE`,
+packaged next to this module) declares crossed factorial scenarios —
+terrain family x observer placement x input size x
+:class:`~repro.config.HsrConfig` variant — and three consumers expand
+the *same* spec:
+
+* pytest parity fixtures (``tests/test_scenarios.py`` and the thin
+  wrappers over the historical hand-rolled suites),
+* the ``scenario:*`` rows of :mod:`repro.bench.envelope_bench`, and
+* the CI perf-regression gate (:mod:`repro.scenarios.perfgate`,
+  ``python -m repro perf-gate``).
+
+The spec layer (:mod:`repro.scenarios.spec`) is stdlib-only; running
+instances (:mod:`repro.scenarios.instances`) imports numpy lazily per
+materialiser.  See ``docs/SCENARIOS.md``.
+"""
+
+from repro.scenarios.spec import (
+    DEFAULT_SPEC_RESOURCE,
+    Scenario,
+    ScenarioInstance,
+    ScenarioSpec,
+    default_spec,
+    load_spec,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioInstance",
+    "ScenarioSpec",
+    "load_spec",
+    "default_spec",
+    "DEFAULT_SPEC_RESOURCE",
+]

@@ -210,7 +210,10 @@ def shielded_basin_terrain(
     """
     rng = np.random.default_rng(seed)
     h = detail * rng.random((rows, cols))
-    wall_rows = max(2, rows // 8)
+    # Clamp so degenerate 1-row grids reach grid_terrain_from_heights
+    # and fail its clean "at least 2x2" TerrainError instead of a raw
+    # broadcast ValueError here.
+    wall_rows = min(rows, max(2, rows // 8))
     wall_height = occlusion * (detail + 4.0)
     # Viewer side is high r: the wall occupies the nearest rows.
     h[-wall_rows:, :] = wall_height + 0.1 * rng.random((wall_rows, cols))

@@ -36,10 +36,14 @@ if not HAVE_NUMPY:  # pragma: no cover - numpy ships in the toolchain
         "test_pram_pool.py",
         "test_pram_primitives.py",
         "test_render.py",
+        "test_scenarios.py",
         "test_terrain_dem_io.py",
         "test_terrain_generators.py",
+        "test_terrain_generators_properties.py",
         "test_terrain_perspective.py",
     ]
+    # test_scenarios_spec.py stays collected: the spec layer and the
+    # `repro scenarios` CLI are deliberately stdlib-only.
 
 
 @pytest.fixture

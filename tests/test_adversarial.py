@@ -10,10 +10,8 @@ both live-profile layouts (packed on/off).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-import repro.envelope.engine as engine_mod
 from repro.envelope.chain import Envelope
 from repro.envelope.flat_splice import FlatProfile, insert_segment_flat
 from repro.envelope.packed import PackedProfile
@@ -36,70 +34,73 @@ def _assert_run_parity(terrain):
     assert rn.visibility_map.segments == rp.visibility_map.segments
 
 
-@pytest.mark.parametrize("packed", [True, False], ids=["packed", "flat"])
 class TestDegenerateTerrainParity:
-    @pytest.fixture(autouse=True)
-    def _layout(self, packed, monkeypatch):
-        monkeypatch.setattr(engine_mod, "USE_PACKED_PROFILE", packed)
+    """Thin wrapper over the ``parity-degenerate`` scenario (ISSUE 9):
+    the plateau / constant-plateau cases — plus the exact-lattice grid
+    (``jitter_seed=None``, coincident-y and collinear on purpose) the
+    hand-rolled suite never covered — are matrix axes now, and the
+    packed/flat/forced-flat layout legs are config variants."""
 
-    def test_constant_plateau(self):
-        # Every vertex at the same elevation: every comparison inside
-        # the scan/merge kernels is a tie.
-        from repro.terrain.generators import grid_terrain_from_heights
+    def test_scenario_covers_degenerate_families(self):
+        from repro.scenarios import default_spec
 
-        terrain = grid_terrain_from_heights(np.full((8, 8), 5.0))
-        _assert_run_parity(terrain)
+        s = default_spec().scenario("parity-degenerate")
+        assert set(dict(s.cross)["family"]) == {
+            "plateau",
+            "constant_plateau",
+            "lattice_plateau",
+        }
+        assert {"numpy-packed", "numpy-flat", "numpy-forced-flat"} <= set(
+            s.config_ids()
+        )
+
+    def test_degenerate_matrix_parity(self):
+        from repro.scenarios import default_spec
+        from repro.scenarios.instances import check_parity
+
+        for inst in default_spec().scenario("parity-degenerate").instances():
+            check_parity(inst)
 
     def test_terraced_plateau(self):
+        # steps= is a generator knob the scenario matrix doesn't
+        # cross; keep the historical direct case.
         from repro.terrain.generators import plateau_terrain
 
         _assert_run_parity(
             plateau_terrain(rows=10, cols=10, steps=3, seed=2)
         )
 
-    def test_forced_flat_constant_plateau(self, monkeypatch):
-        from repro.terrain.generators import grid_terrain_from_heights
 
-        monkeypatch.setattr(engine_mod, "FLAT_VISIBILITY_CUTOFF", 1)
-        monkeypatch.setattr(engine_mod, "FLAT_MERGE_CUTOFF", 1)
-        terrain = grid_terrain_from_heights(np.full((7, 7), -2.5))
-        _assert_run_parity(terrain)
-
-
-@pytest.mark.parametrize(
-    "profile_factory",
-    [PackedProfile.empty, FlatProfile.empty],
-    ids=["packed", "flat"],
-)
 class TestCoincidentSegments:
-    """Coincident ridges: every segment inserted twice (same lanes,
-    same source).  The second copy is hidden by — or tied with — the
-    first everywhere, the hardest eps-tie workload for the scans."""
+    """Thin wrapper over the ``parity-coincident`` scenario: duplicate
+    ridges and vertical-only segments (the hardest eps-tie workloads)
+    are matrix axes, and the packed/flat layouts config variants."""
 
-    def _duplicated(self, rng, count):
-        segs = random_image_segments(rng, count)
-        return [s for s in segs for _ in (0, 1)]
+    def test_scenario_covers_coincident_families(self):
+        from repro.scenarios import default_spec
 
-    def test_insert_loop_parity(self, rng, profile_factory):
-        env = Envelope.empty()
-        prof = profile_factory()
-        for seg in self._duplicated(rng, 40):
-            rp = insert_segment(env, seg, engine="python")
-            rf = insert_segment_flat(prof, seg)
-            assert rf.visibility.parts == rp.visibility.parts
-            assert rf.ops == rp.ops
-            env = rp.envelope
-            prof = rf.profile
-        assert prof.to_envelope().pieces == env.pieces
+        s = default_spec().scenario("parity-coincident")
+        assert set(dict(s.cross)["family"]) == {"coincident", "vertical"}
 
-    def test_build_envelope_parity(self, rng, profile_factory):
+    def test_coincident_matrix_parity(self):
+        from repro.scenarios import default_spec
+        from repro.scenarios.instances import check_parity
+
+        for inst in default_spec().scenario("parity-coincident").instances():
+            check_parity(inst)
+
+    def test_second_copy_contributes_nothing(self, rng):
+        # Duplicated segments leave the envelope identical to the
+        # deduplicated build — the duplicate's visible parts are ties.
         from repro.envelope.build import build_envelope
 
-        segs = self._duplicated(rng, 60)
+        segs = random_image_segments(rng, 60)
+        dup = [s for s in segs for _ in (0, 1)]
         rp = build_envelope(segs, engine="python")
-        rn = build_envelope(segs, engine="numpy")
-        assert rn.envelope.pieces == rp.envelope.pieces
-        assert rn.ops == rp.ops
+        rd = build_envelope(dup, engine="python")
+        assert [
+            (p.ya, p.yb, p.za, p.zb) for p in rp.envelope.pieces
+        ] == [(p.ya, p.yb, p.za, p.zb) for p in rd.envelope.pieces]
 
 
 class TestZeroLengthSegments:

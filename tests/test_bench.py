@@ -181,3 +181,54 @@ class TestEnvelopeBench:
         monkeypatch.chdir(tmp_path)
         run_envelope_bench(quick=True, repeats=1, ms=(32,), output=None)
         assert not (tmp_path / "BENCH_envelope.json").exists()
+
+
+class TestBenchHygieneRegression:
+    """ISSUE 9 satellite: pin the PR-8 measurement-hygiene invariants
+    so a refactor cannot silently reintroduce the cross-variant GC
+    interference or the late-pipeline phase2 inflation they fixed."""
+
+    def test_time_interleaved_collects_before_every_timed_call(
+        self, monkeypatch
+    ):
+        # gc.collect must run before EACH timed call (not once per
+        # repeat round): an allocation-heavy variant primes the
+        # cyclic-GC counters, and without the per-call reset the next
+        # variant pays the collection inside its timed region.
+        from repro.bench import envelope_bench
+
+        events: list[str] = []
+        monkeypatch.setattr(
+            envelope_bench.gc, "collect", lambda: events.append("gc")
+        )
+        fns = {
+            "a": lambda: events.append("a"),
+            "b": lambda: events.append("b"),
+        }
+        best = envelope_bench._time_interleaved(fns, 2)
+        assert events == ["gc", "a", "gc", "b", "gc", "a", "gc", "b"]
+        assert set(best) == {"a", "b"}
+        assert all(v >= 0 for v in best.values())
+
+    def test_phase2_rows_recorded_first_scenarios_last(self):
+        # Row order is part of the measurement protocol: the phase2
+        # persistent/direct pair must run in a fresh process (first),
+        # and the scenario-matrix rows are appended at the end.
+        from repro.bench.envelope_bench import run_envelope_bench
+        from repro.envelope.engine import HAVE_NUMPY
+
+        if not HAVE_NUMPY:
+            pytest.skip("phase2/scenario rows need numpy")
+        t = run_envelope_bench(quick=True, repeats=1, ms=(16,), output=None)
+        workloads = [r["workload"] for r in t.rows]
+        assert workloads[0] == "phase2-persistent"
+        assert workloads[1] == "phase2-rope"
+        scenario_idx = [
+            i for i, w in enumerate(workloads) if w.startswith("scenario:")
+        ]
+        assert scenario_idx, "scenario rows missing from the bench"
+        # Contiguous tail: nothing runs after the scenario rows.
+        assert scenario_idx[-1] == len(workloads) - 1
+        assert scenario_idx == list(
+            range(scenario_idx[0], len(workloads))
+        )

@@ -86,9 +86,15 @@ class TestRun:
         payload = json.loads(capsys.readouterr().out)
         assert payload["algorithm"] == "zbuffer"
 
-    def test_bad_terrain_spec(self):
-        with pytest.raises(SystemExit, match="neither"):
-            main(["run", "/nonexistent/terrain.json"])
+    def test_bad_terrain_spec(self, capsys):
+        # A ReproError exit, not a raw SystemExit: one-line `error:`
+        # on stderr and return code 2 (ISSUE 9 satellite — CLI error
+        # contract).
+        rc = main(["run", "/nonexistent/terrain.json"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "neither" in err
 
 
 class TestRenderAndInfo:
@@ -176,6 +182,24 @@ class TestRobustExit:
         assert payload["k"] > 0
         assert "reliability:" in proc.stderr
         assert "fused_insert" in proc.stderr
+
+    def test_serve_unknown_kind_clean_exit(self, tmp_path):
+        # `repro serve` fails during terrain loading, long before any
+        # socket is bound: exit 2, one-line error, no traceback.
+        proc = self._run(["serve", "marsscape"], tmp_path)
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error:")
+        assert "marsscape" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_serve_bad_terrain_file_clean_exit(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        proc = self._run(["serve", str(bad)], tmp_path)
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error:")
+        assert "bad.json" in proc.stderr
+        assert "Traceback" not in proc.stderr
 
     def test_injected_fault_strict_mode_fails_loud(self, tmp_path):
         proc = self._run(

@@ -194,48 +194,44 @@ class TestSpliceMerge:
         assert res.ops == b.size
 
 
-@pytest.mark.parametrize("kernels", ["default", "forced-flat"])
 class TestSequentialEngineParity:
-    """Engine-parametrized property: a full ``SequentialHSR.run`` on
-    the python vs numpy (flat-profile) engines produces identical
-    VisibilityMap, ops and max_profile_size on the terrain workload
-    families of ``bench/workloads.py`` — including the churny-profile
-    (high-occlusion shielded basin, valley) ones."""
+    """Thin wrapper over the declarative scenario matrix (ISSUE 9):
+    the hand-rolled fractal/valley/shielded-basin cases — including
+    the forced-flat kernel variant, now a config axis — live in the
+    ``parity-terrain`` / ``parity-occlusion`` scenarios of
+    ``repro/scenarios/default_scenarios.json``.  The full matrix runs
+    in ``tests/test_scenarios.py``; this wrapper pins the historical
+    coverage by name so it cannot silently drop out of the spec."""
 
-    def _assert_parity(self, terrain):
-        from repro.hsr.sequential import SequentialHSR
+    def _instances(self, scenario_name):
+        from repro.scenarios import default_spec
 
-        rp = SequentialHSR(engine="python").run(terrain)
-        rn = SequentialHSR(engine="numpy").run(terrain)
-        assert rn.stats.ops == rp.stats.ops
-        assert rn.stats.k == rp.stats.k
-        assert rn.stats.extra == rp.stats.extra
-        assert rn.order == rp.order
-        assert rn.visibility_map.segments == rp.visibility_map.segments
+        return default_spec().scenario(scenario_name).instances()
 
-    @pytest.fixture(autouse=True)
-    def _kernels(self, kernels, monkeypatch):
-        if kernels == "forced-flat":
-            monkeypatch.setattr(engine_mod, "FLAT_VISIBILITY_CUTOFF", 1)
-            monkeypatch.setattr(engine_mod, "FLAT_MERGE_CUTOFF", 1)
+    def test_terrain_scenarios_cover_historical_suite(self):
+        from repro.scenarios import default_spec
 
-    def test_fractal(self):
-        from repro.terrain.generators import fractal_terrain
+        spec = default_spec()
+        terrain = spec.scenario("parity-terrain")
+        families = dict(terrain.cross)["family"]
+        assert {"fractal", "valley", "shielded_basin"} <= set(families)
+        # The old `kernels=forced-flat` leg is now a config variant.
+        assert "numpy-forced-flat" in terrain.config_ids()
+        occ = spec.scenario("parity-occlusion")
+        assert set(dict(occ.cross)["occlusion"]) == {0.3, 1.2}
 
-        self._assert_parity(fractal_terrain(size=9, seed=23))
+    @pytest.mark.parametrize("scenario", ["parity-terrain"])
+    def test_terrain_matrix_parity(self, scenario):
+        from repro.scenarios.instances import check_parity
 
-    def test_valley(self):
-        from repro.terrain.generators import valley_terrain
-
-        self._assert_parity(valley_terrain(rows=9, cols=9, seed=7))
+        for inst in self._instances(scenario):
+            check_parity(inst)
 
     def test_shielded_basin_churn(self):
-        from repro.bench.workloads import occlusion_suite
+        from repro.scenarios.instances import check_parity
 
-        for _q, terrain in occlusion_suite(
-            (0.3, 1.2), rows=8, cols=8, seed=31
-        ):
-            self._assert_parity(terrain)
+        for inst in self._instances("parity-occlusion"):
+            check_parity(inst)
 
     def test_final_profile_shares_run_path(self):
         from repro.hsr.sequential import SequentialHSR

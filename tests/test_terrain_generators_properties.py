@@ -1,0 +1,141 @@
+"""Hypothesis property suite for :mod:`repro.terrain.generators`
+(ISSUE 9 satellite).
+
+Three properties over every generator family:
+
+* the output always passes the reliability front door
+  (:func:`repro.reliability.validate_terrain`),
+* generation is a pure function of its parameters (same seed, same
+  terrain — vertex-for-vertex),
+* degenerate parameter corners (``size=1``, ``roughness=0``, minimal
+  grids) either produce a valid terrain or raise a clean
+  :class:`~repro.errors.TerrainError` — never an uncaught crash.
+
+``max_examples`` is kept small and ``deadline=None``: generating and
+validating a terrain is milliseconds-to-tens-of-milliseconds, and the
+point is parameter-space coverage, not volume.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TerrainError
+from repro.reliability import validate_terrain
+from repro.terrain.generators import (
+    GENERATORS,
+    fractal_terrain,
+    generate_terrain,
+)
+
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+GRID_DIMS = st.integers(min_value=2, max_value=12)
+FRACTAL_SIZES = st.sampled_from([3, 5, 9, 17])
+
+
+def _params_for(kind: str, data) -> dict:
+    if kind == "fractal":
+        return {
+            "size": data.draw(FRACTAL_SIZES, label="size"),
+            "roughness": data.draw(
+                st.floats(0.0, 1.0, allow_nan=False), label="roughness"
+            ),
+        }
+    if kind == "random":
+        return {
+            "n_points": data.draw(
+                st.integers(min_value=3, max_value=40), label="n_points"
+            )
+        }
+    params = {
+        "rows": data.draw(GRID_DIMS, label="rows"),
+        "cols": data.draw(GRID_DIMS, label="cols"),
+    }
+    if kind == "shielded_basin":
+        params["occlusion"] = data.draw(
+            st.floats(0.0, 2.0, allow_nan=False), label="occlusion"
+        )
+    return params
+
+
+@pytest.mark.parametrize("kind", sorted(GENERATORS))
+class TestGeneratorProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data(), seed=SEEDS)
+    def test_output_passes_front_door(self, kind, data, seed):
+        terrain = generate_terrain(
+            kind, seed=seed, **_params_for(kind, data)
+        )
+        validate_terrain(terrain)
+        assert terrain.n_edges > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data(), seed=SEEDS)
+    def test_deterministic_per_seed(self, kind, data, seed):
+        params = _params_for(kind, data)
+        a = generate_terrain(kind, seed=seed, **params)
+        b = generate_terrain(kind, seed=seed, **params)
+        assert a.vertices == b.vertices
+        assert a.faces == b.faces
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data(), seed=SEEDS)
+    def test_different_seeds_differ(self, kind, data, seed):
+        # Not a strict requirement per-family, but heights are random
+        # in every family, so distinct seeds must not collapse to one
+        # terrain (would mean the seed is ignored).
+        params = _params_for(kind, data)
+        a = generate_terrain(kind, seed=seed, **params)
+        b = generate_terrain(kind, seed=seed + 1, **params)
+        assert a.vertices != b.vertices
+
+
+class TestDegenerateParameters:
+    """Corner parameters must fail clean (TerrainError) or succeed
+    valid — an uncaught IndexError/ZeroDivisionError is a bug."""
+
+    @pytest.mark.parametrize("size", [0, 1, 2, 4, 6])
+    def test_fractal_bad_sizes_raise_terrain_error(self, size):
+        with pytest.raises(TerrainError, match="2\\*\\*k\\+1"):
+            fractal_terrain(size=size, seed=0)
+
+    def test_fractal_roughness_zero(self):
+        # roughness=0: displacement scale collapses after one level —
+        # still a valid (very smooth) terrain.
+        validate_terrain(fractal_terrain(size=9, roughness=0.0, seed=5))
+
+    def test_fractal_smallest_valid_size(self):
+        validate_terrain(fractal_terrain(size=3, seed=1))
+
+    @pytest.mark.parametrize(
+        "kind", ["ridge", "valley", "plateau", "shielded_basin"]
+    )
+    def test_grid_families_minimal_grid(self, kind):
+        validate_terrain(
+            generate_terrain(kind, rows=2, cols=2, seed=3)
+        )
+
+    @pytest.mark.parametrize("kind", sorted(set(GENERATORS) - {"random"}))
+    def test_degenerate_grid_1x1_fails_clean(self, kind):
+        params = (
+            {"size": 1} if kind == "fractal" else {"rows": 1, "cols": 1}
+        )
+        with pytest.raises(TerrainError):
+            generate_terrain(kind, seed=0, **params)
+
+    def test_random_too_few_points_fails_clean(self):
+        with pytest.raises(TerrainError, match="at least 3"):
+            generate_terrain("random", n_points=2, seed=0)
+
+    def test_shielded_basin_occlusion_zero(self):
+        validate_terrain(
+            generate_terrain(
+                "shielded_basin", rows=6, cols=6, occlusion=0.0, seed=7
+            )
+        )
+
+    def test_unknown_kind_fails_clean(self):
+        with pytest.raises(TerrainError, match="unknown"):
+            generate_terrain("atlantis", seed=0)
