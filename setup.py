@@ -1,0 +1,53 @@
+"""Build hooks for the optional compiled fused-insert core.
+
+The package is declaratively configured in ``pyproject.toml``; this
+file exists only to attach the cffi extension
+(``repro.envelope._repro_ccore``, built by
+``src/repro/envelope/_ccore_build.py``) — and to make it *optional*:
+a host with no C compiler must still ``pip install`` cleanly and run
+on the pure-Python/numpy cascade, which is bit-exact by the parity
+contract.  ``REPRO_CCORE_BUILD=0`` skips the extension outright
+(the CI no-compiler leg uses it to pin the fallback path).
+"""
+
+import os
+
+from setuptools import setup
+from setuptools.command.build_ext import build_ext
+
+
+class OptionalBuildExt(build_ext):
+    """``build_ext`` that tolerates a missing/broken C toolchain."""
+
+    def run(self):
+        for ext in self.extensions:
+            # distutils' _filter_build_errors swallows compile/link
+            # failures for optional extensions and prints a warning.
+            ext.optional = True
+        try:
+            super().run()
+        except Exception as exc:  # toolchain absent entirely
+            print(f"warning: skipping optional C core ({exc})")
+
+
+def _want_ccore() -> bool:
+    if os.environ.get("REPRO_CCORE_BUILD", "1").strip().lower() in (
+        "0",
+        "false",
+        "off",
+        "no",
+    ):
+        return False
+    try:
+        import cffi  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+kwargs = {}
+if _want_ccore():
+    kwargs["cffi_modules"] = ["src/repro/envelope/_ccore_build.py:ffibuilder"]
+    kwargs["cmdclass"] = {"build_ext": OptionalBuildExt}
+
+setup(**kwargs)

@@ -61,7 +61,10 @@ the two timed variants):
     ``USE_SCALAR_FASTPATHS=False``); ``numpy_ms`` column = the packed
     single-buffer :class:`~repro.envelope.packed.PackedProfile` loop
     with in-place splices and the scalar small-window fast paths (the
-    shipped default).
+    shipped default — including the compiled insert core when the
+    optional extension is built, so on compiled installs this row
+    bundles the layout *and* PR-10 compiled-core wins; the
+    ``sequential-compiled-ablation`` rows isolate the latter).
 ``parallel-build-w2`` / ``parallel-build-w4``
     The multi-core divide-and-conquer build
     (:func:`repro.parallel_exec.build_envelope_parallel`, shared-
@@ -407,6 +410,29 @@ def run_envelope_bench(
         rows.append(row)
         t.add(**row)
 
+        # Group-offset ablation inside the batched build (ROADMAP
+        # item 5, last named candidate): python_ms column =
+        # searchsorted-derived unique-bound offsets + bincount ops,
+        # numpy_ms = kept-prefix-sum offsets + offset-arithmetic
+        # intervals on the stream-merge path.
+        best = _time_interleaved(
+            {
+                "searchsorted": build_with("USE_GROUP_OFFSET_PREFIX", False),
+                "prefix": build_with("USE_GROUP_OFFSET_PREFIX", True),
+            },
+            repeats,
+        )
+        row = dict(
+            workload="build-group-offset-ablation",
+            m=m_abl,
+            env_size=env_size,
+            python_ms=best["searchsorted"] * 1e3,
+            numpy_ms=best["prefix"] * 1e3,
+            speedup=best["searchsorted"] / best["prefix"],
+        )
+        rows.append(row)
+        t.add(**row)
+
     # Sequential insert loops on the churny wide-strip family: the
     # python engine vs the flat-native profile, plus the splice
     # ablation (tuple path vs flat path under the same numpy kernels).
@@ -457,6 +483,25 @@ def run_envelope_bench(
 
             return run
 
+        from repro.envelope import _ccore
+
+        def packed_nocc_loop(segs):
+            # The packed loop with the compiled core off: the PR-5
+            # scalar/vectorized cascade on the packed buffer — the
+            # compiled-ablation baseline (and exactly what a
+            # no-compiler install runs).
+            def run():
+                old = splice_mod.USE_COMPILED_INSERT
+                splice_mod.USE_COMPILED_INSERT = False
+                try:
+                    prof = PackedProfile.empty()
+                    for s in segs:
+                        prof = insert_segment_flat(prof, s).profile
+                finally:
+                    splice_mod.USE_COMPILED_INSERT = old
+
+            return run
+
     for m in ms:
         segs = _seq_segments(m)
 
@@ -469,15 +514,15 @@ def run_envelope_bench(
                 prof = insert_segment_flat(prof, s).profile
             env_size = prof.size
 
-            best = _time_interleaved(
-                {
-                    "python": tuple_loop(segs, "python"),
-                    "tuple-numpy": tuple_loop(segs, "numpy"),
-                    "pr4": pr4_loop(segs),
-                    "packed": packed_loop(segs),
-                },
-                seq_repeats,
-            )
+            loops = {
+                "python": tuple_loop(segs, "python"),
+                "tuple-numpy": tuple_loop(segs, "numpy"),
+                "pr4": pr4_loop(segs),
+                "packed": packed_loop(segs),
+            }
+            if _ccore.HAVE_CCORE:
+                loops["packed-nocc"] = packed_nocc_loop(segs)
+            best = _time_interleaved(loops, seq_repeats)
             rows.append(
                 dict(
                     workload="sequential",
@@ -511,6 +556,18 @@ def run_envelope_bench(
                 )
             )
             t.add(**rows[-1])
+            if "packed-nocc" in best:
+                rows.append(
+                    dict(
+                        workload="sequential-compiled-ablation-wide",
+                        m=m,
+                        env_size=env_size,
+                        python_ms=best["packed-nocc"] * 1e3,
+                        numpy_ms=best["packed"] * 1e3,
+                        speedup=best["packed-nocc"] / best["packed"],
+                    )
+                )
+                t.add(**rows[-1])
         else:  # pragma: no cover - numpy ships in the toolchain
             env = Envelope.empty()
             for s in segs:
@@ -628,14 +685,16 @@ def run_envelope_bench(
             t.add(**rows[-1])
 
             # Packed-layout ablation on the same E9 family: the PR-4
-            # fused cascade vs the packed single-buffer loop.
-            best = _time_interleaved(
-                {
-                    "pr4": pr4_loop(segs),
-                    "packed": packed_loop(segs),
-                },
-                seq_repeats,
-            )
+            # fused cascade vs the packed single-buffer loop — plus
+            # the compiled-core ablation (packed with the C core off
+            # vs on) from the same interleave.
+            loops = {
+                "pr4": pr4_loop(segs),
+                "packed": packed_loop(segs),
+            }
+            if _ccore.HAVE_CCORE:
+                loops["packed-nocc"] = packed_nocc_loop(segs)
+            best = _time_interleaved(loops, seq_repeats)
             rows.append(
                 dict(
                     workload="sequential-packed-ablation",
@@ -647,6 +706,18 @@ def run_envelope_bench(
                 )
             )
             t.add(**rows[-1])
+            if "packed-nocc" in best:
+                rows.append(
+                    dict(
+                        workload="sequential-compiled-ablation",
+                        m=m,
+                        env_size=prof.size,
+                        python_ms=best["packed-nocc"] * 1e3,
+                        numpy_ms=best["packed"] * 1e3,
+                        speedup=best["packed-nocc"] / best["packed"],
+                    )
+                )
+                t.add(**rows[-1])
 
     # Guard-dispatch ablation (reliability layer): the shipped packed
     # insert loop with the guards on (the default) vs off
@@ -869,6 +940,22 @@ def run_envelope_bench(
         " array-reduction fast paths, python_ms column) vs the packed"
         " single-buffer PackedProfile loop with in-place splices"
         " (numpy_ms column), best-of-%d" % seq_repeats
+    )
+    t.notes.append(
+        "sequential-compiled-ablation (E9 family) and"
+        " sequential-compiled-ablation-wide (wide-strip family)"
+        " compare the packed loop with the compiled fused-insert core"
+        " off (python_ms column — the scalar/vectorized cascade a"
+        " no-compiler install runs) vs on (numpy_ms column, one C"
+        " call per insert); rows recorded only when the optional"
+        " extension is built, best-of-%d" % seq_repeats
+    )
+    t.notes.append(
+        "build-group-offset-ablation compares the stream-merge"
+        " sweep's searchsorted-derived group offsets (python_ms"
+        " column) vs the kept-prefix-sum derivation (numpy_ms"
+        " column); values near or below 1 mean the prefix path lost"
+        " and the default stays searchsorted"
     )
     t.notes.append(
         "phase2-persistent times run_phase2 mode='persistent'"

@@ -61,6 +61,12 @@ class HsrConfig:
     use_packed_profile / use_fused_insert / use_scalar_fastpaths:
         Sequential-path kernel toggles; ``None`` defers to the module
         globals (the documented defaults).
+    use_compiled_insert:
+        The compiled fused-insert core (one C call per packed insert);
+        ``None`` defers to :data:`repro.envelope.flat_splice.
+        USE_COMPILED_INSERT`, which is on exactly when the optional
+        extension compiled at install time.  ``True`` on a no-compiler
+        install is a silent no-op (the cascade answers, bit-exact).
     flat_merge_cutoff / flat_visibility_cutoff / flat_fused_cutoff:
         Scalar-vs-array dispatch boundaries; ``None`` defers to the
         measured defaults in :mod:`repro.envelope.engine`.
@@ -77,6 +83,7 @@ class HsrConfig:
     use_packed_profile: Optional[bool] = None
     use_fused_insert: Optional[bool] = None
     use_scalar_fastpaths: Optional[bool] = None
+    use_compiled_insert: Optional[bool] = None
     flat_merge_cutoff: Optional[int] = None
     flat_visibility_cutoff: Optional[int] = None
     flat_fused_cutoff: Optional[int] = None
@@ -118,6 +125,13 @@ class HsrConfig:
         import repro.envelope.flat_splice as _splice
 
         return _splice.USE_SCALAR_FASTPATHS
+
+    def compiled_insert(self) -> bool:
+        if self.use_compiled_insert is not None:
+            return self.use_compiled_insert
+        import repro.envelope.flat_splice as _splice
+
+        return _splice.USE_COMPILED_INSERT
 
     def merge_cutoff(self) -> int:
         if self.flat_merge_cutoff is not None:

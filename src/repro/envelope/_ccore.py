@@ -1,0 +1,213 @@
+"""Loader + thin wrapper for the compiled fused-insert core.
+
+``repro.envelope._repro_ccore`` (built by :mod:`._ccore_build`; see
+that module for the bit-exactness and buffer-ownership contracts) is
+an **optional** cffi API-mode extension — compiled wheels ship it, a
+no-compiler install simply doesn't have it, and ``REPRO_COMPILED=0``
+disables it even when present.  This module absorbs all three cases
+behind two flags and two functions:
+
+``HAVE_CCORE``
+    The extension imported.
+
+``COMPILED_DEFAULT``
+    The shipped default for ``flat_splice.USE_COMPILED_INSERT`` —
+    ``HAVE_CCORE`` unless the environment opts out.
+
+``insert_packed(profile, seg, eps)``
+    The hot path: one C call that locates, sweeps and splices in
+    place.  Returns ``(visibility, total_ops, synced)`` or ``None``
+    when the C core declines (synthetic sources in the window, scratch
+    OOM) and the Python cascade should run instead.  Raises
+    :class:`CCoreFault` when the C-side post-condition rejects the
+    merged window — nothing was committed, so the caller's guard
+    machinery can retry through the reference path.
+
+``compute(profile, seg, eps)``
+    The checked path: same sweep, ``commit=0`` — **no mutation**.
+    Returns the merged window as Python lists so the guard layer can
+    validate (and fault injection corrupt) them before the commit goes
+    through :meth:`PackedProfile.splice`, keeping the ``packed_splice``
+    guard site live under injection.
+
+Only :mod:`repro.envelope.visibility` is imported here —
+``flat_splice`` imports *us*, never the reverse.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.envelope.visibility import VisibilityResult, VisiblePart
+
+try:  # pragma: no cover - exercised via the CI wheel/no-compiler legs
+    from repro.envelope import _repro_ccore as _cc
+except ImportError:  # no compiler at install time, or build skipped
+    _cc = None
+
+HAVE_CCORE = _cc is not None
+
+#: Status codes returned by ``repro_fused_insert`` (keep in sync with
+#: the ``ST_*`` defines in ``_ccore_build.py``).
+ST_HIDDEN = 0
+ST_DONE = 1
+ST_GROW = 2
+ST_FALLBACK = 3
+ST_FAULT = 5
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_COMPILED", "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+#: Shipped default for ``flat_splice.USE_COMPILED_INSERT``.
+COMPILED_DEFAULT = HAVE_CCORE and _env_enabled()
+
+
+class CCoreFault(RuntimeError):
+    """The C-side merged-window post-condition failed pre-commit."""
+
+    site = "compiled_insert"
+
+
+if HAVE_CCORE:
+    ffi = _cc.ffi
+    lib = _cc.lib
+
+    # Reusable out-params: the core runs under the GIL and never calls
+    # back into Python, so one set per process is safe.
+    _STATE = ffi.new("int64_t[2]")
+    _OUT = ffi.new("int64_t[8]")
+
+    # from_buffer is ~µs-scale; cache the cdata pointer per backing
+    # buffer (PackedProfile replaces ``_buf`` wholesale on growth, so
+    # identity is the correct cache key).
+    _last_buf = None
+    _last_ptr = None
+
+    def _buf_ptr(buf):
+        global _last_buf, _last_ptr
+        if buf is _last_buf:
+            return _last_ptr
+        ptr = ffi.from_buffer("double[]", buf.reshape(-1))
+        _last_buf = buf
+        _last_ptr = ptr
+        return ptr
+
+    def _visibility(out) -> VisibilityResult:
+        np_, nc = out[0], out[1]
+        pp = lib.repro_parts_ptr()
+        parts = [VisiblePart(pp[2 * j], pp[2 * j + 1]) for j in range(np_)]
+        if nc:
+            cp = lib.repro_cross_ptr()
+            cross = [(cp[2 * j], cp[2 * j + 1]) for j in range(nc)]
+        else:
+            cross = []
+        return VisibilityResult(parts, cross, out[2])
+
+    def _merged_lists(out):
+        k = out[7]
+        return (
+            list(ffi.unpack(lib.repro_merged_ptr(0), k)),
+            list(ffi.unpack(lib.repro_merged_ptr(1), k)),
+            list(ffi.unpack(lib.repro_merged_ptr(2), k)),
+            list(ffi.unpack(lib.repro_merged_ptr(3), k)),
+            list(ffi.unpack(lib.repro_merged_src_ptr(), k)),
+        )
+
+    def insert_packed(profile, seg, eps: float):
+        """One C call: locate + fused sweep + in-place splice.
+
+        Returns ``(VisibilityResult, total_ops)`` on success (the
+        profile is mutated in place; object identity is preserved,
+        matching :meth:`PackedProfile.splice`), or ``None`` when the
+        core declines and the Python cascade should handle the insert.
+        """
+        buf = profile._buf
+        _STATE[0] = profile._beg
+        _STATE[1] = profile._end
+        st = lib.repro_fused_insert(
+            _buf_ptr(buf),
+            buf.shape[1],
+            _STATE,
+            seg.y1,
+            seg.z1,
+            seg.y2,
+            seg.z2,
+            seg.source,
+            eps,
+            1,
+            _OUT,
+        )
+        if st == ST_HIDDEN:
+            return _visibility(_OUT), _OUT[3]
+        if st == ST_DONE:
+            if _OUT[4]:
+                profile._beg = _STATE[0]
+                profile._end = _STATE[1]
+                profile._sync_views()
+            return _visibility(_OUT), _OUT[3]
+        if st == ST_GROW:
+            # The packed buffer can't absorb the growth: read the
+            # merged window out of C scratch *before* anything else
+            # can clobber it, then let PackedProfile.splice own the
+            # amortized-doubling reallocation.
+            vis = _visibility(_OUT)
+            mya, mza, myb, mzb, msrc = _merged_lists(_OUT)
+            profile.splice(_OUT[5], _OUT[6], mya, mza, myb, mzb, msrc)
+            return vis, _OUT[3]
+        if st == ST_FAULT:
+            raise CCoreFault("compiled insert post-condition failed")
+        return None  # ST_FALLBACK
+
+    def compute(profile, seg, eps: float):
+        """The sweep without the commit (``commit=0``, no mutation).
+
+        Returns ``(lo, hi, VisibilityResult, merged_lists_or_None,
+        total_ops)`` or ``None`` on fallback.  ``merged_lists`` come
+        back as plain Python lists so the guard layer's checks (and
+        fault injection's corruptions) apply unchanged; the caller
+        commits through :meth:`PackedProfile.splice`.
+        """
+        buf = profile._buf
+        _STATE[0] = profile._beg
+        _STATE[1] = profile._end
+        st = lib.repro_fused_insert(
+            _buf_ptr(buf),
+            buf.shape[1],
+            _STATE,
+            seg.y1,
+            seg.z1,
+            seg.y2,
+            seg.z2,
+            seg.source,
+            eps,
+            0,
+            _OUT,
+        )
+        if st == ST_HIDDEN:
+            return _OUT[5], _OUT[6], _visibility(_OUT), None, _OUT[3]
+        if st == ST_GROW:  # commit=0 always reports GROW when visible
+            return (
+                _OUT[5],
+                _OUT[6],
+                _visibility(_OUT),
+                _merged_lists(_OUT),
+                _OUT[3],
+            )
+        return None  # ST_FALLBACK
+
+else:  # pragma: no cover - the no-compiler install
+    ffi = None
+    lib = None
+
+    def insert_packed(profile, seg, eps: float):
+        return None
+
+    def compute(profile, seg, eps: float):
+        return None

@@ -131,6 +131,15 @@ FLAT_FUSED_CUTOFF: int = 64
 #: (and allocation-behaviour) only.
 USE_PACKED_PROFILE: bool = True
 
+#: Note on the compiled insert core: when the optional C extension
+#: built at install time (``repro.envelope._ccore.HAVE_CCORE``), the
+#: packed sequential insert bypasses this module's cutoff cascade
+#: entirely — one compiled call per insert handles every window size —
+#: unless ``flat_splice.USE_COMPILED_INSERT`` (env ``REPRO_COMPILED=0``
+#: or ``HsrConfig.use_compiled_insert``) turns it off.  The cutoffs
+#: above still govern every non-packed caller, synthetic-source
+#: windows, and all no-compiler installs; parity is unconditional.
+
 #: Promote the live packed profile to the chunked gap-buffer layout
 #: (:class:`repro.envelope.packed.ChunkedProfile`) once it holds at
 #: least :data:`CHUNKED_PROFILE_CUTOFF` pieces.  The chunked layout

@@ -63,6 +63,7 @@ from typing import NamedTuple, Sequence
 import numpy as np
 
 import repro.envelope.engine as _engine
+from repro.envelope import _ccore
 from repro.envelope.chain import Envelope, Piece
 from repro.envelope.flat import FlatEnvelope, _tuples_to_matrix, merge_envelopes_flat
 from repro.envelope.merge import merge_envelopes
@@ -79,6 +80,7 @@ __all__ = [
     "insert_segment_flat",
     "USE_FUSED_INSERT",
     "USE_SCALAR_FASTPATHS",
+    "USE_COMPILED_INSERT",
 ]
 
 _F = np.float64
@@ -98,6 +100,16 @@ USE_FUSED_INSERT = True
 #: settings produce identical results (the predicates are
 #: float-for-float the same).
 USE_SCALAR_FASTPATHS = True
+
+#: The compiled fused-insert core (:mod:`repro.envelope._ccore`): one
+#: C call per insert doing locate + fused sweep + in-place packed
+#: splice, collapsing the whole cutoff cascade for
+#: :class:`~repro.envelope.packed.PackedProfile` inserts of any window
+#: size.  Defaults on when the optional extension compiled at install
+#: time (``REPRO_COMPILED=0`` is the env ablation); ``False`` — or a
+#: no-compiler install — runs the scalar/vectorized cascade below,
+#: which is bit-exact by the parity contract.
+USE_COMPILED_INSERT = _ccore.COMPILED_DEFAULT
 
 #: Lazily-bound fused kernel module (resolving it through the import
 #: machinery on every insert costs ~0.5µs in the Python-loop-bound
@@ -798,15 +810,31 @@ def _insert_segment_flat_impl(
 
     if config is None:
         fused_on = USE_FUSED_INSERT
+        compiled_on = USE_COMPILED_INSERT
         vis_cutoff = _engine.FLAT_VISIBILITY_CUTOFF
         merge_cutoff = _engine.FLAT_MERGE_CUTOFF
         fused_cutoff = scalar_fp = None
     else:
         fused_on = config.fused_insert()
+        compiled_on = config.compiled_insert()
         vis_cutoff = config.visibility_cutoff()
         merge_cutoff = config.merge_cutoff()
         fused_cutoff = config.fused_cutoff()
         scalar_fp = config.scalar_fastpaths()
+
+    if (
+        compiled_on
+        and fused_on
+        and seg.source >= 0
+        and type(profile).__name__ == "PackedProfile"
+    ):
+        # The compiled core does its own locate — dispatch before the
+        # Python-side binary search so the hot path pays exactly one.
+        res = _insert_compiled(profile, seg, eps)
+        if res is not None:
+            return res
+        # Declined (synthetic window / quarantine / recorded fault):
+        # the cascade below recomputes from unmutated state.
 
     y1, z1, y2, z2 = seg.y1, seg.z1, seg.y2, seg.z2
     lo, hi = profile.pieces_overlapping(y1, y2)
@@ -860,6 +888,82 @@ def _insert_segment_flat_impl(
     )
     new = profile.splice(lo, hi, oya, oza, oyb, ozb, osrc)
     return FlatInsertResult(new, vis, vis.ops + mops)
+
+
+def _insert_compiled(
+    profile, seg: ImageSegment, eps: float
+) -> "FlatInsertResult | None":
+    """Guard site ``compiled_insert``: the one-call C hot path.
+
+    Returns the completed insert (profile mutated in place, identity
+    preserved — the packed splice contract), or ``None`` when the core
+    declines (synthetic sources in the window), the site is
+    quarantined, or a fault was recorded — in every ``None`` case
+    nothing was committed, so the caller's cascade recomputes the
+    identical insert from unmutated state.
+
+    Under an armed injection plan (or ``REPRO_GUARD_CHECK_ALL``) the
+    call splits into compute + Python-side commit
+    (:func:`_checked_compiled`) so the merged window crosses the guard
+    checks — and the ``packed_splice`` site — exactly like every other
+    kernel edge.
+    """
+    if not _guard.GUARDS_ENABLED:
+        res = _ccore.insert_packed(profile, seg, eps)
+        if res is None:
+            return None
+        vis, ops = res
+        return FlatInsertResult(profile, vis, ops)
+    if _guard.ANY_QUARANTINED and _guard.is_quarantined("compiled_insert"):
+        return None
+    if _fi.ARMED and _fi.armed_site() != "compiled_insert":
+        # A plan targets a cascade-internal site (fused_insert,
+        # merge_dispatch, packed_splice, ...): stand aside so the
+        # armed boundary actually runs — injection semantics stay
+        # identical to a no-compiler install.
+        return None
+    try:
+        if _fi.ARMED or _guard.GUARDED_CHECK_ALL:
+            return _checked_compiled(profile, seg, eps)
+        res = _ccore.insert_packed(profile, seg, eps)
+        if res is None:
+            return None
+        vis, ops = res
+        return FlatInsertResult(profile, vis, ops)
+    except KernelFault:
+        raise
+    except Exception as exc:
+        _guard.handle_fault(
+            getattr(exc, "site", None) or "compiled_insert", exc
+        )
+        return None
+
+
+def _checked_compiled(
+    profile, seg: ImageSegment, eps: float
+) -> "FlatInsertResult | None":
+    """Compiled core under an armed injection plan (or
+    ``REPRO_GUARD_CHECK_ALL``): trip the ``compiled_insert`` site, run
+    the sweep with ``commit=0`` (no mutation), corrupt the merged
+    lists if a plan targets them, validate visibility and merged
+    window, then commit through :meth:`PackedProfile.splice` — which
+    keeps the ``packed_splice`` guard site live under the compiled
+    path."""
+    if _fi.ARMED:
+        _fi.trip("compiled_insert")
+    res = _ccore.compute(profile, seg, eps)
+    if res is None:
+        return None
+    lo, hi, vis, merged, ops = res
+    if _fi.ARMED and merged is not None:
+        merged = _fi.corrupt_merged_lists("compiled_insert", merged)
+    _guard.check_visibility("compiled_insert", vis, seg.y1, seg.y2, eps)
+    if merged is None:  # hidden: no splice, profile shared
+        return FlatInsertResult(profile, vis, ops)
+    oya, oza, oyb, ozb, osrc = merged
+    _guard.check_merged_lists("compiled_insert", oya, oza, oyb, ozb)
+    new = profile.splice(lo, hi, oya, oza, oyb, ozb, osrc)
+    return FlatInsertResult(new, vis, ops)
 
 
 def _checked_fused_scalar(

@@ -106,6 +106,13 @@ class PackedProfile(FlatProfile):
     :meth:`splice` **mutates** the receiver and returns it — see the
     module docstring for the view-staleness contract.
 
+    The compiled insert core (:mod:`repro.envelope._ccore`) borrows
+    ``_buf`` as a raw pointer for the duration of one call: it may
+    shift ``[_beg, _end)`` within the existing allocation (then the
+    wrapper re-syncs the views) but never reallocates — growth always
+    comes back through :meth:`splice`, so this class stays the sole
+    owner of the buffer's lifetime.
+
     >>> prof = PackedProfile.empty()
     >>> prof.splice(0, 0, [0.0], [1.0], [2.0], [1.0], [7]) is prof
     True

@@ -62,6 +62,7 @@ __all__ = [
 SITES = (
     "merge_dispatch",
     "visibility_dispatch",
+    "compiled_insert",
     "fused_insert",
     "packed_splice",
     "build_sweep",
@@ -137,6 +138,16 @@ def clear() -> None:
     global _PLAN
     _PLAN = None
     _sync_armed()
+
+
+def armed_site() -> Optional[str]:
+    """The armed plan's target site, or ``None`` when disarmed.
+
+    Dispatch shortcuts consult this to *decline* while a plan targets
+    a site they would bypass: the compiled insert core answers before
+    the scalar/vectorized cascade, so with e.g. ``fused_insert``
+    armed it must stand aside or the injected boundary never runs."""
+    return _PLAN.site if ARMED else None
 
 
 @contextmanager

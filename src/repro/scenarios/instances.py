@@ -446,8 +446,15 @@ def iter_bench_rows(
     scenario instance, timed through ``time_fn`` (pass
     ``envelope_bench._time_interleaved`` so the PR-8 GC hygiene
     applies).  ``max_m`` skips instances whose declared size factor
-    exceeds it (quick mode)."""
+    exceeds it (quick mode).  Scenarios flagged ``requires_ccore``
+    are skipped on installs without the compiled core — recording the
+    row there would time a silent cascade fallback, and the perf gate
+    skips the same rows symmetrically."""
+    from repro.envelope import _ccore
+
     for scenario in spec.by_role("bench"):
+        if scenario.requires_ccore and not _ccore.HAVE_CCORE:
+            continue
         base_id, var_id = scenario.config_ids()
         for inst in scenario.instances():
             declared = inst.factor("m", inst.factor("size"))

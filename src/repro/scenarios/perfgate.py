@@ -59,6 +59,9 @@ class GateReport:
     rows: list[GateRow] = field(default_factory=list)
     tolerance: float = DEFAULT_TOLERANCE
     canary: bool = False
+    #: Pinned scenarios not gateable on this install (e.g. they need
+    #: the optional compiled core and it isn't built here).
+    skipped: list[str] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -89,10 +92,23 @@ class GateReport:
                     r.floor,
                 )
             )
+        for name in self.skipped:
+            lines.append(
+                "  skip   %s — needs the compiled core"
+                " (not built on this install)" % name
+            )
         lines.append(
             "verdict: %s" % ("PASS" if self.passed else "FAIL")
         )
         return "\n".join(lines)
+
+
+def _have_ccore() -> bool:
+    try:
+        from repro.envelope import _ccore
+    except ImportError:  # pragma: no cover - envelope always imports
+        return False
+    return bool(_ccore.HAVE_CCORE)
 
 
 def _load_baseline_rows(baseline: Path) -> list[dict]:
@@ -153,6 +169,13 @@ def run_perf_gate(
     }
     report = GateReport(tolerance=tolerance, canary=canary)
     for scenario, inst in pinned:
+        if scenario.requires_ccore and not _have_ccore():
+            # Recorded on a compiled install, ungateable here: the
+            # variant config would silently fall back to the cascade
+            # and the collapsed ratio would false-alarm.
+            if scenario.name not in report.skipped:
+                report.skipped.append(scenario.name)
+            continue
         fns, m, _env_size = bench_callables(
             scenario, inst, canary=canary
         )

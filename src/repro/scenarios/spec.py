@@ -35,6 +35,7 @@ Schema (see ``docs/SCENARIOS.md`` for the narrative version)::
           "configs":  [{"id": "...", <HsrConfig field>: ...}, ...],
           "op":       "build" | "insert" | "run" | "flyover",  # bench
           "pinned":   [<m or n_edges level>, ...],      # perf gate
+          "requires_ccore": true,                       # optional
         }
       }
     }
@@ -69,7 +70,16 @@ _WORKLOADS = frozenset({"terrain", "segments", "dem-file", "flyover"})
 _ROLES = frozenset({"parity", "bench"})
 _OPS = frozenset({"build", "insert", "run", "flyover"})
 _SCENARIO_KEYS = frozenset(
-    {"workload", "roles", "cross", "fixed", "configs", "op", "pinned"}
+    {
+        "workload",
+        "roles",
+        "cross",
+        "fixed",
+        "configs",
+        "op",
+        "pinned",
+        "requires_ccore",
+    }
 )
 #: HsrConfig field names accepted in a config variant (plus "id").
 _CONFIG_FIELDS = frozenset(
@@ -80,6 +90,7 @@ _CONFIG_FIELDS = frozenset(
         "use_packed_profile",
         "use_fused_insert",
         "use_scalar_fastpaths",
+        "use_compiled_insert",
         "flat_merge_cutoff",
         "flat_visibility_cutoff",
         "flat_fused_cutoff",
@@ -139,6 +150,10 @@ class Scenario:
     configs: tuple[dict[str, Any], ...] = ()
     op: Optional[str] = None
     pinned: tuple[Any, ...] = ()
+    #: The scenario only makes sense with the optional compiled insert
+    #: core present (a config relies on its default-on dispatch): bench
+    #: recording and the perf gate skip it on no-compiler installs.
+    requires_ccore: bool = False
 
     def instances(self) -> list[ScenarioInstance]:
         """Deterministic full-factorial expansion.
@@ -323,6 +338,12 @@ def _parse_scenario(name: str, entry: Any, where: str) -> Scenario:
     pinned = entry.get("pinned", [])
     if not isinstance(pinned, list):
         raise ScenarioError(f"{ctx}: 'pinned' must be a list of levels")
+    requires_ccore = entry.get("requires_ccore", False)
+    if not isinstance(requires_ccore, bool):
+        raise ScenarioError(
+            f"{ctx}: 'requires_ccore' must be a boolean,"
+            f" got {requires_ccore!r}"
+        )
     return Scenario(
         name=name,
         workload=workload,
@@ -334,6 +355,7 @@ def _parse_scenario(name: str, entry: Any, where: str) -> Scenario:
         configs=tuple(dict(c) for c in configs),
         op=op,
         pinned=tuple(pinned),
+        requires_ccore=requires_ccore,
     )
 
 

@@ -18,6 +18,7 @@ if not HAVE_NUMPY:  # pragma: no cover - numpy ships in the toolchain
     collect_ignore = [
         "test_bench.py",
         "test_cli.py",
+        "test_envelope_ccore.py",
         "test_envelope_flat.py",
         "test_envelope_flat_fused.py",
         "test_envelope_flat_splice.py",

@@ -1,0 +1,320 @@
+"""Tests for the compiled fused-insert core (``repro.envelope._ccore``).
+
+Contract under test: with the optional C extension built, the packed
+insert loop answers **every** window size through one compiled call
+per insert — and is *bit-exact* against the scalar/vectorized cascade
+(and, transitively, against ``engine="python"``; the scenario parity
+matrix asserts that leg directly).  Without the extension — or with
+``USE_COMPILED_INSERT`` off — the cascade answers, and the toggle can
+never silently change which kernel handles an insert (the cascade
+pins below).  The ``compiled_insert`` guard site gets the same
+injection/retry/quarantine treatment as every other kernel edge.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.envelope.flat_splice as splice_mod
+from repro.envelope import _ccore
+from repro.envelope.flat_splice import insert_segment_flat
+from repro.envelope.packed import PackedProfile
+from repro.geometry.segments import ImageSegment
+from repro.reliability import faultinject as fi
+from repro.reliability import guard
+from tests.conftest import random_image_segments
+
+needs_ccore = pytest.mark.skipif(
+    not _ccore.HAVE_CCORE,
+    reason="optional compiled core not built in this environment",
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state(monkeypatch):
+    fi.clear()
+    guard.reset_ambient()
+    monkeypatch.setattr(guard, "GUARDED_DISPATCH", True)
+    yield
+    fi.clear()
+    guard.reset_ambient()
+
+
+def _run_loop(segs, *, compiled, capacity=None):
+    """Insert ``segs`` into a fresh PackedProfile; returns the final
+    profile plus the per-insert (visibility, ops) trace."""
+    old = splice_mod.USE_COMPILED_INSERT
+    splice_mod.USE_COMPILED_INSERT = compiled
+    try:
+        prof = (
+            PackedProfile.empty(capacity)
+            if capacity is not None
+            else PackedProfile.empty()
+        )
+        trace = []
+        for s in segs:
+            res = insert_segment_flat(prof, s)
+            prof = res.profile
+            trace.append((res.visibility, res.ops))
+        return prof, trace
+    finally:
+        splice_mod.USE_COMPILED_INSERT = old
+
+
+def _state(prof):
+    n = prof.size
+    return (prof.window_lists(0, n), prof.source[:n].tolist())
+
+
+def _assert_identical(segs, capacity=None):
+    p_c, t_c = _run_loop(segs, compiled=True, capacity=capacity)
+    p_n, t_n = _run_loop(segs, compiled=False, capacity=capacity)
+    assert _state(p_c) == _state(p_n)
+    assert t_c == t_n  # VisibilityResult tuples + ops, float-exact
+
+
+# -- randomized parity ----------------------------------------------------
+
+# A small value grid makes eps-ties, shared endpoints, verticals and
+# exactly-coincident pieces common; the continuous arm keeps generic
+# geometry covered.
+coord = st.one_of(
+    st.integers(min_value=0, max_value=12).map(float),
+    st.floats(
+        min_value=0.0, max_value=12.0, allow_nan=False, width=64
+    ),
+)
+
+
+@st.composite
+def seg_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    segs = []
+    for i in range(n):
+        y1, y2 = sorted((draw(coord), draw(coord)))
+        segs.append(ImageSegment(y1, draw(coord), y2, draw(coord), i))
+    return segs
+
+
+@needs_ccore
+class TestCompiledParity:
+    @settings(max_examples=150, deadline=None)
+    @given(segs=seg_lists())
+    def test_fuzz_matches_cascade(self, segs):
+        _assert_identical(segs)
+
+    @settings(max_examples=60, deadline=None)
+    @given(segs=seg_lists())
+    def test_fuzz_capacity_edge(self, segs):
+        # Minimum starting capacity: every few inserts straddle a
+        # realloc boundary, exercising the C-side GROW handoff and
+        # the re-centred buffer copy.
+        _assert_identical(segs, capacity=2)
+
+    def test_long_run_with_grows(self, rng):
+        segs = random_image_segments(rng, 300)
+        _assert_identical(segs, capacity=2)
+
+    def test_matches_python_engine(self, rng):
+        # Direct leg against the tuple-path reference (the scenario
+        # parity matrix crosses the remaining config space).
+        from repro.envelope.chain import Envelope
+        from repro.envelope.splice import insert_segment
+
+        segs = random_image_segments(rng, 120)
+        prof, trace = _run_loop(segs, compiled=True)
+        env = Envelope.empty()
+        ref = []
+        for s in segs:
+            r = insert_segment(env, s, engine="python")
+            env = r.envelope
+            ref.append((r.visibility, r.ops))
+        assert trace == ref
+        assert prof.to_envelope().pieces == env.pieces
+
+    def test_eps_degenerate_and_vertical_segments(self):
+        segs = [
+            ImageSegment(0.0, 1.0, 4.0, 1.0, 0),
+            ImageSegment(2.0, 3.0, 2.0, 5.0, 1),  # vertical
+            ImageSegment(1.0, 1.0 + 1e-12, 1.0 + 5e-10, 1.0, 2),  # ~eps span
+            ImageSegment(0.0, 1.0, 4.0, 1.0, 3),  # exactly coincident
+        ]
+        _assert_identical(segs)
+
+
+# -- cascade pins ---------------------------------------------------------
+
+
+@needs_ccore
+class TestCascadePins:
+    """``USE_COMPILED_INSERT`` decides which kernel answers — always,
+    for every window size, and never silently."""
+
+    def _counting(self, monkeypatch):
+        calls = {"ccore": 0, "scalar": 0, "vector": 0}
+        import repro.envelope.flat_fused as fused_mod
+
+        real_insert = _ccore.insert_packed
+        real_scalar = fused_mod.fused_insert_window
+        real_vector = fused_mod.fused_insert_window_flat
+
+        def count_ccore(*a, **k):
+            calls["ccore"] += 1
+            return real_insert(*a, **k)
+
+        def count_scalar(*a, **k):
+            calls["scalar"] += 1
+            return real_scalar(*a, **k)
+
+        def count_vector(*a, **k):
+            calls["vector"] += 1
+            return real_vector(*a, **k)
+
+        monkeypatch.setattr(_ccore, "insert_packed", count_ccore)
+        monkeypatch.setattr(fused_mod, "fused_insert_window", count_scalar)
+        monkeypatch.setattr(
+            fused_mod, "fused_insert_window_flat", count_vector
+        )
+        return calls
+
+    def _mixed_window_segments(self, rng):
+        # Many narrow segments build a wide profile; the late spanning
+        # segments then open windows far above FLAT_FUSED_CUTOFF.
+        segs = random_image_segments(rng, 150, min_width=0.5)
+        wide = [
+            ImageSegment(0.0, 60.0 + i, 100.0, 60.5 + i, 1000 + i)
+            for i in range(3)
+        ]
+        return segs + wide
+
+    def test_compiled_on_answers_all_window_sizes(self, rng, monkeypatch):
+        calls = self._counting(monkeypatch)
+        segs = self._mixed_window_segments(rng)
+        _run_loop(segs, compiled=True)
+        assert calls["ccore"] == len(segs)
+        assert calls["scalar"] == 0
+        assert calls["vector"] == 0
+
+    def test_compiled_off_runs_the_cascade(self, rng, monkeypatch):
+        calls = self._counting(monkeypatch)
+        segs = self._mixed_window_segments(rng)
+        _run_loop(segs, compiled=False)
+        assert calls["ccore"] == 0
+        assert calls["scalar"] + calls["vector"] > 0
+
+    def test_synthetic_source_window_declines(self, rng, monkeypatch):
+        # Negative-source pieces coalesce on the builder rule the C
+        # core doesn't implement: it must decline (None), and the
+        # cascade must produce the identical insert.
+        calls = self._counting(monkeypatch)
+        synth = ImageSegment(2.0, 5.0, 8.0, 5.0, -1)
+        over = ImageSegment(0.0, 3.0, 10.0, 7.0, 7)
+        p_c, t_c = _run_loop([synth, over], compiled=True)
+        assert calls["ccore"] == 1  # called for `over`, declined
+        p_n, t_n = _run_loop([synth, over], compiled=False)
+        assert _state(p_c) == _state(p_n)
+        assert t_c == t_n
+
+    def test_config_field_pins_the_path(self, rng, monkeypatch):
+        from repro.config import HsrConfig
+
+        calls = self._counting(monkeypatch)
+        segs = random_image_segments(rng, 30)
+        for cfg, expect in (
+            (HsrConfig(use_compiled_insert=True), len(segs)),
+            (HsrConfig(use_compiled_insert=False), 0),
+        ):
+            calls["ccore"] = 0
+            prof = PackedProfile.empty()
+            for s in segs:
+                prof = insert_segment_flat(prof, s, config=cfg).profile
+            assert calls["ccore"] == expect
+
+    def test_env_opt_out(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED", "0")
+        assert not _ccore._env_enabled()
+        monkeypatch.setenv("REPRO_COMPILED", "off")
+        assert not _ccore._env_enabled()
+        monkeypatch.setenv("REPRO_COMPILED", "1")
+        assert _ccore._env_enabled()
+        monkeypatch.delenv("REPRO_COMPILED")
+        assert _ccore._env_enabled()
+
+
+# -- guard site -----------------------------------------------------------
+
+
+@needs_ccore
+class TestCompiledGuardSite:
+    def _parity_under_plan(self, rng, mode, nth=2):
+        segs = random_image_segments(rng, 80)
+        with fi.inject("compiled_insert", mode, nth=nth) as plan:
+            p_i, t_i = _run_loop(segs, compiled=True, capacity=2)
+        assert plan.fired >= 1
+        with fi.suppressed():
+            p_n, t_n = _run_loop(segs, compiled=False, capacity=2)
+        assert _state(p_i) == _state(p_n)
+        assert t_i == t_n
+
+    @pytest.mark.parametrize("mode", ["raise", "unsorted", "nan"])
+    def test_injected_fault_absorbed_bit_exact(self, rng, mode):
+        self._parity_under_plan(rng, mode)
+
+    def test_repeat_plan_quarantines_and_stays_exact(self, rng):
+        segs = random_image_segments(rng, 120)
+        with fi.inject("compiled_insert", "raise", nth=1, repeat=True):
+            p_i, t_i = _run_loop(segs, compiled=True)
+            # Breaker tripped after FAULT_THRESHOLD faults; later
+            # inserts decline without tripping the plan again.
+            assert guard.is_quarantined("compiled_insert")
+        rec = guard.current_report().sites["compiled_insert"]
+        assert rec.quarantined and rec.count >= guard.FAULT_THRESHOLD
+        with fi.suppressed():
+            p_n, t_n = _run_loop(segs, compiled=False)
+        assert _state(p_i) == _state(p_n)
+        assert t_i == t_n
+
+    def test_other_site_plans_reach_their_kernel(self, rng):
+        # With e.g. fused_insert armed, the compiled core must stand
+        # aside so the injected boundary actually runs.
+        segs = random_image_segments(rng, 60)
+        with fi.inject("fused_insert", "raise", nth=2) as plan:
+            _run_loop(segs, compiled=True)
+        assert plan.fired >= 1
+
+    def test_fault_recorded_in_sequential_report(self):
+        from repro.hsr.sequential import SequentialHSR
+        from repro.terrain.generators import fractal_terrain
+
+        terrain = fractal_terrain(size=9, seed=23)
+        with fi.inject("compiled_insert", "raise", nth=3) as plan:
+            rn = SequentialHSR(engine="numpy").run(terrain)
+        with fi.suppressed():
+            rp = SequentialHSR(engine="python").run(terrain)
+        assert plan.fired >= 1
+        assert rn.stats.ops == rp.stats.ops
+        assert rn.visibility_map.segments == rp.visibility_map.segments
+        assert rn.reliability is not None
+        assert rn.reliability.sites["compiled_insert"].count >= 1
+
+
+# -- fallback installs ----------------------------------------------------
+
+
+class TestFallback:
+    def test_module_imports_without_extension(self):
+        # Meaningful on both legs: with the extension absent the
+        # wrappers are the no-op stubs; with it present they are live.
+        assert hasattr(_ccore, "insert_packed")
+        assert hasattr(_ccore, "compute")
+        if not _ccore.HAVE_CCORE:
+            assert _ccore.insert_packed(None, None, 1e-9) is None
+            assert _ccore.compute(None, None, 1e-9) is None
+            assert not _ccore.COMPILED_DEFAULT
+
+    def test_default_tracks_availability(self):
+        assert _ccore.COMPILED_DEFAULT == (
+            _ccore.HAVE_CCORE and _ccore._env_enabled()
+        )

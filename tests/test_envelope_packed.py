@@ -362,7 +362,11 @@ class TestStaleViews:
         the profile's *live* buffer at call time — i.e. windows are
         re-derived after every splice, never cached across inserts."""
         import repro.envelope.flat_fused as fused_mod
+        import repro.envelope.flat_splice as splice_mod
 
+        # Pin the vectorized kernel path: the compiled core (when
+        # built) would otherwise answer every insert before it.
+        monkeypatch.setattr(splice_mod, "USE_COMPILED_INSERT", False)
         monkeypatch.setattr(engine_mod, "FLAT_FUSED_CUTOFF", 1)
         orig = fused_mod.fused_insert_window_flat
         checked = []

@@ -122,7 +122,7 @@ class TestMaterialisers:
             flyover_terrains({"family": "fractal", "frames": 0})
 
 
-def _mini_bench_spec(m=48, pinned=None):
+def _mini_bench_spec(m=48, pinned=None, requires_ccore=False):
     return ScenarioSpec.from_data(
         {
             "format": "repro-scenarios",
@@ -131,6 +131,7 @@ def _mini_bench_spec(m=48, pinned=None):
                     "workload": "segments",
                     "roles": ["bench"],
                     "op": "insert",
+                    "requires_ccore": requires_ccore,
                     "cross": {
                         "family": ["wide-strip"],
                         "m": [m],
@@ -283,6 +284,25 @@ class TestPerfGate:
                 baseline=self._baseline(tmp_path, 1.0),
                 repeats=1,
             )
+
+    def test_requires_ccore_rows_skip_without_core(
+        self, tmp_path, monkeypatch
+    ):
+        # On a no-compiler install the compiled-core pinned row is
+        # ungateable (its variant config would silently fall back to
+        # the cascade) — the gate must skip it, not false-fail.
+        import repro.scenarios.perfgate as perfgate_mod
+
+        monkeypatch.setattr(perfgate_mod, "_have_ccore", lambda: False)
+        report = run_perf_gate(
+            _mini_bench_spec(requires_ccore=True),
+            baseline=self._baseline(tmp_path, 1e6),
+            repeats=1,
+        )
+        assert report.passed
+        assert not report.rows
+        assert report.skipped == ["gate-demo"]
+        assert "skip" in report.format()
 
     def test_default_spec_pinned_rows_recorded(self):
         # The shipped BENCH_envelope.json must contain every pinned

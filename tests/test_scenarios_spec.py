@@ -92,7 +92,11 @@ class TestDefaultSpec:
     def test_pinned_rows_exist(self):
         pinned = default_spec().pinned_rows()
         names = {s.name for s, _ in pinned}
-        assert names == {"bench-build-e9", "bench-insert-wide"}
+        assert names == {
+            "bench-build-e9",
+            "bench-insert-e9",
+            "bench-insert-wide",
+        }
         for s, inst in pinned:
             assert inst.factor("m") in s.pinned
 
